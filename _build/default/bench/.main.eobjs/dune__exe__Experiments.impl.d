@@ -1,0 +1,1 @@
+bench/experiments.ml: Alto_disk Alto_fs Alto_machine Alto_os Alto_streams Alto_world Array Bytes Format List Printf Random String Workloads

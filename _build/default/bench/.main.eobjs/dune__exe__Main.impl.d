@@ -1,0 +1,1 @@
+bench/main.ml: Alto_bcpl Alto_disk Alto_fs Alto_machine Alto_os Alto_zones Analyze Array Bechamel Benchmark Experiments Hashtbl List Measure Printf Staged String Sys Test Time Toolkit Workloads

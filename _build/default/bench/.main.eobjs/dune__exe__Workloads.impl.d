@@ -1,0 +1,1 @@
+bench/workloads.ml: Alto_disk Alto_fs Alto_machine Char Format List Printf String

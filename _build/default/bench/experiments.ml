@@ -1,0 +1,849 @@
+(* The experiment harness: one experiment per quantitative claim in the
+   paper's text. Absolute numbers are simulated Alto time; the shapes —
+   who wins, by what factor, where the knees are — are what reproduce. *)
+
+module Word = Alto_machine.Word
+module Memory = Alto_machine.Memory
+module Cpu = Alto_machine.Cpu
+module Sim_clock = Alto_machine.Sim_clock
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Sector = Alto_disk.Sector
+module Disk_address = Alto_disk.Disk_address
+module Fault = Alto_disk.Fault
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module File_id = Alto_fs.File_id
+module Label = Alto_fs.Label
+module Page = Alto_fs.Page
+module Directory = Alto_fs.Directory
+module Scavenger = Alto_fs.Scavenger
+module Compactor = Alto_fs.Compactor
+module Hints = Alto_fs.Hints
+module Install = Alto_fs.Install
+module Stream = Alto_streams.Stream
+module Disk_stream = Alto_streams.Disk_stream
+module World = Alto_world.World
+module Checkpoint = Alto_world.Checkpoint
+module Level = Alto_os.Level
+module System = Alto_os.System
+open Workloads
+
+(* E1 — §3.5: "This entire process is called scavenging, and it takes
+   about a minute for a 2.5 megabyte disk." *)
+let e1 () =
+  heading "E1  scavenging time (§3.5)";
+  claim "scavenging takes about a minute for a 2.5 megabyte disk";
+  let run geometry fraction =
+    let drive, fs = fresh ~geometry () in
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    let (_ : string list) = fill_to fs root ~fraction ~file_bytes:4000 in
+    let used = Drive.sector_count drive - Fs.free_count fs in
+    let _, report =
+      match Scavenger.scavenge drive with
+      | Ok (fs', r) -> (fs', r)
+      | Error msg -> failwith msg
+    in
+    let _, verified =
+      match Scavenger.scavenge ~verify_values:true drive with
+      | Ok (fs', r) -> (fs', r)
+      | Error msg -> failwith msg
+    in
+    (used, report.Scavenger.duration_us, verified.Scavenger.duration_us)
+  in
+  let rows =
+    List.concat_map
+      (fun geometry ->
+        List.map
+          (fun fraction ->
+            let used, us, verified_us = run geometry fraction in
+            [
+              geometry.Geometry.model;
+              Printf.sprintf "%.0f%%" (fraction *. 100.);
+              string_of_int used;
+              us_to_string us;
+              us_to_string verified_us;
+            ])
+          [ 0.25; 0.50; 0.75; 0.98 ])
+      [ Geometry.diablo_31; Geometry.diablo_44 ]
+  in
+  print_table [ 16; 6; 12; 12; 14 ]
+    [ "disk"; "fill"; "busy pages"; "scavenge"; "+verify values" ]
+    rows;
+  print_endline
+    "shape: about a minute for a well-filled Model 31 pack; the bigger,\n\
+     faster Model 44 pays for twice the sectors at half the rotation.\n\
+     Value verification (reading every live page to stamp bad surfaces)\n\
+     costs roughly the fill fraction again."
+
+(* E2 — §3.5: the compacting scavenger "typically increases the speed
+   with which the files can be read sequentially by an order of
+   magnitude over what is possible if the pages have become scattered." *)
+let e2 () =
+  heading "E2  compaction vs sequential reads (§3.5)";
+  claim "consecutive layout reads ~an order of magnitude faster than scattered";
+  let files = 12 and file_bytes = 40_000 in
+  let drive, fs = fresh () in
+  Fs.set_policy fs (Fs.Scattered (Random.State.make [| 7 |]));
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  let names =
+    List.init files (fun i ->
+        let name = Printf.sprintf "Big%02d.dat" i in
+        let (_ : File.t) = make_file fs root name file_bytes i in
+        name)
+  in
+  let clock = Drive.clock drive in
+  let read_all () =
+    List.iter
+      (fun name ->
+        let file = reopen fs name in
+        let s = Disk_stream.open_file ~mode:Disk_stream.Read_only file in
+        let (_ : string) = Stream.get_all s in
+        s.Stream.close ())
+      names
+  in
+  let fragmentation name =
+    ok File.pp_error (Compactor.consecutive_fraction fs (reopen fs name))
+  in
+  let frag_before = fragmentation (List.hd names) in
+  let (), scattered_us = timed clock read_all in
+  let report, compact_us =
+    timed clock (fun () ->
+        match Compactor.compact fs with Ok r -> r | Error msg -> failwith msg)
+  in
+  let (), consecutive_us = timed clock read_all in
+  print_table [ 34; 14 ]
+    [ "configuration"; "read time" ]
+    [
+      [
+        Printf.sprintf "scattered (%.0f%% adjacent)" (frag_before *. 100.);
+        us_to_string scattered_us;
+      ];
+      [ "consecutive (after compaction)"; us_to_string consecutive_us ];
+    ];
+  Printf.printf "speedup: %.1fx  (compaction itself: %s, %d moves, %d/%d files consecutive)\n"
+    (float_of_int scattered_us /. float_of_int consecutive_us)
+    (us_to_string compact_us) report.Compactor.moves
+    report.Compactor.files_consecutive report.Compactor.files_total
+
+(* E3 — §3.3: "This scheme costs a disk revolution each time a page is
+   allocated or freed … On any other write the label is checked, at no
+   cost in time." *)
+let e3 () =
+  heading "E3  what label checking costs (§3.3)";
+  claim "one revolution per allocate/free; ordinary writes pay nothing";
+  let pages = 120 in
+  let run ~checking =
+    let drive, fs = fresh () in
+    Fs.set_label_checking fs checking;
+    let clock = Drive.clock drive in
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    let file = make_file fs root "Victim.dat" (pages * Sector.bytes_per_page) 1 in
+    (* (a) ordinary full-page overwrites of existing pages *)
+    let (), overwrite_us =
+      timed clock (fun () ->
+          ok File.pp_error
+            (File.write_bytes file ~pos:0 (body 2 (pages * Sector.bytes_per_page))))
+    in
+    (* (b) allocating fresh pages (append a second file) *)
+    let file2 = ok File.pp_error (File.create fs ~name:"Fresh.dat") in
+    let (), allocate_us =
+      timed clock (fun () ->
+          ok File.pp_error
+            (File.write_bytes file2 ~pos:0 (body 3 (pages * Sector.bytes_per_page))))
+    in
+    (* (c) freeing them again *)
+    let (), free_us = timed clock (fun () -> ok File.pp_error (File.delete file2)) in
+    (overwrite_us / pages, allocate_us / pages, free_us / pages)
+  in
+  let ow_on, al_on, fr_on = run ~checking:true in
+  let ow_off, al_off, fr_off = run ~checking:false in
+  let rev = Geometry.diablo_31.Geometry.rotation_us in
+  let line name on off =
+    [
+      name;
+      us_to_string on;
+      us_to_string off;
+      Printf.sprintf "%+.2f rev" (float_of_int (on - off) /. float_of_int rev);
+    ]
+  in
+  print_table [ 26; 12; 12; 12 ]
+    [ "per page"; "with checks"; "without"; "check cost" ]
+    [
+      line "ordinary overwrite" ow_on ow_off;
+      line "allocate + first write" al_on al_off;
+      line "free" fr_on fr_off;
+    ];
+  print_endline
+    "shape: ordinary writes identical with checks on or off; allocation and\n\
+     freeing each pay about one extra revolution for the check pass."
+
+(* E4 — §3.6: the recovery ladder, each rung slower than the last. *)
+let e4 () =
+  heading "E4  the hint recovery ladder (§3.6)";
+  claim "direct hint << links from leader << directory lookups << scavenge";
+  let drive, fs = fresh () in
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  (* Clutter makes directory scans honest. *)
+  for i = 0 to 199 do
+    let (_ : File.t) = make_file fs root (Printf.sprintf "Noise%03d." i) 300 i in
+    ()
+  done;
+  let file = make_file fs root "Wanted.dat" 3000 7 in
+  let fid = File.fid file in
+  let page2 = ok File.pp_error (File.page_name file 2) in
+  let leader_addr = (File.leader_name file).Page.addr in
+  let bogus = Disk_address.of_index 4000 in
+  let request ~page_hint ~leader_hint ~fid =
+    {
+      Hints.req_name = "Wanted.dat";
+      req_fid = fid;
+      req_page = 2;
+      req_page_hint = page_hint;
+      req_leader_hint = leader_hint;
+    }
+  in
+  let scenario name req expect =
+    match Hints.read_page fs ~directory:root req with
+    | Error f -> failwith ("ladder failed in scenario " ^ name ^ ": " ^ f.Hints.reason)
+    | Ok s ->
+        let final = List.nth s.Hints.attempts (List.length s.Hints.attempts - 1) in
+        assert (final.Hints.rung = expect);
+        [
+          name;
+          Format.asprintf "%a" Hints.pp_rung final.Hints.rung;
+          us_to_string final.Hints.elapsed_us;
+        ]
+  in
+  let rows =
+    [
+      scenario "hint valid"
+        (request ~page_hint:(Some page2.Page.addr) ~leader_hint:(Some leader_addr)
+           ~fid:(Some fid))
+        Hints.Direct;
+      scenario "page hint stale"
+        (request ~page_hint:(Some bogus) ~leader_hint:(Some leader_addr) ~fid:(Some fid))
+        Hints.Leader_chain;
+      scenario "all hints stale"
+        (request ~page_hint:(Some bogus) ~leader_hint:(Some bogus) ~fid:(Some fid))
+        Hints.Directory_fid;
+      scenario "FV stale too"
+        (request ~page_hint:None ~leader_hint:None
+           ~fid:(Some (File_id.next_version fid)))
+        Hints.Directory_name;
+      (let (_ : bool) =
+         ok Directory.pp_error (Directory.remove root "Wanted.dat")
+       in
+       scenario "entry lost as well"
+         (request ~page_hint:(Some bogus) ~leader_hint:(Some bogus) ~fid:(Some fid))
+         Hints.Scavenge);
+    ]
+  in
+  ignore drive;
+  print_table [ 22; 28; 12 ] [ "scenario"; "winning rung"; "rung cost" ] rows;
+  print_endline
+    "shape: each rung costs more than the one before; programs that keep\n\
+     hints fresh live at the top line, and nothing below it loses data."
+
+(* E5 — §4.1: OutLoad/InLoad "requires about a second". *)
+let e5 () =
+  heading "E5  world swap times (§4.1)";
+  claim "OutLoad and InLoad each take about a second";
+  let drive, fs = fresh () in
+  let clock = Drive.clock drive in
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  let state = ok Checkpoint.pp_error (Checkpoint.state_file fs ~directory:root ~name:"W.state") in
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+  (* First save pays for laying the file down; steady state streams. *)
+  let (), first_us = timed clock (fun () -> ok World.pp_error (World.out_load cpu state)) in
+  let (), out_us = timed clock (fun () -> ok World.pp_error (World.out_load cpu state)) in
+  let (), in_us =
+    timed clock (fun () -> ok World.pp_error (World.in_load cpu state ~message:[||]))
+  in
+  let (), roundtrip_us =
+    timed clock (fun () ->
+        ok Checkpoint.pp_error
+          (Checkpoint.transfer cpu ~save_to:state ~restore_from:state ~message:[||]))
+  in
+  print_table [ 34; 14 ]
+    [ "operation"; "simulated time" ]
+    [
+      [ "first OutLoad (file laid down)"; us_to_string first_us ];
+      [ "OutLoad, steady state"; us_to_string out_us ];
+      [ "InLoad"; us_to_string in_us ];
+      [ "coroutine transfer (both)"; us_to_string roundtrip_us ];
+    ];
+  print_endline "shape: about a second each way once the state file exists."
+
+(* E6 — §2: the drive "can store 2.5 megabytes … and can transfer 64k
+   words in about one second". *)
+let e6 () =
+  heading "E6  raw disk rate and capacity (§2)";
+  claim "2.5 MB per pack; 64K words transferred in about a second";
+  let rows =
+    List.map
+      (fun geometry ->
+        let drive = Drive.create ~pack_id:1 geometry in
+        let clock = Drive.clock drive in
+        let value = Array.make Sector.value_words Word.zero in
+        let sectors = 65536 / Sector.value_words in
+        let (), us =
+          timed clock (fun () ->
+              for i = 0 to sectors - 1 do
+                match
+                  Drive.run drive (Disk_address.of_index i)
+                    { Drive.op_none with Drive.value = Some Drive.Read }
+                    ~value ()
+                with
+                | Ok () -> ()
+                | Error e -> Format.kasprintf failwith "%a" Drive.pp_error e
+              done)
+        in
+        [
+          geometry.Geometry.model;
+          Printf.sprintf "%.2f MB" (float_of_int (Geometry.capacity_bytes geometry) /. 1_048_576.);
+          us_to_string us;
+          Printf.sprintf "%.0fk words/s" (65536.0 /. (float_of_int us /. 1e6) /. 1000.);
+        ])
+      [ Geometry.diablo_31; Geometry.diablo_44 ]
+  in
+  print_table [ 16; 10; 12; 16 ] [ "disk"; "capacity"; "64K words"; "rate" ] rows
+
+(* E7 — §5.2: Junta gives precise control over resident memory. *)
+let e7 () =
+  heading "E7  resident memory per retained level (§5.2)";
+  claim "a program selects exactly the levels it retains; the rest is its memory";
+  let rows =
+    List.map
+      (fun (level : Level.t) ->
+        let keep = level.Level.index in
+        let resident = Level.resident_words ~keep in
+        [
+          Printf.sprintf "junta %2d" keep;
+          level.Level.level_name;
+          string_of_int resident;
+          Printf.sprintf "%d" (Level.boundary ~keep - System.user_base);
+        ])
+      Level.all
+  in
+  print_table [ 9; 36; 10; 12 ]
+    [ "keep"; "highest retained level"; "resident"; "user words" ]
+    rows;
+  (* And the machinery actually works: remove, fail, restore, succeed. *)
+  let system = System.boot () in
+  System.junta system ~keep:7;
+  let boundary_7 = System.user_boundary system in
+  System.counter_junta system;
+  let boundary_13 = System.user_boundary system in
+  Printf.printf
+    "verified live: junta 7 raises the user boundary from %d to %d words\n\
+     and CounterJunta restores every level (resident level %d).\n"
+    boundary_13 boundary_7 (System.resident_level system)
+
+(* E8 — §3.6: consecutive-file address arithmetic. *)
+let e8 () =
+  heading "E8  arithmetic addressing of consecutive files (§3.6)";
+  claim "a program may compute a(j) = a(i) + j - i; the label check makes misses harmless";
+  let trial name ~prepare =
+    let drive, fs = fresh () in
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    prepare fs;
+    let (_ : File.t) = make_file fs root "Target.dat" 20_000 5 in
+    let file = reopen fs "Target.dat" in
+    let clock = Drive.clock drive in
+    let base = ok File.pp_error (File.page_name file 1) in
+    let last = File.last_page file in
+    let hits = ref 0 and misses = ref 0 in
+    let (), us =
+      timed clock (fun () ->
+          for pn = 1 to last do
+            let guess = Disk_address.offset base.Page.addr (pn - 1) in
+            match Page.read drive (Page.full_name (File.fid file) ~page:pn ~addr:guess) with
+            | Ok _ -> incr hits
+            | Error _ -> (
+                incr misses;
+                (* Fall back to the file machinery. *)
+                match File.read_page file pn with
+                | Ok _ -> ()
+                | Error e -> Format.kasprintf failwith "%a" File.pp_error e)
+          done)
+    in
+    [
+      name;
+      Printf.sprintf "%d/%d" !hits (!hits + !misses);
+      us_to_string us;
+      us_to_string (us / last);
+    ]
+  in
+  (* The compacted case needs its own flow: the file must exist before
+     the compactor runs. *)
+  let compacted_row =
+    let drive, fs = fresh () in
+    Fs.set_policy fs (Fs.Scattered (Random.State.make [| 3 |]));
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    let (_ : File.t) = make_file fs root "Target.dat" 20_000 5 in
+    (match Compactor.compact fs with Ok _ -> () | Error msg -> failwith msg);
+    let file = reopen fs "Target.dat" in
+    let clock = Drive.clock drive in
+    let base = ok File.pp_error (File.page_name file 1) in
+    let last = File.last_page file in
+    let hits = ref 0 in
+    let (), us =
+      timed clock (fun () ->
+          for pn = 1 to last do
+            let guess = Disk_address.offset base.Page.addr (pn - 1) in
+            match Page.read drive (Page.full_name (File.fid file) ~page:pn ~addr:guess) with
+            | Ok _ -> incr hits
+            | Error _ -> (
+                match File.read_page file pn with
+                | Ok _ -> ()
+                | Error e -> Format.kasprintf failwith "%a" File.pp_error e)
+          done)
+    in
+    [ "after compaction"; Printf.sprintf "%d/%d" !hits last; us_to_string us; us_to_string (us / last) ]
+  in
+  let rows =
+    [
+      trial "fresh quiet disk" ~prepare:(fun _ -> ());
+      trial "scattered allocation" ~prepare:(fun fs ->
+          Fs.set_policy fs (Fs.Scattered (Random.State.make [| 3 |])));
+      compacted_row;
+    ]
+  in
+  print_table [ 24; 10; 12; 12 ]
+    [ "layout"; "hits"; "whole file"; "per page" ]
+    rows;
+  print_endline
+    "shape: arithmetic addressing hits everything on consecutive layouts,\n\
+     collapses on scattered ones — and every miss is caught by the label\n\
+     check and recovered, never silently wrong."
+
+(* E9 — §3.3/§6: robustness. "The incidence of complaints about lost
+   information is negligible." Plus the ablation: what the label check
+   buys when the allocation map lies. *)
+let e9 () =
+  heading "E9  robustness under faults, and the no-check ablation (§3.3, §6)";
+  claim "label checking confines damage; a stale map never overwrites data";
+  (* (a) decay campaign: corrupt labels at random, scavenge, audit. *)
+  let campaign fraction =
+    let trials = 3 in
+    let recovered = ref 0 and intact_total = ref 0 and files_total = ref 0 in
+    for seed = 1 to trials do
+      let drive, fs = fresh () in
+      let root = ok Directory.pp_error (Directory.open_root fs) in
+      let names =
+        List.init 20 (fun i ->
+            let name = Printf.sprintf "D%02d.dat" i in
+            let (_ : File.t) = make_file fs root name (1000 + (300 * i)) (seed + i) in
+            name)
+      in
+      let rng = Random.State.make [| seed * 97 |] in
+      let (_ : Disk_address.t list) = Fault.decay rng drive ~fraction in
+      match Scavenger.scavenge drive with
+      | Error _ -> ()
+      | Ok (fs', _) ->
+          incr recovered;
+          let root' = ok Directory.pp_error (Directory.open_root fs') in
+          List.iter
+            (fun name ->
+              incr files_total;
+              match Directory.lookup root' name with
+              | Ok (Some e) -> (
+                  match File.open_leader fs' e.Directory.entry_file with
+                  | Ok f -> (
+                      match File.read_bytes f ~pos:0 ~len:(File.byte_length f) with
+                      | Ok _ -> incr intact_total
+                      | Error _ -> ())
+                  | Error _ -> ())
+              | Ok None | Error _ -> ())
+            names
+    done;
+    [
+      Printf.sprintf "%.1f%%" (fraction *. 100.);
+      Printf.sprintf "%d/%d" !recovered trials;
+      Printf.sprintf "%d/%d" !intact_total !files_total;
+    ]
+  in
+  print_table [ 10; 12; 14 ]
+    [ "decay"; "recovered"; "files readable" ]
+    (List.map campaign [ 0.002; 0.01; 0.03; 0.08 ]);
+  (* (b) the ablation: a stale allocation map plus fresh allocations. The
+     disk is filled first, so the lying map entries are the only pages
+     the allocator can propose. *)
+  let stale_map_damage ~checking =
+    let geometry = { Geometry.diablo_31 with Geometry.model = "small"; cylinders = 20 } in
+    let drive, fs = fresh ~geometry () in
+    Fs.set_label_checking fs checking;
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    let precious = make_file fs root "Precious.dat" 8000 9 in
+    let before =
+      Bytes.to_string
+        (ok File.pp_error (File.read_bytes precious ~pos:0 ~len:(File.byte_length precious)))
+    in
+    (* Fill everything else. *)
+    let rec stuff i =
+      match File.create fs ~name:(Printf.sprintf "Stuffing%04d." i) with
+      | Ok f -> (
+          match File.write_bytes f ~pos:0 (body i 1500) with
+          | Ok () -> stuff (i + 1)
+          | Error _ -> ())
+      | Error _ -> ()
+    in
+    stuff 0;
+    (* The crash: an allocation map from a stale checkpoint says the
+       precious pages are free. *)
+    for pn = 1 to File.last_page precious do
+      let fn = ok File.pp_error (File.page_name precious pn) in
+      Fs.mark_free fs fn.Page.addr
+    done;
+    (* An innocent program allocates new pages; with checks on it is told
+       the disk is full, with checks off it tramples. *)
+    (match File.create fs ~name:"Innocent.dat" with
+    | Ok f -> ( match File.write_bytes f ~pos:0 (body 10 8000) with Ok () | Error _ -> ())
+    | Error _ -> ());
+    ignore drive;
+    let after =
+      match File.read_bytes precious ~pos:0 ~len:(String.length before) with
+      | Ok b -> Bytes.to_string b
+      | Error _ -> ""
+    in
+    let damaged_pages =
+      let per_page = Sector.bytes_per_page in
+      let n = (String.length before + per_page - 1) / per_page in
+      let count = ref 0 in
+      for p = 0 to n - 1 do
+        let lo = p * per_page in
+        let len = min per_page (String.length before - lo) in
+        if
+          String.length after < lo + len
+          || not (String.equal (String.sub before lo len) (String.sub after lo len))
+        then incr count
+      done;
+      !count
+    in
+    damaged_pages
+  in
+  let with_checks = stale_map_damage ~checking:true in
+  let without = stale_map_damage ~checking:false in
+  print_newline ();
+  print_table [ 30; 18 ]
+    [ "stale-map ablation"; "data pages destroyed" ]
+    [
+      [ "label checking on"; string_of_int with_checks ];
+      [ "label checking off"; string_of_int without ];
+    ];
+  print_endline
+    "shape: with checks the lying map costs only retries; without them the\n\
+     allocator writes straight through live files."
+
+(* E10 — §3.6: installed hint files give maximum-speed startup. *)
+let e10 () =
+  heading "E10  installed hint files (§3.6)";
+  claim "installed programs start at maximum disk speed; a failed hint forces reinstall";
+  let names = [ "Ed.scratch1"; "Ed.scratch2"; "Ed.journal"; "Ed.messages" ] in
+  let run clutter =
+    let drive, fs = fresh () in
+    let clock = Drive.clock drive in
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    for i = 0 to clutter - 1 do
+      let (_ : File.t) = make_file fs root (Printf.sprintf "Jumble%04d." i) 120 i in
+      ()
+    done;
+    let state = ok Install.pp_error (Install.install fs ~directory:root ~names) in
+    ok Install.pp_error (Install.save fs ~directory:root ~state_name:"Ed.state" state);
+    (* The installed program remembers its state file's full name (it
+       travels in the program's world image), so the fast path never
+       consults a directory. *)
+    let state_file = reopen fs "Ed.state" in
+    let (), cold_us =
+      timed clock (fun () ->
+          List.iter
+            (fun name ->
+              match ok Directory.pp_error (Directory.lookup root name) with
+              | Some e ->
+                  let (_ : File.t) =
+                    ok File.pp_error (File.open_leader fs e.Directory.entry_file)
+                  in
+                  ()
+              | None -> failwith name)
+            names)
+    in
+    let (), fast_us =
+      timed clock (fun () ->
+          let state = ok Install.pp_error (Install.load_from state_file) in
+          match Install.fast_open fs state with
+          | Ok _ -> ()
+          | Error (`Reinstall_required msg) -> failwith msg)
+    in
+    [
+      string_of_int clutter;
+      us_to_string cold_us;
+      us_to_string fast_us;
+      Printf.sprintf "%.1fx" (float_of_int cold_us /. float_of_int fast_us);
+    ]
+  in
+  print_table [ 18; 14; 14; 8 ]
+    [ "directory entries"; "cold start"; "hinted start"; "speedup" ]
+    (List.map run [ 50; 200; 800 ]);
+  print_endline
+    "shape: cold startup degrades with directory size; hinted startup is\n\
+     flat — the hints bypass the directory entirely."
+
+(* E11 — ablation of the design decision §3.5 declines: "scavenging
+   cannot fully reconstruct lost directories. This could be accomplished
+   by writing a journal of all changes … we do not consider our
+   directories important enough." How many names does the journal buy
+   back when a directory is destroyed? *)
+let e11 () =
+  heading "E11  journaled directories vs the scavenger alone (§3.5 ablation)";
+  claim "scavenging recovers files but not names; a journal + snapshot recovers both";
+  let run ~aliases =
+    let geometry = { Geometry.diablo_31 with Geometry.model = "small"; cylinders = 30 } in
+    let drive, fs = fresh ~geometry () in
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    let jd = ok Alto_fs.Journal.pp_error (Alto_fs.Journal.create fs ~parent:root ~name:"Vault.") in
+    let files = 16 in
+    for i = 0 to files - 1 do
+      let file =
+        ok File.pp_error (File.create fs ~name:(Printf.sprintf "Inner%02d." i))
+      in
+      ok File.pp_error (File.write_bytes file ~pos:0 (body i 600));
+      let entry_name =
+        if aliases && i mod 2 = 0 then Printf.sprintf "Alias%02d." i
+        else Printf.sprintf "Inner%02d." i
+      in
+      ok Alto_fs.Journal.pp_error
+        (Alto_fs.Journal.add jd ~name:entry_name (File.leader_name file))
+    done;
+    ok Alto_fs.Journal.pp_error (Alto_fs.Journal.take_snapshot jd);
+    let wanted =
+      List.init files (fun i ->
+          if aliases && i mod 2 = 0 then Printf.sprintf "Alias%02d." i
+          else Printf.sprintf "Inner%02d." i)
+    in
+    (* Destroy the directory's data page. *)
+    let rng = Random.State.make [| 13 |] in
+    let p1 = ok File.pp_error (File.page_name (Alto_fs.Journal.directory jd) 1) in
+    Alto_disk.Fault.corrupt_part rng drive p1.Page.addr Sector.Value;
+    let fs', _ = match Scavenger.scavenge drive with Ok x -> x | Error m -> failwith m in
+    let root' = ok Directory.pp_error (Directory.open_root fs') in
+    let count_recovered lookup =
+      List.length (List.filter (fun name -> lookup name) wanted)
+    in
+    let scavenger_only =
+      count_recovered (fun name ->
+          match Directory.lookup root' name with Ok (Some _) -> true | Ok None | Error _ -> false)
+    in
+    let jd' =
+      ok Alto_fs.Journal.pp_error
+        (Alto_fs.Journal.open_existing fs' ~parent:root' ~name:"Vault.")
+    in
+    let (_ : Alto_fs.Journal.recovery) =
+      ok Alto_fs.Journal.pp_error (Alto_fs.Journal.recover jd')
+    in
+    let with_journal =
+      count_recovered (fun name ->
+          match Alto_fs.Journal.lookup jd' name with
+          | Ok (Some _) -> true
+          | Ok None | Error _ -> false)
+    in
+    (files, scavenger_only, with_journal)
+  in
+  let rows =
+    List.map
+      (fun aliases ->
+        let files, scav, journal = run ~aliases in
+        [
+          (if aliases then "half the entries are aliases" else "entry names = leader names");
+          Printf.sprintf "%d/%d" scav files;
+          Printf.sprintf "%d/%d" journal files;
+        ])
+      [ false; true ]
+  in
+  print_table [ 30; 18; 18 ]
+    [ "workload"; "scavenger alone*"; "journal+snapshot" ]
+    rows;
+  print_endline
+    "*names findable in the root after scavenging (orphans adopted under\n\
+     leader names land there; aliases are simply gone). The journal\n\
+     restores the directory itself, aliases included.";
+  print_endline
+    "shape: the paper is right that nothing is LOST without the journal —\n\
+     and right that the names are; the journal is what buys them back."
+
+(* E12 — §3.6: "Hint addresses can also be kept for every k-th page of
+   the file to reduce the number of links that must be followed." *)
+let e12 () =
+  heading "E12  hint density: keeping every k-th page hint (§3.6)";
+  claim "sparser hints trade memory for link-chasing on access";
+  let drive, fs = fresh () in
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  let pages = 64 in
+  let file = make_file fs root "Sparse.dat" (pages * Sector.bytes_per_page - 100) 3 in
+  let clock = Drive.clock drive in
+  (* A fixed pseudo-random access pattern. *)
+  let accesses =
+    let rng = Random.State.make [| 42 |] in
+    Array.init 48 (fun _ -> 1 + Random.State.int rng pages)
+  in
+  let trial density =
+    (* Warm all hints, then thin. *)
+    for pn = 1 to pages do
+      ignore (ok File.pp_error (File.read_page file pn))
+    done;
+    (match density with
+    | None -> File.invalidate_hints file
+    | Some k -> File.retain_hints file ~every:k);
+    let kept = File.hinted_pages file in
+    let (), us =
+      timed clock (fun () ->
+          Array.iter
+            (fun pn ->
+              ignore (ok File.pp_error (File.read_page file pn));
+              (* Re-thin so later accesses cannot ride hints cached by
+                 earlier ones: we are measuring the steady density. *)
+              match density with
+              | None -> File.invalidate_hints file
+              | Some k -> File.retain_hints file ~every:k)
+            accesses)
+    in
+    [
+      (match density with None -> "no page hints" | Some 1 -> "every page" | Some k -> Printf.sprintf "every %d pages" k);
+      string_of_int kept;
+      us_to_string (us / Array.length accesses);
+    ]
+  in
+  print_table [ 18; 14; 14 ]
+    [ "hints kept"; "hint words"; "per access" ]
+    [ trial (Some 1); trial (Some 4); trial (Some 8); trial (Some 16); trial None ];
+  print_endline
+    "shape: the knee is early — a few retained hints already bound the\n\
+     chase; programs keep full hints for files they read hot."
+
+(* E13 — the aging series behind §3.5's compacting scavenger: packs
+   fragment under ordinary traffic; sequential reads decay; a periodic
+   compaction holds the line. This is the "figure" the paper implies
+   when it says scattered pages cost an order of magnitude. *)
+let e13 () =
+  heading "E13  how a pack ages, with and without periodic compaction (§3.5)";
+  claim "fragmentation accumulates under create/delete traffic; compaction resets it";
+  let rounds = 8 and files_per_round = 12 in
+  let run ~compact_every =
+    (* A small pack under pressure: the allocator must thread freed holes. *)
+    let geometry = { Geometry.diablo_31 with Geometry.model = "aging"; cylinders = 26 } in
+    let drive, fs = fresh ~geometry () in
+    let clock = Drive.clock drive in
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    let rng = Random.State.make [| 77 |] in
+    let live = ref [] in
+    let counter = ref 0 in
+    let round r =
+      (* Churn: delete a few files, create a few, append to some. *)
+      let victims, keep =
+        List.partition (fun _ -> Random.State.int rng 3 = 0) !live
+      in
+      List.iter
+        (fun name ->
+          match Directory.lookup root name with
+          | Ok (Some e) -> (
+              match File.open_leader fs e.Directory.entry_file with
+              | Ok f ->
+                  (match File.delete f with Ok () | Error _ -> ());
+                  (match Directory.remove root name with Ok _ | Error _ -> ())
+              | Error _ -> ())
+          | Ok None | Error _ -> ())
+        victims;
+      live := keep;
+      for _ = 1 to files_per_round do
+        incr counter;
+        let name = Printf.sprintf "Age%04d." !counter in
+        let (_ : File.t) =
+          make_file fs root name (1000 + Random.State.int rng 6000) !counter
+        in
+        live := name :: !live
+      done;
+      List.iteri
+        (fun i name ->
+          if i mod 4 = 0 then
+            match Directory.lookup root name with
+            | Ok (Some e) -> (
+                match File.open_leader fs e.Directory.entry_file with
+                | Ok f -> (
+                    match File.append_bytes f (body r 700) with Ok () | Error _ -> ())
+                | Error _ -> ())
+            | Ok None | Error _ -> ())
+        !live;
+      if compact_every > 0 && r mod compact_every = 0 then
+        match Compactor.compact fs with Ok _ -> () | Error _ -> ()
+    in
+    (* After each round: average adjacency and a sequential read probe. *)
+    List.map
+      (fun r ->
+        round r;
+        let fractions =
+          List.filter_map
+            (fun name ->
+              match Directory.lookup root name with
+              | Ok (Some e) -> (
+                  match File.open_leader fs e.Directory.entry_file with
+                  | Ok f -> (
+                      match Compactor.consecutive_fraction fs f with
+                      | Ok x -> Some x
+                      | Error _ -> None)
+                  | Error _ -> None)
+              | Ok None | Error _ -> None)
+            !live
+        in
+        let avg =
+          if fractions = [] then 1.0
+          else List.fold_left ( +. ) 0.0 fractions /. float_of_int (List.length fractions)
+        in
+        (* Sequential-read probe over every live file. *)
+        let read_us =
+          let total_us = ref 0 and total_bytes = ref 0 in
+          List.iter
+            (fun name ->
+              match Directory.lookup root name with
+              | Ok (Some e) -> (
+                  match File.open_leader fs e.Directory.entry_file with
+                  | Ok f ->
+                      let (), us =
+                        timed clock (fun () ->
+                            match File.read_bytes f ~pos:0 ~len:(File.byte_length f) with
+                            | Ok _ | Error _ -> ())
+                      in
+                      total_us := !total_us + us;
+                      total_bytes := !total_bytes + File.byte_length f
+                  | Error _ -> ())
+              | Ok None | Error _ -> ())
+            !live;
+          !total_us * 1000 / max 1 !total_bytes
+        in
+        (r, avg, read_us))
+      (List.init rounds (fun r -> r + 1))
+  in
+  let without = run ~compact_every:0 in
+  let with_compaction = run ~compact_every:3 in
+  print_table [ 6; 22; 26 ]
+    [ "round"; "adjacency (no compact)"; "adjacency (compact every 3)" ]
+    (List.map2
+       (fun (r, a, _) (_, a', _) ->
+         [ string_of_int r; Printf.sprintf "%.0f%%" (a *. 100.); Printf.sprintf "%.0f%%" (a' *. 100.) ])
+       without with_compaction);
+  let last3 rows = List.filteri (fun i _ -> i >= rounds - 3) rows in
+  let avg_cost rows =
+    let costs = List.map (fun (_, _, c) -> c) (last3 rows) in
+    List.fold_left ( + ) 0 costs / List.length costs
+  in
+  Printf.printf
+    "steady-state sequential read cost: %d µs/KB untreated vs %d µs/KB compacted\n"
+    (avg_cost without) (avg_cost with_compaction);
+  print_endline
+    "shape: adjacency decays steadily under churn (a real pack had months\n\
+     of this — E2 shows where it ends up) and read costs climb with it; a\n\
+     compacting scavenge every few rounds resets files to consecutive."
+
+let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+            ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+            ("e11", e11); ("e12", e12); ("e13", e13) ]

@@ -1,0 +1,223 @@
+(* The benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe            -- all experiments + micro-benchmarks
+     dune exec bench/main.exe e1 e5      -- selected experiments
+     dune exec bench/main.exe micro      -- host-time micro-benchmarks only
+
+   E1..E10 print simulated Alto time (the claims are about the paper's
+   hardware); "micro" reports wall-clock cost of this implementation's
+   primitives via Bechamel. *)
+
+module Word = Alto_machine.Word
+module Memory = Alto_machine.Memory
+module Cpu = Alto_machine.Cpu
+module Vm = Alto_machine.Vm
+module Asm = Alto_machine.Asm
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Sector = Alto_disk.Sector
+module Disk_address = Alto_disk.Disk_address
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module Label = Alto_fs.Label
+module Scavenger = Alto_fs.Scavenger
+module Directory = Alto_fs.Directory
+module Zone = Alto_zones.Zone
+
+(* {2 Micro-benchmarks: host wall time of the primitives} *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* Disk transfer. *)
+  let bench_transfer =
+    let drive = Drive.create ~pack_id:1 Geometry.diablo_31 in
+    let value = Array.make Sector.value_words Word.zero in
+    let i = ref 0 in
+    Test.make ~name:"drive: read one sector"
+      (Staged.stage (fun () ->
+           i := (!i + 1) mod 4000;
+           match
+             Drive.run drive (Disk_address.of_index !i)
+               { Drive.op_none with Drive.value = Some Drive.Read }
+               ~value ()
+           with
+           | Ok () -> ()
+           | Error _ -> assert false))
+  in
+  (* Allocation. *)
+  let bench_alloc =
+    let drive = Drive.create ~pack_id:1 Geometry.diablo_31 in
+    let fs = Fs.format drive in
+    let fid = Fs.fresh_fid fs in
+    let value = Array.make Sector.value_words Word.zero in
+    Test.make ~name:"fs: allocate + free one page"
+      (Staged.stage (fun () ->
+           let label _ =
+             Label.make ~fid ~page:1 ~length:0 ~next:Disk_address.nil
+               ~prev:Disk_address.nil
+           in
+           match Fs.allocate_page fs ~label ~value with
+           | Ok addr -> (
+               match
+                 Fs.free_page fs (Alto_fs.Page.full_name fid ~page:1 ~addr)
+               with
+               | Ok () -> ()
+               | Error _ -> assert false)
+           | Error _ -> assert false))
+  in
+  (* File byte IO. *)
+  let bench_file_io =
+    let drive = Drive.create ~pack_id:1 Geometry.diablo_31 in
+    let fs = Fs.format drive in
+    let file =
+      match File.create fs ~name:"Bench.dat" with Ok f -> f | Error _ -> assert false
+    in
+    (match File.write_bytes file ~pos:0 (String.make 4096 'x') with
+    | Ok () -> ()
+    | Error _ -> assert false);
+    Test.make ~name:"file: read 4KB"
+      (Staged.stage (fun () ->
+           match File.read_bytes file ~pos:0 ~len:4096 with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+  in
+  (* Zone allocator. *)
+  let bench_zone =
+    let memory = Memory.create () in
+    let zone = Zone.format memory ~pos:1000 ~len:4000 in
+    Test.make ~name:"zone: allocate + release 32 words"
+      (Staged.stage (fun () ->
+           let a = Zone.allocate zone 32 in
+           Zone.release zone a))
+  in
+  (* VM interpretation. *)
+  let bench_vm =
+    let program =
+      Asm.assemble_exn ~origin:100
+        [
+          Asm.Label "start";
+          Asm.Op ("LDI", [ Asm.Reg 0; Asm.Imm 0 ]);
+          Asm.Op ("LDI", [ Asm.Reg 1; Asm.Imm 100 ]);
+          Asm.Label "loop";
+          Asm.Op ("ADD", [ Asm.Reg 0; Asm.Reg 1 ]);
+          Asm.Op ("ADDI", [ Asm.Reg 1; Asm.Imm 0xffff ]);
+          Asm.Op ("JNZ", [ Asm.Reg 1; Asm.Lab "loop" ]);
+          Asm.Op ("HALT", []);
+        ]
+    in
+    let memory = Memory.create () in
+    Memory.write_block memory ~pos:100 program.Asm.code;
+    let cpu = Cpu.create memory in
+    Test.make ~name:"vm: 300-instruction loop"
+      (Staged.stage (fun () ->
+           Cpu.set_pc cpu (Word.of_int program.Asm.entry);
+           Cpu.set_frame_pointer cpu (Word.of_int 0xF000);
+           match Vm.run ~fuel:10_000 cpu ~handler:(fun _ _ -> Vm.Sys_continue) with
+           | Vm.Halted -> ()
+           | _ -> assert false))
+  in
+  (* A whole scavenge of a small pack. *)
+  let bench_scavenge =
+    let geometry = { Geometry.diablo_31 with Geometry.model = "small"; cylinders = 10 } in
+    Test.make ~name:"scavenger: 240-sector pack"
+      (Staged.stage (fun () ->
+           let drive = Drive.create ~pack_id:1 geometry in
+           let fs = Fs.format drive in
+           let root =
+             match Directory.open_root fs with Ok r -> r | Error _ -> assert false
+           in
+           (match File.create fs ~name:"A." with
+           | Ok f -> (
+               ignore (File.write_bytes f ~pos:0 (String.make 2000 'a'));
+               match Directory.add root ~name:"A." (File.leader_name f) with
+               | Ok () -> ()
+               | Error _ -> assert false)
+           | Error _ -> assert false);
+           match Scavenger.scavenge drive with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+  in
+  (* The compiler, source to code image. *)
+  let bench_compile =
+    let source =
+      "let fib(n) be { if n < 2 then resultis n; resultis fib(n-1) + fib(n-2); }\n\
+       let main() = fib(10);"
+    in
+    Test.make ~name:"bcpl: compile fib"
+      (Staged.stage (fun () ->
+           match Alto_bcpl.Bcpl.compile ~origin:1024 source with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+  in
+  (* A compiled program through the whole system. *)
+  let bench_compiled_run =
+    let system = Alto_os.System.boot ~geometry:{ Geometry.diablo_31 with Geometry.model = "b"; cylinders = 20 } () in
+    let program =
+      match
+        Alto_bcpl.Bcpl.compile ~origin:Alto_os.System.user_base
+          "let main() be { let s = 0; for i = 1 to 100 do s := s + i; resultis 0; }"
+      with
+      | Ok p -> p
+      | Error _ -> assert false
+    in
+    let file =
+      match Alto_os.Loader.save_program system ~name:"B.run" program with
+      | Ok f -> f
+      | Error _ -> assert false
+    in
+    Test.make ~name:"os: load + run a compiled program"
+      (Staged.stage (fun () ->
+           match Alto_os.Loader.run system file with
+           | Ok (Vm.Stopped 0) -> ()
+           | Ok _ | Error _ -> assert false))
+  in
+  [
+    bench_transfer; bench_alloc; bench_file_io; bench_zone; bench_vm;
+    bench_scavenge; bench_compile; bench_compiled_run;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  Workloads.heading "micro  host-time cost of the primitives (Bechamel)";
+  let tests = Test.make_grouped ~name:"altos" (micro_tests ()) in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.sprintf "%12.1f ns/run" est
+          | Some _ | None -> "            n/a"
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-40s %s\n" name ns)
+    (List.sort compare rows)
+
+(* {2 Dispatch} *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let known = List.map fst Experiments.all in
+  let selected = if args = [] then known @ [ "micro" ] else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name Experiments.all with
+      | Some f -> f ()
+      | None ->
+          if String.equal name "micro" then run_micro ()
+          else begin
+            Printf.eprintf "unknown experiment %S (have: %s, micro)\n" name
+              (String.concat " " known);
+            exit 1
+          end)
+    selected

@@ -1,0 +1,80 @@
+(* Shared machinery for the experiment harness: workload builders,
+   measurement helpers and table printing. *)
+
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module Directory = Alto_fs.Directory
+
+let ok pp = function
+  | Ok x -> x
+  | Error e -> Format.kasprintf failwith "%a" pp e
+
+let fresh ?(geometry = Geometry.diablo_31) ?(pack_id = 1) () =
+  let drive = Drive.create ~pack_id geometry in
+  let fs = Fs.format drive in
+  (drive, fs)
+
+let body seed n = String.init n (fun i -> Char.chr (32 + (((i * 11) + seed) mod 95)))
+
+(* Create and catalogue one file with [n] bytes of content. *)
+let make_file fs root name n seed =
+  let file = ok File.pp_error (File.create fs ~name) in
+  if n > 0 then ok File.pp_error (File.write_bytes file ~pos:0 (body seed n));
+  ok File.pp_error (File.flush_leader file);
+  ok Directory.pp_error (Directory.add root ~name (File.leader_name file));
+  file
+
+(* Fill the volume until roughly [fraction] of all pages are busy.
+   Returns the created file names. *)
+let fill_to fs root ~fraction ~file_bytes =
+  let total = Drive.sector_count (Fs.drive fs) in
+  let target_busy = int_of_float (fraction *. float_of_int total) in
+  let rec go names i =
+    if total - Fs.free_count fs >= target_busy then List.rev names
+    else begin
+      let name = Printf.sprintf "Fill%04d.dat" i in
+      let (_ : File.t) = make_file fs root name file_bytes i in
+      go (name :: names) (i + 1)
+    end
+  in
+  go [] 0
+
+let reopen fs name =
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  match ok Directory.pp_error (Directory.lookup root name) with
+  | Some e -> ok File.pp_error (File.open_leader fs e.Directory.entry_file)
+  | None -> failwith (name ^ " not catalogued")
+
+(* Simulated time of running [f]. *)
+let timed clock f =
+  let t0 = Sim_clock.now_us clock in
+  let x = f () in
+  (x, Sim_clock.now_us clock - t0)
+
+let pp_us fmt us = Sim_clock.pp_duration fmt us
+
+(* {2 Table printing} *)
+
+let heading title = Format.printf "@.== %s ==@." title
+
+let print_row widths cells =
+  let line =
+    String.concat "  "
+      (List.map2
+         (fun w c -> (if String.length c >= w then c else c ^ String.make (w - String.length c) ' '))
+         widths cells)
+  in
+  print_endline line
+
+let print_table widths header rows =
+  print_row widths header;
+  print_row widths (List.map (fun w -> String.make w '-') widths);
+  List.iter (print_row widths) rows
+
+let us_to_string us = Format.asprintf "%a" pp_us us
+
+let claim text = Format.printf "paper: %s@." text

@@ -1,0 +1,98 @@
+(* The AltOS command-line driver.
+
+     altos shell            an interactive session at the Executive:
+                            stdin is the keyboard, stdout the display
+     altos shell -c "..."   run semicolon-separated commands and exit
+     altos levels           print the resident-system level table
+
+   Each run boots a fresh, formatted pack (the simulation lives in
+   memory; nothing persists between runs — bring type-ahead). *)
+
+module Geometry = Alto_disk.Geometry
+module Keyboard = Alto_streams.Keyboard
+module Display = Alto_streams.Display
+module System = Alto_os.System
+module Level = Alto_os.Level
+module Executive = Alto_os.Executive
+
+let boot_banner system =
+  Printf.printf "AltOS — %s, %d free pages. Type 'quit' to leave.\n%!"
+    (Format.asprintf "%a" Geometry.pp (Alto_disk.Drive.geometry (System.drive system)))
+    (Alto_fs.Fs.free_count (System.fs system))
+
+(* Run the executive over one batch of type-ahead and print what the
+   display accumulated since last time. *)
+let drain_display display shown =
+  let text = Display.contents display in
+  let fresh = String.sub text !shown (String.length text - !shown) in
+  shown := String.length text;
+  print_string fresh;
+  if String.length fresh > 0 then print_newline ();
+  flush stdout
+
+let shell commands =
+  let system = System.boot () in
+  let display = System.display system in
+  let shown = ref 0 in
+  (match commands with
+  | Some script ->
+      String.split_on_char ';' script
+      |> List.iter (fun command ->
+             Keyboard.feed (System.keyboard system) (String.trim command ^ "\n"));
+      ignore (Executive.run system);
+      drain_display display shown
+  | None ->
+      boot_banner system;
+      let rec interact () =
+        print_string "> ";
+        flush stdout;
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line ->
+            Keyboard.feed (System.keyboard system) (line ^ "\n");
+            let outcome = Executive.run system in
+            drain_display display shown;
+            if not outcome.Executive.quit then interact ()
+      in
+      interact ());
+  0
+
+let levels () =
+  Printf.printf "%-3s %-36s %8s %8s\n" "lvl" "contents" "words" "base";
+  List.iter
+    (fun (l : Level.t) ->
+      Printf.printf "%-3d %-36s %8d %8d\n" l.Level.index l.Level.level_name
+        l.Level.size_words (Level.base l.Level.index))
+    Level.all;
+  Printf.printf "resident total: %d words; user space %d..%d\n"
+    (Level.resident_words ~keep:13) System.user_base
+    (Level.boundary ~keep:13 - 1);
+  0
+
+open Cmdliner
+
+let shell_cmd =
+  let commands =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "c"; "commands" ] ~docv:"SCRIPT"
+          ~doc:"Semicolon-separated commands to run non-interactively.")
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"A session at the Executive on a fresh pack.")
+    Term.(const shell $ commands)
+
+let levels_cmd =
+  Cmd.v
+    (Cmd.info "levels" ~doc:"Print the resident system's level table (§5.2).")
+    Term.(const levels $ const ())
+
+let main =
+  Cmd.group
+    ~default:Term.(const shell $ const None)
+    (Cmd.info "altos" ~version:"1.0"
+       ~doc:"The Alto operating system, simulated (Lampson & Sproull, SOSP 1979).")
+    [ shell_cmd; levels_cmd ]
+
+let () = exit (Cmd.eval' main)

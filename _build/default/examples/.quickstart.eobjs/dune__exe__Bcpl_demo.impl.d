@@ -1,0 +1,1 @@
+examples/bcpl_demo.ml: Alto_fs Alto_os Alto_streams Bytes String

@@ -1,0 +1,1 @@
+examples/bcpl_demo.mli:

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Alto_disk Alto_fs Alto_machine Bytes Char Format List Printf Random String

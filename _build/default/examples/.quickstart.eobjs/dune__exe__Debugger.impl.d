@@ -1,0 +1,1 @@
+examples/debugger.ml: Alto_disk Alto_fs Alto_machine Alto_os Alto_streams Alto_world Array Char Format List

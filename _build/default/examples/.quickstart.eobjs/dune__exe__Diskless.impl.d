@@ -1,0 +1,1 @@
+examples/diskless.ml: Alto_disk Alto_fs Alto_machine Alto_net Alto_os Alto_server Alto_streams Alto_zones Array Format List String

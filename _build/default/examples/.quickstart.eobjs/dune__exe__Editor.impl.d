@@ -1,0 +1,1 @@
+examples/editor.ml: Alto_bcpl Alto_fs Alto_machine Alto_os Alto_streams Array Bytes Format Printf

@@ -1,0 +1,1 @@
+examples/editor_hints.ml: Alto_disk Alto_fs Alto_machine Format List Printf

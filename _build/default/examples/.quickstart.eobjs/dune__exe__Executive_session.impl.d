@@ -1,0 +1,1 @@
+examples/executive_session.ml: Alto_machine Alto_os Alto_streams Format Printf String

@@ -1,0 +1,1 @@
+examples/executive_session.mli:

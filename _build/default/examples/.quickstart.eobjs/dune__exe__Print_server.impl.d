@@ -1,0 +1,1 @@
+examples/print_server.ml: Alto_disk Alto_fs Alto_machine Alto_net Alto_world Array Bytes Format List Printf String

@@ -1,0 +1,1 @@
+examples/print_server.mli:

@@ -1,0 +1,1 @@
+examples/print_server_vm.ml: Alto_bcpl Alto_disk Alto_fs Alto_machine Alto_os Alto_streams Alto_world Format Option Printf String

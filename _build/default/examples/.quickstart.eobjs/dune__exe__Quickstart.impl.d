@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alto_disk Alto_fs Alto_machine Alto_streams Array Format List

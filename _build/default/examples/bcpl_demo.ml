@@ -1,0 +1,102 @@
+(* The second programming environment (§2): "programs written in
+   radically different languages … share the same file system and remote
+   facilities." This session stores BCPL source ON the pack, compiles it
+   AT the executive into an ordinary code file, runs it, and lets it
+   cooperate with an assembler-written program through a shared file.
+
+   The program itself is a sieve of Eratosthenes that prints the primes
+   below 100 and writes them to Primes.txt through a disk stream.
+
+   Run with: dune exec examples/bcpl_demo.exe *)
+
+module Keyboard = Alto_streams.Keyboard
+module Display = Alto_streams.Display
+module System = Alto_os.System
+module Executive = Alto_os.Executive
+
+let sieve_source =
+  {|// primes below 100, to the display and to a file
+vec flags 100;
+global limit = 100;
+
+let show(n) be {
+  if n >= 10 then writechar('0' + n / 10);
+  writechar('0' + n rem 10);
+  writechar(' ');
+}
+
+let save(h, n) be {
+  if n >= 10 then streamput(h, '0' + n / 10);
+  streamput(h, '0' + n rem 10);
+  streamput(h, ' ');
+}
+
+let main() be {
+  let i = 2;
+  while i < limit do { flags!i := 1; i := i + 1; }
+  i := 2;
+  while i * i < limit do {
+    if flags!i then {
+      let j = i * i;
+      while j < limit do { flags!j := 0; j := j + i; }
+    }
+    i := i + 1;
+  }
+  createfile("Primes.txt");
+  let h = openfile("Primes.txt", 1);
+  i := 2;
+  while i < limit do {
+    if flags!i then { show(i); save(h, i); }
+    i := i + 1;
+  }
+  closestream(h);
+  resultis 0;
+}
+|}
+
+let () =
+  let system = System.boot () in
+  (* The source lives on the pack like any other file; the executive
+     compiles it there too. One long type-ahead drives the whole
+     session. *)
+  Keyboard.feed (System.keyboard system)
+    (String.concat "\n"
+       [
+         "put Sieve.bcpl " ^ String.map (fun c -> if c = '\n' then '\031' else c) sieve_source;
+         "compile Sieve.bcpl Sieve.run";
+         "Sieve.run";
+         "type Primes.txt";
+         "ls";
+         "quit";
+       ]
+    ^ "\n")
+  |> ignore;
+  (* `put` is line-oriented, so the newlines were smuggled through as
+     unit-separator characters; patch the stored file before compiling.
+     (A real session would use an editor — ours is two lines of OCaml.) *)
+  let fs = System.fs system in
+  let fix_newlines () =
+    match Alto_fs.Directory.open_root fs with
+    | Error _ -> ()
+    | Ok root -> (
+        match Alto_fs.Directory.lookup root "Sieve.bcpl" with
+        | Ok (Some e) -> (
+            match Alto_fs.File.open_leader fs e.Alto_fs.Directory.entry_file with
+            | Ok f -> (
+                match Alto_fs.File.read_bytes f ~pos:0 ~len:(Alto_fs.File.byte_length f) with
+                | Ok bytes ->
+                    let fixed =
+                      String.map
+                        (fun c -> if c = '\031' then '\n' else c)
+                        (Bytes.to_string bytes)
+                    in
+                    ignore (Alto_fs.File.write_bytes f ~pos:0 fixed)
+                | Error _ -> ())
+            | Error _ -> ())
+        | Ok None | Error _ -> ())
+  in
+  (* Run the first command (put), fix the file, then run the rest. *)
+  let _ = Executive.run ~max_commands:1 system in
+  fix_newlines ();
+  let _ = Executive.run system in
+  print_endline (Display.contents (System.display system))

@@ -1,0 +1,94 @@
+(* Debugging by world swap (§4): "When a breakpoint is encountered …
+   the state of the machine is written on a disk file, and the machine
+   state is restored from a file that contains the debugger. The
+   debugging program may examine or alter the state of the faulty
+   program by reading or writing portions of the file that was written
+   as a result of the breakpoint. The debugger can later resume
+   execution of the original program by restoring the machine state from
+   the file."
+
+   A loaded program with a wrong data word hits its breakpoint (an
+   OutLoad); the debugger — living comfortably in the host, as a
+   debugger in another world would — inspects the saved image through
+   the file, patches the bad word, and revives the program, which then
+   runs to a correct finish.
+
+   Run with: dune exec examples/debugger.exe *)
+
+module Word = Alto_machine.Word
+module Vm = Alto_machine.Vm
+module Asm = Alto_machine.Asm
+module Geometry = Alto_disk.Geometry
+module Directory = Alto_fs.Directory
+module Display = Alto_streams.Display
+module World = Alto_world.World
+module Checkpoint = Alto_world.Checkpoint
+module System = Alto_os.System
+module Loader = Alto_os.Loader
+
+let ok pp = function
+  | Ok x -> x
+  | Error e -> Format.kasprintf failwith "%a" pp e
+
+let () =
+  let geometry = { Geometry.diablo_31 with Geometry.model = "dev pack"; cylinders = 80 } in
+  let system = System.boot ~geometry () in
+  let root = ok Directory.pp_error (Directory.open_root (System.fs system)) in
+  let break_file =
+    ok Checkpoint.pp_error
+      (Checkpoint.state_file (System.fs system) ~directory:root ~name:"Broken.state")
+  in
+  let handle = System.register_file system break_file in
+
+  (* The buggy program: it means to print "A" but its datum says "?". It
+     breakpoints (OutLoad) before printing. *)
+  let program =
+    Asm.assemble_exn ~origin:System.user_base
+      [
+        Asm.Label "start";
+        Asm.Op ("LDI", [ Asm.Reg 0; Asm.Imm handle ]);
+        Asm.Op ("JSR", [ Asm.Ext "OutLoad" ]);
+        Asm.Op ("JZ", [ Asm.Reg 0; Asm.Lab "resume" ]);
+        (* First return: the world is saved; control would now pass to
+           the debugger. Exit with a recognizable code. *)
+        Asm.Op ("LDI", [ Asm.Reg 0; Asm.Imm 42 ]);
+        Asm.Op ("JSR", [ Asm.Ext "Exit" ]);
+        Asm.Label "resume";
+        Asm.Op ("LDA", [ Asm.Reg 0; Asm.Lab "datum" ]);
+        Asm.Op ("JSR", [ Asm.Ext "WriteChar" ]);
+        Asm.Op ("LDI", [ Asm.Reg 0; Asm.Imm 0 ]);
+        Asm.Op ("JSR", [ Asm.Ext "Exit" ]);
+        Asm.Label "datum";
+        Asm.Word_data (Char.code '?');
+      ]
+  in
+  let datum_address = List.assoc "datum" program.Asm.symbols in
+  let file = ok Loader.pp_error (Loader.save_program system ~name:"Buggy.run" program) in
+
+  Format.printf "== running the buggy program ==@.";
+  let stop = ok Loader.pp_error (Loader.run system file) in
+  assert (stop = Vm.Stopped 42);
+  Format.printf "breakpoint hit: the program's world is on Broken.state@.@.";
+
+  (* The debugger's session, working only through the saved file. *)
+  Format.printf "== debugger ==@.";
+  let regs = ok World.pp_error (World.peek_registers break_file) in
+  Format.printf "saved PC = %d, frame pointer = %d@." (Word.to_int regs.(0))
+    (Word.to_int regs.(1));
+  let bad =
+    (ok World.pp_error (World.read_saved_memory break_file ~pos:datum_address ~len:1)).(0)
+  in
+  Format.printf "datum at %d holds %C — there's the bug; patching to 'A'@."
+    datum_address
+    (Char.chr (Word.to_int bad));
+  ok World.pp_error
+    (World.write_saved_memory break_file ~pos:datum_address
+       [| Word.of_int (Char.code 'A') |]);
+
+  (* Resume the patched world: OutLoad returns a second time. *)
+  Format.printf "@.== resuming the patched world ==@.";
+  ok World.pp_error (World.in_load (System.cpu system) break_file ~message:[||]);
+  let stop = Vm.run ~fuel:100_000 (System.cpu system) ~handler:(System.handler system) in
+  assert (stop = Vm.Stopped 0);
+  Format.printf "program printed: %S@." (Display.contents (System.display system));
+  Format.printf "fixed without ever reloading it.@."

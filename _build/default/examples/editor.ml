@@ -1,0 +1,101 @@
+(* An interactive editor, written in the BCPL-flavoured language and run
+   in the simulated machine. §3.6's motivating program is "the editor";
+   this one is considerably humbler, but it is a real interactive
+   program: it keeps its text in a static vector, reads single-character
+   commands from the keyboard (type-ahead, naturally), and writes the
+   buffer to a catalogued file through a disk stream.
+
+   Commands:  a<text>~  append text (up to '~')
+              p         print the buffer
+              w         write the buffer to Edited.txt
+              x         erase the buffer
+              q         quit
+
+   Run with: dune exec examples/editor.exe *)
+
+module Vm = Alto_machine.Vm
+module Keyboard = Alto_streams.Keyboard
+module Display = Alto_streams.Display
+module Directory = Alto_fs.Directory
+module File = Alto_fs.File
+module System = Alto_os.System
+module Loader = Alto_os.Loader
+module Bcpl = Alto_bcpl.Bcpl
+
+let editor_source =
+  {|// a one-vector line editor
+vec buffer 4000;
+global used = 0;
+
+let append() be {
+  let c = readchar();
+  while c # '~' do {
+    if c # 0xffff then { buffer!used := c; used := used + 1; }
+    c := readchar();
+  }
+}
+
+let show() be {
+  for i = 0 to used - 1 do writechar(buffer!i);
+  newline();
+}
+
+let save() be {
+  createfile("Edited.txt");
+  let h = openfile("Edited.txt", 1);
+  for i = 0 to used - 1 do streamput(h, buffer!i);
+  closestream(h);
+  writestring("(saved ");
+  writenum(used);
+  writeln(" chars)");
+}
+
+let main() be {
+  let going = true;
+  while going do {
+    switchon readchar() into {
+      case 'a':      append();
+      case 'p':      show();
+      case 'w':      save();
+      case 'x':      used := 0;
+      case 'q':
+      case 0xffff:   going := false;
+    }
+  }
+  resultis 0;
+}
+|}
+
+let ok pp = function
+  | Ok x -> x
+  | Error e -> Format.kasprintf failwith "%a" pp e
+
+let () =
+  let system = System.boot () in
+  let program = ok Bcpl.pp_error (Bcpl.compile ~origin:System.user_base editor_source) in
+  Printf.printf "editor compiled: %d words of code\n" (Array.length program.Alto_machine.Asm.code);
+  let file = ok Loader.pp_error (Loader.save_program system ~name:"Edit.run" program) in
+
+  (* The user's whole session arrives as type-ahead. *)
+  Keyboard.feed (System.keyboard system)
+    "aTo the user, the system is a collection of facilities,~p\
+     a any of which may be rejected, accepted, or replaced.~p\
+     wq";
+  (match ok Loader.pp_error (Loader.run ~fuel:10_000_000 system file) with
+  | Vm.Stopped 0 -> ()
+  | stop -> Format.kasprintf failwith "editor stopped oddly: %a" Vm.pp_stop stop);
+
+  print_endline "-- the editor's display --";
+  print_endline (Display.contents (System.display system));
+
+  (* And the saved file is an ordinary file on the pack. *)
+  let root = ok Directory.pp_error (Directory.open_root (System.fs system)) in
+  match ok Directory.pp_error (Directory.lookup root "Edited.txt") with
+  | Some e ->
+      let f = ok File.pp_error (File.open_leader (System.fs system) e.Directory.entry_file) in
+      let text =
+        Bytes.to_string
+          (ok File.pp_error (File.read_bytes f ~pos:0 ~len:(File.byte_length f)))
+      in
+      Printf.printf "-- Edited.txt on disk (%d bytes) --\n%s\n" (File.byte_length f) text
+  | None -> failwith "Edited.txt was not saved"

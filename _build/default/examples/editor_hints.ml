@@ -1,0 +1,108 @@
+(* Installed hint files (§3.6): "The editor, for example, uses two
+   scratch files, a journal file, a file of messages etc. When these
+   programs are 'installed', they create the necessary files and store
+   hints for them in a data structure that is then written onto a state
+   file. Subsequently the program can start up, read the state file, and
+   access all its auxiliary files at maximum disk speed."
+
+   This example installs an editor's file suite, compares cold startup
+   (directory lookups) with hinted startup (state file only) in
+   simulated disk time, then deletes a scratch file behind the editor's
+   back and shows the failed hint forcing — and surviving — a
+   reinstallation.
+
+   Run with: dune exec examples/editor_hints.exe *)
+
+module Sim_clock = Alto_machine.Sim_clock
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module Directory = Alto_fs.Directory
+module Install = Alto_fs.Install
+
+let ok pp = function
+  | Ok x -> x
+  | Error e -> Format.kasprintf failwith "%a" pp e
+
+let editor_files = [ "Edit.scratch1"; "Edit.scratch2"; "Edit.journal"; "Edit.messages" ]
+let state_name = "Editor.state"
+
+let () =
+  let drive = Drive.create ~pack_id:4 Geometry.diablo_31 in
+  let fs = Fs.format drive in
+  let clock = Drive.clock drive in
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+
+  (* Clutter the directory so lookups cost something honest. *)
+  for i = 1 to 120 do
+    let name = Printf.sprintf "Clutter%03d.tmp" i in
+    let f = ok File.pp_error (File.create fs ~name) in
+    ok Directory.pp_error (Directory.add root ~name (File.leader_name f))
+  done;
+
+  Format.printf "== installation ==@.";
+  let t0 = Sim_clock.now_us clock in
+  let state = ok Install.pp_error (Install.install fs ~directory:root ~names:editor_files) in
+  ok Install.pp_error (Install.save fs ~directory:root ~state_name state);
+  Format.printf "installed %d auxiliary files and wrote %s (%a)@.@."
+    (List.length state) state_name Sim_clock.pp_duration
+    (Sim_clock.now_us clock - t0);
+
+  (* Cold startup: find every file through the directory. *)
+  let cold_start () =
+    List.map
+      (fun name ->
+        match ok Directory.pp_error (Directory.lookup root name) with
+        | Some e -> ok File.pp_error (File.open_leader fs e.Directory.entry_file)
+        | None -> failwith ("missing " ^ name))
+      editor_files
+  in
+  let t0 = Sim_clock.now_us clock in
+  let _ = cold_start () in
+  let cold_us = Sim_clock.now_us clock - t0 in
+
+  (* Hinted startup: read the state file, open everything by hints. *)
+  let fast_start () =
+    let state =
+      match ok Install.pp_error (Install.load fs ~directory:root ~state_name) with
+      | Some s -> s
+      | None -> failwith "no state file"
+    in
+    match Install.fast_open fs state with
+    | Ok files -> files
+    | Error (`Reinstall_required msg) -> failwith msg
+  in
+  let t0 = Sim_clock.now_us clock in
+  let _ = fast_start () in
+  let fast_us = Sim_clock.now_us clock - t0 in
+
+  Format.printf "== startup times (simulated) ==@.";
+  Format.printf "cold (directory lookups): %a@." Sim_clock.pp_duration cold_us;
+  Format.printf "hinted (state file only): %a@." Sim_clock.pp_duration fast_us;
+  Format.printf "speedup: %.1fx@.@." (float_of_int cold_us /. float_of_int fast_us);
+
+  (* Somebody deletes a scratch file. The stale hint does no damage —
+     the label check refutes it — and the editor reinstalls. *)
+  Format.printf "== a scratch file is deleted behind the editor's back ==@.";
+  (match ok Directory.pp_error (Directory.lookup root "Edit.scratch1") with
+  | Some e ->
+      let f = ok File.pp_error (File.open_leader fs e.Directory.entry_file) in
+      ok File.pp_error (File.delete f);
+      ignore (ok Directory.pp_error (Directory.remove root "Edit.scratch1"))
+  | None -> failwith "scratch file missing");
+  let state =
+    match ok Install.pp_error (Install.load fs ~directory:root ~state_name) with
+    | Some s -> s
+    | None -> failwith "no state file"
+  in
+  (match Install.fast_open fs state with
+  | Ok _ -> failwith "stale hints should not have opened"
+  | Error (`Reinstall_required msg) ->
+      Format.printf "hinted startup refused cleanly: %s@." msg);
+  Format.printf "repeating the installation phase…@.";
+  let state = ok Install.pp_error (Install.install fs ~directory:root ~names:editor_files) in
+  ok Install.pp_error (Install.save fs ~directory:root ~state_name state);
+  (match Install.fast_open fs state with
+  | Ok files -> Format.printf "all %d files open at full speed again.@." (List.length files)
+  | Error (`Reinstall_required msg) -> failwith msg)

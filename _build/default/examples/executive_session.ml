@@ -1,0 +1,58 @@
+(* A scripted session at the Executive: the command scanner, a loaded
+   program bound to system services by the loader's fixup table, Junta,
+   and type-ahead surviving program switches.
+
+   Run with: dune exec examples/executive_session.exe *)
+
+module Asm = Alto_machine.Asm
+module Keyboard = Alto_streams.Keyboard
+module Display = Alto_streams.Display
+module System = Alto_os.System
+module Loader = Alto_os.Loader
+module Executive = Alto_os.Executive
+
+(* A small program: shouts a greeting, then exits back to the Executive. *)
+let greeter =
+  [
+    Asm.Label "start";
+    Asm.Op ("LDI", [ Asm.Reg 0; Asm.Lab "msg" ]);
+    Asm.Op ("JSR", [ Asm.Ext "WriteString" ]);
+    Asm.Op ("LDI", [ Asm.Reg 0; Asm.Imm 10 ]) (* newline *);
+    Asm.Op ("JSR", [ Asm.Ext "WriteChar" ]);
+    Asm.Op ("LDI", [ Asm.Reg 0; Asm.Imm 0 ]);
+    Asm.Op ("JSR", [ Asm.Ext "Exit" ]);
+    Asm.Label "msg";
+    Asm.String_data "GREETINGS FROM A LOADED PROGRAM";
+  ]
+
+let () =
+  let system = System.boot () in
+  (match
+     Loader.save_program system ~name:"Greet.run"
+       (Asm.assemble_exn ~origin:System.user_base greeter)
+   with
+  | Ok _ -> ()
+  | Error e -> Format.kasprintf failwith "%a" Loader.pp_error e);
+
+  (* The user types everything up front — including the commands to run
+     after the program: type-ahead, §5.2. *)
+  Keyboard.feed (System.keyboard system)
+    (String.concat "\n"
+       [
+         "put Todo.txt buy fanfold paper";
+         "type Todo.txt";
+         "Greet.run";
+         "ls";
+         "levels";
+         "junta 7";
+         "counterjunta";
+         "scavenge";
+         "quit";
+       ]
+    ^ "\n");
+
+  let outcome = Executive.run system in
+  print_endline (Display.contents (System.display system));
+  Printf.printf "\n(session over: %d commands%s)\n"
+    outcome.Executive.commands_executed
+    (if outcome.Executive.quit then ", quit" else "")

@@ -1,0 +1,180 @@
+(* The printing server of §4: a spooler task and a printer task sharing
+   one machine by activity switching — each saves its world to a disk
+   file and InLoads the other's. "Whenever the spooler is idle but the
+   queue is not empty, it saves its state and calls the printer.
+   Whenever the printer is finished or detects incoming network traffic,
+   it stops the printer hardware, saves its state, and invokes the
+   spooler."
+
+   Each task keeps private state in the machine's memory (a job counter
+   at a fixed address). Because a transfer swaps the whole 64K image,
+   each counter exists only in its own world — the example ends by
+   reading both counters back out of the two world files.
+
+   Run with: dune exec examples/print_server.exe *)
+
+module Word = Alto_machine.Word
+module Memory = Alto_machine.Memory
+module Cpu = Alto_machine.Cpu
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module Directory = Alto_fs.Directory
+module Net = Alto_net.Net
+module World = Alto_world.World
+module Checkpoint = Alto_world.Checkpoint
+
+let ok pp = function
+  | Ok x -> x
+  | Error e -> Format.kasprintf failwith "%a" pp e
+
+(* {2 The print queue: a disk file of job-file names, one per line} *)
+
+let read_lines file =
+  let bytes = ok File.pp_error (File.read_bytes file ~pos:0 ~len:(File.byte_length file)) in
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' (Bytes.to_string bytes))
+
+let write_lines file lines =
+  ok File.pp_error (File.truncate file ~len:0);
+  let text = String.concat "\n" lines ^ if lines = [] then "" else "\n" in
+  if text <> "" then ok File.pp_error (File.write_bytes file ~pos:0 text)
+
+(* {2 Task state in machine memory} *)
+
+let spooled_counter = 100
+let printed_counter = 200
+
+let bump memory addr =
+  Memory.write memory addr (Word.succ (Memory.read memory addr))
+
+let () =
+  let geometry = { Geometry.diablo_31 with Geometry.model = "server pack"; cylinders = 100 } in
+  let drive = Drive.create ~pack_id:2 geometry in
+  let fs = Fs.format drive in
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+
+  let catalogued name =
+    let file = ok File.pp_error (File.create fs ~name) in
+    ok Directory.pp_error (Directory.add root ~name (File.leader_name file));
+    file
+  in
+  let queue = catalogued "PrintQueue." in
+  let printed_log = catalogued "Printed.log" in
+  let spooler_world = ok Checkpoint.pp_error (Checkpoint.state_file fs ~directory:root ~name:"Spooler.state") in
+  let printer_world = ok Checkpoint.pp_error (Checkpoint.state_file fs ~directory:root ~name:"Printer.state") in
+
+  (* The network: a workstation and this server. *)
+  let net = Net.create ~clock:(Drive.clock drive) () in
+  let workstation = Net.attach net ~name:"workstation" in
+  let server = Net.attach net ~name:"server" in
+  let submit name body =
+    ok Net.pp_error (Net.send_file workstation ~to_:"server" ~name body);
+    Format.printf "workstation: submitted %s (%d bytes)@." name (String.length body)
+  in
+
+  (* One machine. *)
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+
+  (* Seed the printer's world: its counter starts at zero. *)
+  ok Checkpoint.pp_error (Checkpoint.save cpu printer_world);
+
+  (* First jobs arrive before the server wakes up. *)
+  submit "Report.press" (String.make 1800 'r');
+  submit "Memo.press" (String.make 700 'm');
+
+  (* {2 The two tasks} *)
+  let spool_arrivals () =
+    let n = ref 0 in
+    let rec drain () =
+      match Net.receive_file server with
+      | None -> ()
+      | Some (name, body) ->
+          let job = catalogued name in
+          ok File.pp_error (File.write_bytes job ~pos:0 body);
+          write_lines queue (read_lines queue @ [ name ]);
+          bump memory spooled_counter;
+          incr n;
+          Format.printf "spooler: queued %s@." name;
+          drain ()
+    in
+    drain ();
+    !n
+  in
+
+  let print_one () =
+    match read_lines queue with
+    | [] -> false
+    | name :: rest ->
+        let entry =
+          match ok Directory.pp_error (Directory.lookup root name) with
+          | Some e -> e
+          | None -> failwith ("job file missing: " ^ name)
+        in
+        let job = ok File.pp_error (File.open_leader fs entry.Directory.entry_file) in
+        let body =
+          Bytes.to_string
+            (ok File.pp_error (File.read_bytes job ~pos:0 ~len:(File.byte_length job)))
+        in
+        ok File.pp_error
+          (File.append_bytes printed_log
+             (Printf.sprintf "%s: %d bytes\n" name (String.length body)));
+        write_lines queue rest;
+        bump memory printed_counter;
+        Format.printf "printer: printed %s@." name;
+        true
+  in
+
+  (* {2 Activity switching} *)
+  let to_printer () =
+    Format.printf "  -- spooler saves its world and calls the printer --@.";
+    ok Checkpoint.pp_error
+      (Checkpoint.transfer cpu ~save_to:spooler_world ~restore_from:printer_world
+         ~message:[||])
+  in
+  let to_spooler () =
+    Format.printf "  -- printer saves its world and invokes the spooler --@.";
+    ok Checkpoint.pp_error
+      (Checkpoint.transfer cpu ~save_to:printer_world ~restore_from:spooler_world
+         ~message:[||])
+  in
+
+  let rec spooler_turn rounds =
+    if rounds > 10 then failwith "did not converge";
+    let _ = spool_arrivals () in
+    if read_lines queue <> [] then begin
+      to_printer ();
+      printer_turn rounds
+    end
+    else Format.printf "spooler: nothing to do; all quiet@."
+
+  and printer_turn rounds =
+    (* A late job arrives mid-print: the printer must notice the traffic,
+       stop, and hand the machine back — "printing to be interrupted in
+       order to respond quickly to incoming files". *)
+    if rounds = 0 then submit "Urgent.press" (String.make 300 'u');
+    if Net.pending server > 0 then begin
+      to_spooler ();
+      spooler_turn (rounds + 1)
+    end
+    else if print_one () then printer_turn rounds
+    else begin
+      to_spooler ();
+      spooler_turn (rounds + 1)
+    end
+  in
+  spooler_turn 0;
+
+  (* Each world kept its own private counter. *)
+  let counter_of world addr =
+    Word.to_int (ok World.pp_error (World.read_saved_memory world ~pos:addr ~len:1)).(0)
+  in
+  Format.printf "@.spooler's world says it spooled %d jobs@."
+    (counter_of spooler_world spooled_counter);
+  Format.printf "printer's world says it printed %d jobs@."
+    (counter_of printer_world printed_counter);
+  Format.printf "@.printed log:@.%s@."
+    (Bytes.to_string
+       (ok File.pp_error
+          (File.read_bytes printed_log ~pos:0 ~len:(File.byte_length printed_log))))

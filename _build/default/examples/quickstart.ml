@@ -1,0 +1,75 @@
+(* Quickstart: format a pack, make files, use streams and directories,
+   and watch the label machinery refuse a bad write.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Sector = Alto_disk.Sector
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module Page = Alto_fs.Page
+module Directory = Alto_fs.Directory
+module Leader = Alto_fs.Leader
+module Stream = Alto_streams.Stream
+module Disk_stream = Alto_streams.Disk_stream
+
+let ok pp = function
+  | Ok x -> x
+  | Error e -> Format.kasprintf failwith "%a" pp e
+
+let () =
+  Format.printf "== AltOS quickstart ==@.@.";
+
+  (* A factory-fresh Diablo Model 31 pack, formatted. *)
+  let drive = Drive.create ~pack_id:1 Geometry.diablo_31 in
+  Format.printf "drive: %a@." Geometry.pp (Drive.geometry drive);
+  let fs = Fs.format drive in
+  Format.printf "formatted: %d free pages, root directory in place@.@."
+    (Fs.free_count fs);
+
+  (* Create a file and write to it through a disk stream. *)
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  let memo = ok File.pp_error (File.create fs ~name:"Memo.txt") in
+  ok Directory.pp_error (Directory.add root ~name:"Memo.txt" (File.leader_name memo));
+  let out = Disk_stream.open_file ~mode:Disk_stream.Write_only memo in
+  Stream.put_line out "Things the open system lets you do:";
+  Stream.put_line out "  reject, accept, modify or extend every facility.";
+  out.Stream.close ();
+
+  (* Read it back. *)
+  let input = Disk_stream.open_file ~mode:Disk_stream.Read_only memo in
+  Format.printf "Memo.txt (%d bytes):@.%s@.@." (File.byte_length memo)
+    (Stream.get_all input);
+  input.Stream.close ();
+
+  (* List the directory. *)
+  Format.printf "root directory:@.";
+  List.iter
+    (fun (e : Directory.entry) ->
+      let f = ok File.pp_error (File.open_leader fs e.Directory.entry_file) in
+      Format.printf "  %-20s %5d bytes, leader name %S@." e.Directory.entry_name
+        (File.byte_length f) (File.leader f).Leader.name)
+    (ok Directory.pp_error (Directory.entries root));
+  Format.printf "@.";
+
+  (* The label check at work: try to overwrite one of Memo.txt's pages
+     under the wrong name. Nothing is damaged; the writer is told. *)
+  let page1 = ok File.pp_error (File.page_name memo 1) in
+  let wrong =
+    Page.full_name (Fs.fresh_fid fs) ~page:1 ~addr:page1.Page.addr
+  in
+  (match Page.write drive wrong (Array.make Sector.value_words Word.zero) with
+  | Error e ->
+      Format.printf "bogus write refused, as §3.3 promises: %a@." Page.pp_error e
+  | Ok _ -> failwith "the label check failed to protect the page");
+  let again = Disk_stream.open_file ~mode:Disk_stream.Read_only memo in
+  Format.printf "and Memo.txt still reads fine: %S...@.@."
+    (Stream.get_string again 19);
+  again.Stream.close ();
+
+  (* All of that cost simulated disk time: *)
+  Format.printf "simulated disk time used: %a@." Sim_clock.pp_duration
+    (Sim_clock.now_us (Drive.clock drive))

@@ -1,0 +1,1 @@
+lib/bcpl/ast.ml:

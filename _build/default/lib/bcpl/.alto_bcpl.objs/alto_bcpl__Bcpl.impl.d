@@ -1,0 +1,1 @@
+lib/bcpl/bcpl.ml: Alto_machine Ast Codegen Format Hashtbl Lexer List Option Parser Result String

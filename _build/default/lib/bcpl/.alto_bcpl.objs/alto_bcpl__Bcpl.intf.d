@@ -1,0 +1,1 @@
+lib/bcpl/bcpl.mli: Alto_machine Format Lexer

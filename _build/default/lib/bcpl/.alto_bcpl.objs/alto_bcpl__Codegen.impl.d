@@ -1,0 +1,1 @@
+lib/bcpl/codegen.ml: Alto_machine Ast Format Hashtbl List Printf String

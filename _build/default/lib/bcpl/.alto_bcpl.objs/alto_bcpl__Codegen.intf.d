@@ -1,0 +1,1 @@
+lib/bcpl/codegen.mli: Alto_machine Ast

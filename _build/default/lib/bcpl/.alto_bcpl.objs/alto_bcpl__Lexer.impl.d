@@ -1,0 +1,1 @@
+lib/bcpl/lexer.ml: Buffer Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/bcpl/parser.ml: Ast Format Lexer List Option

@@ -1,0 +1,1 @@
+lib/bcpl/parser.mli: Ast Lexer

@@ -1,0 +1,48 @@
+(* The abstract syntax of the BCPL-flavoured language. Pure types; the
+   grammar is documented in bcpl.mli. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And  (* & : bitwise, doubling as logical over 0/1 *)
+  | Or
+  | Eq
+  | Ne  (* # in BCPL *)
+  | Lt
+  | Gt
+  | Le
+  | Ge
+
+type expr =
+  | Num of int
+  | Str of string  (** Value = address of a static length-prefixed string. *)
+  | Var of string
+  | Addr_of of string  (** [@g]: address of a global cell. *)
+  | Call of string * expr list
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Deref of expr  (** [!e]: the word at address [e]. *)
+  | Index of expr * expr  (** [v!i]: the word at address [v + i]. *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of expr * expr  (** [lhs-address := e]; lhs already reduced. *)
+  | Let of string * expr  (** A local, live to the end of its block. *)
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | Block of stmt list
+  | Expr_stmt of expr  (** A call for effect. *)
+  | Resultis of expr
+  | Return
+
+type defn =
+  | Global of string * int  (** [global x = 5;] — a static cell. *)
+  | Vector of string * int  (** [vec buf 128;] — name = address of 128 words. *)
+  | Func of string * string list * stmt
+      (** [let f(a,b) be { … }]; value functions desugar to
+          [be { resultis e }]. *)
+
+type program = defn list

@@ -1,0 +1,95 @@
+module Asm = Alto_machine.Asm
+
+type error =
+  | Lex_error of Lexer.error
+  | Parse_error of Lexer.error
+  | Codegen_error of string
+  | Asm_error of string
+
+let pp_error fmt = function
+  | Lex_error e -> Format.fprintf fmt "lexical error: %a" Lexer.pp_error e
+  | Parse_error e -> Format.fprintf fmt "syntax error: %a" Lexer.pp_error e
+  | Codegen_error msg -> Format.fprintf fmt "compile error: %s" msg
+  | Asm_error msg -> Format.fprintf fmt "assembly error: %s" msg
+
+let ( let* ) = Result.bind
+
+(* A small standard library, in the language itself. Each function is
+   linked in only when called and only when the program has not defined
+   its own — the user is always free to replace the system's version. *)
+let library =
+  [
+    ( "writenum",
+      "let writenum(n) be { if n >= 10 then writenum(n / 10); writechar('0' + n rem 10); }"
+    );
+    ("newline", "let newline() be { writechar(10); }");
+    ( "writeln",
+      "let writeln(s) be { writestring(s); writechar(10); }" );
+  ]
+
+let calls_in_program ast =
+  let called = Hashtbl.create 16 in
+  let rec expr = function
+    | Ast.Call (f, args) ->
+        Hashtbl.replace called f ();
+        List.iter expr args
+    | Ast.Bin (_, a, b) | Ast.Index (a, b) ->
+        expr a;
+        expr b
+    | Ast.Neg e | Ast.Deref e -> expr e
+    | Ast.Num _ | Ast.Str _ | Ast.Var _ | Ast.Addr_of _ -> ()
+  and stmt = function
+    | Ast.Assign (_, e) | Ast.Let (_, e) | Ast.Expr_stmt e | Ast.Resultis e -> expr e
+    | Ast.Store (a, e) ->
+        expr a;
+        expr e
+    | Ast.If (c, t, f) ->
+        expr c;
+        stmt t;
+        Option.iter stmt f
+    | Ast.While (c, b) ->
+        expr c;
+        stmt b
+    | Ast.Block stmts -> List.iter stmt stmts
+    | Ast.Return -> ()
+  in
+  List.iter (function Ast.Func (_, _, b) -> stmt b | Ast.Global _ | Ast.Vector _ -> ()) ast;
+  called
+
+let defined_in_program ast name =
+  List.exists
+    (function
+      | Ast.Func (n, _, _) | Ast.Global (n, _) | Ast.Vector (n, _) -> String.equal n name)
+    ast
+
+let parse_library_function source =
+  match Lexer.tokenize source with
+  | Error _ -> assert false (* the library is a constant *)
+  | Ok tokens -> (
+      match Parser.parse tokens with Error _ -> assert false | Ok defns -> defns)
+
+(* Append needed library functions, repeatedly (writeln uses nothing,
+   but a library function may call another). *)
+let link_library ast =
+  let rec grow ast =
+    let called = calls_in_program ast in
+    let missing =
+      List.filter
+        (fun (name, _) -> Hashtbl.mem called name && not (defined_in_program ast name))
+        library
+    in
+    match missing with
+    | [] -> ast
+    | additions -> grow (ast @ List.concat_map (fun (_, src) -> parse_library_function src) additions)
+  in
+  grow ast
+
+let items source =
+  let* tokens = Result.map_error (fun e -> Lex_error e) (Lexer.tokenize source) in
+  let* ast = Result.map_error (fun e -> Parse_error e) (Parser.parse tokens) in
+  let ast = link_library ast in
+  Result.map_error (fun e -> Codegen_error e) (Codegen.compile ast)
+
+let compile ?origin source =
+  let* items = items source in
+  Result.map_error (fun e -> Asm_error e) (Asm.assemble ?origin items)

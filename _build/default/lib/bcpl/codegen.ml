@@ -1,0 +1,476 @@
+open Ast
+module Asm = Alto_machine.Asm
+
+exception Error_ of string
+
+let failf fmt = Format.kasprintf (fun s -> raise (Error_ s)) fmt
+
+(* {2 environments} *)
+
+type env = {
+  globals : (string, string) Hashtbl.t;  (* name -> data label *)
+  vectors : (string, string) Hashtbl.t;  (* name -> data label (value = address) *)
+  functions : (string, string * int) Hashtbl.t;  (* name -> code label, arity *)
+  mutable strings : (string * string) list;  (* data label, contents *)
+  mutable fresh : int;
+}
+
+type fctx = {
+  params : string list;
+  mutable locals : (string * int) list;  (* name -> stack slot, 1-based *)
+  mutable depth : int;  (* words pushed since function entry *)
+  mutable code : Asm.item list;  (* reversed *)
+}
+
+let fresh_label env prefix =
+  env.fresh <- env.fresh + 1;
+  Printf.sprintf "$%s%d" prefix env.fresh
+
+let intern_string env s =
+  match List.find_opt (fun (_, c) -> String.equal c s) env.strings with
+  | Some (label, _) -> label
+  | None ->
+      let label = fresh_label env "str" in
+      env.strings <- (label, s) :: env.strings;
+      label
+
+let emit ctx item = ctx.code <- item :: ctx.code
+let op ctx name operands = emit ctx (Asm.Op (name, operands))
+let reg r = Asm.Reg r
+let imm n = Asm.Imm (n land 0xffff)
+let lab l = Asm.Lab l
+
+(* {2 variable addressing}
+
+   Frame layout, addresses increasing upward from the frame pointer:
+   [FP + 0 .. depth-1] are pushed words (locals and temporaries, most
+   recent lowest), [FP + depth] is the return address, and above it the
+   arguments, last argument lowest. A local in slot s (s = depth at the
+   moment it was pushed) therefore lives at FP + depth - s. *)
+
+type place =
+  | On_stack of int  (* offset from FP at current depth *)
+  | Global_cell of string
+  | Vector_addr of string
+
+let resolve env ctx name =
+  match List.assoc_opt name ctx.locals with
+  | Some slot -> On_stack (ctx.depth - slot)
+  | None -> (
+      match List.find_index (String.equal name) ctx.params with
+      | Some i ->
+          let arity = List.length ctx.params in
+          On_stack (ctx.depth + 1 + (arity - 1 - i))
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some label -> Global_cell label
+          | None -> (
+              match Hashtbl.find_opt env.vectors name with
+              | Some label -> Vector_addr label
+              | None ->
+                  if Hashtbl.mem env.functions name then
+                    failf "function %S used as a value" name
+                  else failf "unknown name %S" name)))
+
+(* Leave the address of a stack slot in AC3. *)
+let stack_address ctx offset =
+  op ctx "MFP" [ reg 3 ];
+  if offset <> 0 then op ctx "ADDI" [ reg 3; imm offset ]
+
+let push0 ctx =
+  op ctx "PUSH" [ reg 0 ];
+  ctx.depth <- ctx.depth + 1
+
+let pop_into ctx r =
+  op ctx "POP" [ reg r ];
+  ctx.depth <- ctx.depth - 1
+
+(* Adjust the frame pointer by [k] words (popping), no register results. *)
+let drop_words ctx k =
+  if k > 0 then begin
+    op ctx "MFP" [ reg 3 ];
+    op ctx "ADDI" [ reg 3; imm k ];
+    op ctx "MTF" [ reg 3 ]
+  end
+
+(* {2 built-in procedures} *)
+
+(* name, arity, returns-a-value (informational), emitter. Arguments are
+   in AC0 (first) and AC1 (second) when the emitter runs. *)
+let builtins env ctx =
+  let jsr_ext s = op ctx "JSR" [ Asm.Ext s ] in
+  let none_means_ffff service =
+    (* AC1 non-zero means "nothing": turn the result into 0xFFFF. *)
+    jsr_ext service;
+    let done_ = fresh_label env "bi" in
+    op ctx "JZ" [ reg 1; lab done_ ];
+    op ctx "LDI" [ reg 0; imm 0xffff ];
+    emit ctx (Asm.Label done_)
+  in
+  [
+    ("writechar", 1, fun () -> jsr_ext "WriteChar");
+    ("writestring", 1, fun () -> jsr_ext "WriteString");
+    ("readchar", 0, fun () -> none_means_ffff "ReadChar");
+    ("charspending", 0, fun () -> jsr_ext "CharsPending");
+    ("allocate", 1, fun () -> jsr_ext "Allocate");
+    ("free", 1, fun () -> jsr_ext "Free");
+    ("createfile", 1, fun () -> jsr_ext "CreateFile");
+    ("deletefile", 1, fun () -> jsr_ext "DeleteFile");
+    ("lookupfile", 1, fun () -> jsr_ext "LookupFile");
+    ("openfile", 2, fun () -> jsr_ext "OpenFile");
+    ("closestream", 1, fun () -> jsr_ext "CloseStream");
+    ("streamget", 1, fun () -> none_means_ffff "StreamGet");
+    ("streamput", 2, fun () -> jsr_ext "StreamPut");
+    ("streamreset", 1, fun () -> jsr_ext "StreamReset");
+    ("getposition", 1, fun () -> jsr_ext "GetPosition");
+    ("setposition", 2, fun () -> jsr_ext "SetPosition");
+    ("filelength", 1, fun () -> jsr_ext "FileLength");
+    ("outload", 1, fun () -> jsr_ext "OutLoad");
+    ("inload", 1, fun () -> jsr_ext "InLoad");
+    ("junta", 1, fun () -> jsr_ext "Junta");
+    ("counterjunta", 0, fun () -> jsr_ext "CounterJunta");
+    ("exit", 1, fun () -> jsr_ext "Exit");
+    (* Packed-string bytes: getbyte(s, i) / putbyte(s, i, b) address the
+       i-th character of the length-prefixed string at s (two characters
+       per word, high byte first — the layout of every string literal and
+       of what the system services exchange). *)
+    ( "getbyte",
+      2,
+      fun () ->
+        (* AC0 = s, AC1 = i.  word = s + 1 + i/2 *)
+        op ctx "MOV" [ reg 3; reg 1 ];
+        op ctx "SHR" [ reg 3; imm 1 ];
+        op ctx "ADD" [ reg 3; reg 0 ];
+        op ctx "ADDI" [ reg 3; imm 1 ];
+        op ctx "LDX" [ reg 0; reg 3 ];
+        (* odd index -> low byte, even -> high byte *)
+        op ctx "MOV" [ reg 3; reg 1 ];
+        op ctx "SHL" [ reg 3; imm 15 ];
+        let odd = fresh_label env "gb" and done_ = fresh_label env "gb" in
+        op ctx "JLT" [ reg 3; lab odd ];
+        op ctx "SHR" [ reg 0; imm 8 ];
+        op ctx "JMP" [ lab done_ ];
+        emit ctx (Asm.Label odd);
+        op ctx "LDI" [ reg 1; imm 0xff ];
+        op ctx "AND" [ reg 0; reg 1 ];
+        emit ctx (Asm.Label done_) );
+    ( "putbyte",
+      3,
+      fun () ->
+        (* AC0 = s, AC1 = i, AC2 = b *)
+        op ctx "MOV" [ reg 3; reg 1 ];
+        op ctx "SHR" [ reg 3; imm 1 ];
+        op ctx "ADD" [ reg 3; reg 0 ];
+        op ctx "ADDI" [ reg 3; imm 1 ];
+        op ctx "PUSH" [ reg 3 ];
+        ctx.depth <- ctx.depth + 1;
+        op ctx "LDX" [ reg 0; reg 3 ];
+        op ctx "MOV" [ reg 3; reg 1 ];
+        op ctx "SHL" [ reg 3; imm 15 ];
+        let odd = fresh_label env "pb" and done_ = fresh_label env "pb" in
+        op ctx "JLT" [ reg 3; lab odd ];
+        (* even: keep low byte, install b as high *)
+        op ctx "LDI" [ reg 1; imm 0xff ];
+        op ctx "AND" [ reg 0; reg 1 ];
+        op ctx "MOV" [ reg 3; reg 2 ];
+        op ctx "SHL" [ reg 3; imm 8 ];
+        op ctx "OR" [ reg 0; reg 3 ];
+        op ctx "JMP" [ lab done_ ];
+        emit ctx (Asm.Label odd);
+        (* odd: keep high byte, install b as low *)
+        op ctx "LDI" [ reg 1; imm 0xff00 ];
+        op ctx "AND" [ reg 0; reg 1 ];
+        op ctx "OR" [ reg 0; reg 2 ];
+        emit ctx (Asm.Label done_);
+        op ctx "POP" [ reg 3 ];
+        ctx.depth <- ctx.depth - 1;
+        op ctx "STX" [ reg 0; reg 3 ] );
+  ]
+
+(* {2 expressions} *)
+
+let rec gen_expr env ctx e =
+  match e with
+  | Num n -> op ctx "LDI" [ reg 0; imm n ]
+  | Str s -> op ctx "LDI" [ reg 0; lab (intern_string env s) ]
+  | Var name -> (
+      match resolve env ctx name with
+      | On_stack offset ->
+          stack_address ctx offset;
+          op ctx "LDX" [ reg 0; reg 3 ]
+      | Global_cell label -> op ctx "LDA" [ reg 0; lab label ]
+      | Vector_addr label -> op ctx "LDI" [ reg 0; lab label ])
+  | Addr_of name -> (
+      match resolve env ctx name with
+      | On_stack offset ->
+          stack_address ctx offset;
+          op ctx "MOV" [ reg 0; reg 3 ]
+      | Global_cell label | Vector_addr label -> op ctx "LDI" [ reg 0; lab label ])
+  | Neg e ->
+      gen_expr env ctx e;
+      op ctx "MOV" [ reg 1; reg 0 ];
+      op ctx "LDI" [ reg 0; imm 0 ];
+      op ctx "SUB" [ reg 0; reg 1 ]
+  | Deref e ->
+      gen_expr env ctx e;
+      op ctx "MOV" [ reg 3; reg 0 ];
+      op ctx "LDX" [ reg 0; reg 3 ]
+  | Index (base, index) -> gen_expr env ctx (Deref (Bin (Add, base, index)))
+  | Bin (bop, a, b) ->
+      gen_expr env ctx a;
+      push0 ctx;
+      gen_expr env ctx b;
+      op ctx "MOV" [ reg 1; reg 0 ];
+      pop_into ctx 0;
+      gen_binop env ctx bop
+  | Call (name, args) -> gen_call env ctx name args
+
+and gen_binop env ctx bop =
+  (* Operands: AC0 (left), AC1 (right). Result in AC0. *)
+  let branch_bool mnemonic r =
+    (* [mnemonic r, true-target] decides; emit 0/1. *)
+    let yes = fresh_label env "T" and done_ = fresh_label env "E" in
+    op ctx mnemonic [ reg r; lab yes ];
+    op ctx "LDI" [ reg 0; imm 0 ];
+    op ctx "JMP" [ lab done_ ];
+    emit ctx (Asm.Label yes);
+    op ctx "LDI" [ reg 0; imm 1 ];
+    emit ctx (Asm.Label done_)
+  in
+  match bop with
+  | Add -> op ctx "ADD" [ reg 0; reg 1 ]
+  | Sub -> op ctx "SUB" [ reg 0; reg 1 ]
+  | Mul -> op ctx "MUL" [ reg 0; reg 1 ]
+  | Div -> op ctx "DIV" [ reg 0; reg 1 ]
+  | Rem -> op ctx "REM" [ reg 0; reg 1 ]
+  | And -> op ctx "AND" [ reg 0; reg 1 ]
+  | Or -> op ctx "OR" [ reg 0; reg 1 ]
+  | Eq ->
+      op ctx "SUB" [ reg 0; reg 1 ];
+      branch_bool "JZ" 0
+  | Ne ->
+      op ctx "SUB" [ reg 0; reg 1 ];
+      branch_bool "JNZ" 0
+  | Lt ->
+      (* a - b negative (16-bit signed view). *)
+      op ctx "SUB" [ reg 0; reg 1 ];
+      branch_bool "JLT" 0
+  | Gt ->
+      op ctx "MOV" [ reg 3; reg 1 ];
+      op ctx "SUB" [ reg 3; reg 0 ];
+      branch_bool "JLT" 3
+  | Le ->
+      (* not (a > b): b - a not negative. *)
+      op ctx "MOV" [ reg 3; reg 1 ];
+      op ctx "SUB" [ reg 3; reg 0 ];
+      let no = fresh_label env "T" and done_ = fresh_label env "E" in
+      op ctx "JLT" [ reg 3; lab no ];
+      op ctx "LDI" [ reg 0; imm 1 ];
+      op ctx "JMP" [ lab done_ ];
+      emit ctx (Asm.Label no);
+      op ctx "LDI" [ reg 0; imm 0 ];
+      emit ctx (Asm.Label done_)
+  | Ge ->
+      op ctx "SUB" [ reg 0; reg 1 ];
+      let no = fresh_label env "T" and done_ = fresh_label env "E" in
+      op ctx "JLT" [ reg 0; lab no ];
+      op ctx "LDI" [ reg 0; imm 1 ];
+      op ctx "JMP" [ lab done_ ];
+      emit ctx (Asm.Label no);
+      op ctx "LDI" [ reg 0; imm 0 ];
+      emit ctx (Asm.Label done_)
+
+and gen_call env ctx name args =
+  match Hashtbl.find_opt env.functions name with
+  | Some (label, arity) ->
+      if List.length args <> arity then
+        failf "%s expects %d argument(s), got %d" name arity (List.length args);
+      List.iter
+        (fun a ->
+          gen_expr env ctx a;
+          push0 ctx)
+        args;
+      op ctx "JSR" [ lab label ];
+      drop_words ctx arity;
+      ctx.depth <- ctx.depth - arity
+  | None -> (
+      match List.find_opt (fun (n, _, _) -> String.equal n name) (builtins env ctx) with
+      | None -> failf "unknown procedure %S" name
+      | Some (_, arity, emitter) ->
+          if List.length args <> arity then
+            failf "%s expects %d argument(s), got %d" name arity (List.length args);
+          (match args with
+          | [] -> ()
+          | [ a ] -> gen_expr env ctx a
+          | [ a; b ] ->
+              gen_expr env ctx a;
+              push0 ctx;
+              gen_expr env ctx b;
+              op ctx "MOV" [ reg 1; reg 0 ];
+              pop_into ctx 0
+          | [ a; b; c ] ->
+              gen_expr env ctx a;
+              push0 ctx;
+              gen_expr env ctx b;
+              push0 ctx;
+              gen_expr env ctx c;
+              op ctx "MOV" [ reg 2; reg 0 ];
+              pop_into ctx 1;
+              pop_into ctx 0
+          | _ -> failf "built-ins take at most three arguments");
+          emitter ())
+
+(* {2 statements} *)
+
+let rec gen_stmt env ctx stmt =
+  match stmt with
+  | Let (name, e) ->
+      gen_expr env ctx e;
+      push0 ctx;
+      ctx.locals <- (name, ctx.depth) :: ctx.locals
+  | Assign (name, e) -> (
+      gen_expr env ctx e;
+      match resolve env ctx name with
+      | On_stack offset ->
+          stack_address ctx offset;
+          op ctx "STX" [ reg 0; reg 3 ]
+      | Global_cell label -> op ctx "STA" [ reg 0; lab label ]
+      | Vector_addr _ -> failf "cannot assign to vector %S" name)
+  | Store (addr, e) ->
+      gen_expr env ctx addr;
+      push0 ctx;
+      gen_expr env ctx e;
+      pop_into ctx 3;
+      op ctx "STX" [ reg 0; reg 3 ]
+  | If (cond, then_branch, else_branch) -> (
+      gen_expr env ctx cond;
+      match else_branch with
+      | None ->
+          let done_ = fresh_label env "fi" in
+          op ctx "JZ" [ reg 0; lab done_ ];
+          gen_scoped env ctx then_branch;
+          emit ctx (Asm.Label done_)
+      | Some else_branch ->
+          let no = fresh_label env "el" and done_ = fresh_label env "fi" in
+          op ctx "JZ" [ reg 0; lab no ];
+          gen_scoped env ctx then_branch;
+          op ctx "JMP" [ lab done_ ];
+          emit ctx (Asm.Label no);
+          gen_scoped env ctx else_branch;
+          emit ctx (Asm.Label done_))
+  | While (cond, body) ->
+      let top = fresh_label env "wh" and done_ = fresh_label env "od" in
+      emit ctx (Asm.Label top);
+      gen_expr env ctx cond;
+      op ctx "JZ" [ reg 0; lab done_ ];
+      gen_scoped env ctx body;
+      op ctx "JMP" [ lab top ];
+      emit ctx (Asm.Label done_)
+  | Block stmts ->
+      let saved_locals = ctx.locals and saved_depth = ctx.depth in
+      List.iter (gen_stmt env ctx) stmts;
+      drop_words ctx (ctx.depth - saved_depth);
+      ctx.locals <- saved_locals;
+      ctx.depth <- saved_depth
+  | Expr_stmt e -> gen_expr env ctx e
+  | Resultis e ->
+      gen_expr env ctx e;
+      (* Unwind whatever is on the stack at this point, then return;
+         other paths continue with the depth they had. *)
+      if ctx.depth > 0 then begin
+        op ctx "MFP" [ reg 3 ];
+        op ctx "ADDI" [ reg 3; imm ctx.depth ];
+        op ctx "MTF" [ reg 3 ]
+      end;
+      op ctx "RET" []
+  | Return ->
+      op ctx "LDI" [ reg 0; imm 0 ];
+      if ctx.depth > 0 then begin
+        op ctx "MFP" [ reg 3 ];
+        op ctx "ADDI" [ reg 3; imm ctx.depth ];
+        op ctx "MTF" [ reg 3 ]
+      end;
+      op ctx "RET" []
+
+(* If/While branches get block scoping even when they are bare
+   statements, so a stray [let] cannot unbalance the stack. *)
+and gen_scoped env ctx stmt =
+  match stmt with
+  | Block _ -> gen_stmt env ctx stmt
+  | Let _ | Assign _ | Store _ | If _ | While _ | Expr_stmt _ | Resultis _ | Return ->
+      gen_stmt env ctx (Block [ stmt ])
+
+(* {2 whole programs} *)
+
+let function_label name = "$fn_" ^ name
+
+let compile program =
+  try
+    let env =
+      {
+        globals = Hashtbl.create 16;
+        vectors = Hashtbl.create 16;
+        functions = Hashtbl.create 16;
+        strings = [];
+        fresh = 0;
+      }
+    in
+    (* Declarations first, so forward references work. *)
+    let declare name =
+      if
+        Hashtbl.mem env.globals name || Hashtbl.mem env.vectors name
+        || Hashtbl.mem env.functions name
+      then failf "%S declared twice" name
+    in
+    List.iter
+      (function
+        | Global (name, _) ->
+            declare name;
+            Hashtbl.replace env.globals name (fresh_label env ("g_" ^ name))
+        | Vector (name, _) ->
+            declare name;
+            Hashtbl.replace env.vectors name (fresh_label env ("v_" ^ name))
+        | Func (name, params, _) ->
+            declare name;
+            Hashtbl.replace env.functions name (function_label name, List.length params))
+      program;
+    if not (Hashtbl.mem env.functions "main") then failf "no main() function";
+    (match Hashtbl.find env.functions "main" with
+    | _, 0 -> ()
+    | _, n -> failf "main() must take no arguments, takes %d" n);
+    (* Entry stub. *)
+    let items = ref [] in
+    let add item = items := item :: !items in
+    add (Asm.Label "start");
+    add (Asm.Op ("JSR", [ lab (function_label "main") ]));
+    add (Asm.Op ("JSR", [ Asm.Ext "Exit" ]));
+    (* Function bodies. *)
+    List.iter
+      (function
+        | Global _ | Vector _ -> ()
+        | Func (name, params, body) ->
+            let ctx = { params; locals = []; depth = 0; code = [] } in
+            add (Asm.Label (function_label name));
+            gen_stmt env ctx body;
+            (* Implicit return 0 for bodies that fall off the end. *)
+            gen_stmt env ctx Return;
+            List.iter add (List.rev ctx.code))
+      program;
+    (* Data: globals, vectors, interned strings. *)
+    List.iter
+      (function
+        | Global (name, value) ->
+            add (Asm.Label (Hashtbl.find env.globals name));
+            add (Asm.Word_data (value land 0xffff))
+        | Vector (name, size) ->
+            add (Asm.Label (Hashtbl.find env.vectors name));
+            add (Asm.Block size)
+        | Func _ -> ())
+      program;
+    List.iter
+      (fun (label, contents) ->
+        add (Asm.Label label);
+        add (Asm.String_data contents))
+      (List.rev env.strings);
+    Ok (List.rev !items)
+  with Error_ msg -> Error msg

@@ -1,0 +1,25 @@
+(** Code generation: AST → assembler items for the loader.
+
+    Conventions (documented for programs that mix languages):
+    - AC0 carries expression results and function return values; AC1 is
+      the second operand; AC3 is the address scratch register.
+    - The stack grows downward through the frame-pointer register.
+      A caller pushes arguments left to right, calls with [JSR], and
+      pops the arguments afterwards; locals live on the stack below the
+      return address. Recursion therefore just works.
+    - Operating-system services are reached through named fixups — the
+      same binding convention as assembler programs, resolved by the
+      same loader.
+
+    Built-in procedures map onto the system services: [writechar],
+    [writestring], [readchar] (yields 0xFFFF when no input),
+    [charspending], [allocate], [free], [createfile], [deletefile],
+    [lookupfile], [openfile], [closestream], [streamget] (0xFFFF at end),
+    [streamput], [streamreset], [getposition], [setposition],
+    [filelength], [outload], [inload], [junta], [counterjunta], [exit] —
+    plus [getbyte]/[putbyte] for the characters of packed strings,
+    compiled inline. *)
+
+val compile : Ast.program -> (Alto_machine.Asm.item list, string) result
+(** The item list starts with a [start] stub that calls [main] and exits
+    with its result; a program without [main()] is an error. *)

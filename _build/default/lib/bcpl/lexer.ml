@@ -1,0 +1,303 @@
+type token =
+  | Name of string
+  | Number of int
+  | String_lit of string
+  | Kw_global
+  | Kw_vec
+  | Kw_let
+  | Kw_be
+  | Kw_if
+  | Kw_then
+  | Kw_else
+  | Kw_while
+  | Kw_do
+  | Kw_resultis
+  | Kw_return
+  | Kw_rem
+  | Kw_for
+  | Kw_to
+  | Kw_switchon
+  | Kw_into
+  | Kw_case
+  | Kw_default
+  | Kw_true
+  | Kw_false
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Comma
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Bang
+  | Amp
+  | Bar
+  | At
+  | Eq
+  | Ne
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Colon
+
+type error = { line : int; message : string }
+
+let pp_token fmt t =
+  Format.pp_print_string fmt
+    (match t with
+    | Name s -> Printf.sprintf "name %S" s
+    | Number n -> string_of_int n
+    | String_lit s -> Printf.sprintf "%S" s
+    | Kw_global -> "global"
+    | Kw_vec -> "vec"
+    | Kw_let -> "let"
+    | Kw_be -> "be"
+    | Kw_if -> "if"
+    | Kw_then -> "then"
+    | Kw_else -> "else"
+    | Kw_while -> "while"
+    | Kw_do -> "do"
+    | Kw_resultis -> "resultis"
+    | Kw_return -> "return"
+    | Kw_rem -> "rem"
+    | Kw_for -> "for"
+    | Kw_to -> "to"
+    | Kw_switchon -> "switchon"
+    | Kw_into -> "into"
+    | Kw_case -> "case"
+    | Kw_default -> "default"
+    | Kw_true -> "true"
+    | Kw_false -> "false"
+    | Lparen -> "("
+    | Rparen -> ")"
+    | Lbrace -> "{"
+    | Rbrace -> "}"
+    | Semi -> ";"
+    | Comma -> ","
+    | Assign -> ":="
+    | Plus -> "+"
+    | Minus -> "-"
+    | Star -> "*"
+    | Slash -> "/"
+    | Bang -> "!"
+    | Amp -> "&"
+    | Bar -> "|"
+    | At -> "@"
+    | Eq -> "="
+    | Ne -> "#"
+    | Lt -> "<"
+    | Gt -> ">"
+    | Le -> "<="
+    | Ge -> ">="
+    | Colon -> ":")
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+let keywords =
+  [
+    ("global", Kw_global);
+    ("vec", Kw_vec);
+    ("let", Kw_let);
+    ("be", Kw_be);
+    ("if", Kw_if);
+    ("then", Kw_then);
+    ("else", Kw_else);
+    ("while", Kw_while);
+    ("do", Kw_do);
+    ("resultis", Kw_resultis);
+    ("return", Kw_return);
+    ("rem", Kw_rem);
+    ("for", Kw_for);
+    ("to", Kw_to);
+    ("switchon", Kw_switchon);
+    ("into", Kw_into);
+    ("case", Kw_case);
+    ("default", Kw_default);
+    ("true", Kw_true);
+    ("false", Kw_false);
+  ]
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let error message = Error { line = !line; message } in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let rec escape i =
+    (* [i] points after the backslash; returns (char, next). *)
+    if i >= n then None
+    else
+      match source.[i] with
+      | 'n' -> Some ('\n', i + 1)
+      | 't' -> Some ('\t', i + 1)
+      | '\\' -> Some ('\\', i + 1)
+      | '\'' -> Some ('\'', i + 1)
+      | '"' -> Some ('"', i + 1)
+      | '0' -> Some ('\000', i + 1)
+      | _ -> None
+  and go i =
+    if i >= n then Ok (List.rev !tokens)
+    else
+      match source.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+          incr line;
+          go (i + 1)
+      | '/' when i + 1 < n && source.[i + 1] = '/' ->
+          let rec skip j = if j < n && source.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 2))
+      | '/' ->
+          emit Slash;
+          go (i + 1)
+      | '(' ->
+          emit Lparen;
+          go (i + 1)
+      | ')' ->
+          emit Rparen;
+          go (i + 1)
+      | '{' ->
+          emit Lbrace;
+          go (i + 1)
+      | '}' ->
+          emit Rbrace;
+          go (i + 1)
+      | ';' ->
+          emit Semi;
+          go (i + 1)
+      | ',' ->
+          emit Comma;
+          go (i + 1)
+      | '+' ->
+          emit Plus;
+          go (i + 1)
+      | '-' ->
+          emit Minus;
+          go (i + 1)
+      | '*' ->
+          emit Star;
+          go (i + 1)
+      | '!' ->
+          emit Bang;
+          go (i + 1)
+      | '&' ->
+          emit Amp;
+          go (i + 1)
+      | '|' ->
+          emit Bar;
+          go (i + 1)
+      | '@' ->
+          emit At;
+          go (i + 1)
+      | '=' ->
+          emit Eq;
+          go (i + 1)
+      | '#' ->
+          emit Ne;
+          go (i + 1)
+      | '<' when i + 1 < n && source.[i + 1] = '=' ->
+          emit Le;
+          go (i + 2)
+      | '<' ->
+          emit Lt;
+          go (i + 1)
+      | '>' when i + 1 < n && source.[i + 1] = '=' ->
+          emit Ge;
+          go (i + 2)
+      | '>' ->
+          emit Gt;
+          go (i + 1)
+      | ':' when i + 1 < n && source.[i + 1] = '=' ->
+          emit Assign;
+          go (i + 2)
+      | ':' ->
+          emit Colon;
+          go (i + 1)
+      | '\'' ->
+          (* character literal *)
+          let char_done c j =
+            if j < n && source.[j] = '\'' then begin
+              emit (Number (Char.code c));
+              go (j + 1)
+            end
+            else error "unterminated character literal"
+          in
+          if i + 1 >= n then error "unterminated character literal"
+          else if source.[i + 1] = '\\' then (
+            match escape (i + 2) with
+            | Some (c, j) -> char_done c j
+            | None -> error "bad escape in character literal")
+          else char_done source.[i + 1] (i + 2)
+      | '"' ->
+          let buffer = Buffer.create 16 in
+          let rec str j =
+            if j >= n then error "unterminated string"
+            else if source.[j] = '"' then begin
+              emit (String_lit (Buffer.contents buffer));
+              go (j + 1)
+            end
+            else if source.[j] = '\\' then (
+              match escape (j + 1) with
+              | Some (c, k) ->
+                  Buffer.add_char buffer c;
+                  str k
+              | None -> error "bad escape in string")
+            else if source.[j] = '\n' then error "newline inside string"
+            else begin
+              Buffer.add_char buffer source.[j];
+              str (j + 1)
+            end
+          in
+          str (i + 1)
+      | '0' when i + 1 < n && (source.[i + 1] = 'x' || source.[i + 1] = 'o') ->
+          let base = if source.[i + 1] = 'x' then 16 else 8 in
+          let digit c =
+            if is_digit c then Some (Char.code c - Char.code '0')
+            else if base = 16 && c >= 'a' && c <= 'f' then
+              Some (10 + Char.code c - Char.code 'a')
+            else if base = 16 && c >= 'A' && c <= 'F' then
+              Some (10 + Char.code c - Char.code 'A')
+            else None
+          in
+          let rec num acc j seen =
+            match if j < n then digit source.[j] else None with
+            | Some d -> num ((acc * base) + d) (j + 1) true
+            | None ->
+                if not seen then error "empty numeric literal"
+                else if acc > 0xffff then error "numeric literal exceeds 16 bits"
+                else begin
+                  emit (Number acc);
+                  go j
+                end
+          in
+          num 0 (i + 2) false
+      | c when is_digit c ->
+          let rec num acc j =
+            if j < n && is_digit source.[j] then
+              num ((acc * 10) + (Char.code source.[j] - Char.code '0')) (j + 1)
+            else if acc > 0xffff then error "numeric literal exceeds 16 bits"
+            else begin
+              emit (Number acc);
+              go j
+            end
+          in
+          num 0 i
+      | c when is_name_start c ->
+          let rec name j = if j < n && is_name_char source.[j] then name (j + 1) else j in
+          let j = name i in
+          let word = String.sub source i (j - i) in
+          (match List.assoc_opt word keywords with
+          | Some kw -> emit kw
+          | None -> emit (Name word));
+          go j
+      | c -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0

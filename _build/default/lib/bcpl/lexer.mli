@@ -1,0 +1,60 @@
+(** Tokenizer for the BCPL-flavoured language. *)
+
+type token =
+  | Name of string
+  | Number of int
+  | String_lit of string
+  | Kw_global
+  | Kw_vec
+  | Kw_let
+  | Kw_be
+  | Kw_if
+  | Kw_then
+  | Kw_else
+  | Kw_while
+  | Kw_do
+  | Kw_resultis
+  | Kw_return
+  | Kw_rem
+  | Kw_for
+  | Kw_to
+  | Kw_switchon
+  | Kw_into
+  | Kw_case
+  | Kw_default
+  | Kw_true
+  | Kw_false
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Comma
+  | Assign  (** [:=] *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Bang  (** [!] *)
+  | Amp
+  | Bar
+  | At
+  | Eq  (** [=] *)
+  | Ne  (** [#] *)
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Colon
+
+type error = { line : int; message : string }
+
+val pp_token : Format.formatter -> token -> unit
+val pp_error : Format.formatter -> error -> unit
+
+val tokenize : string -> ((token * int) list, error) result
+(** Tokens paired with their source line, for error reporting. Comments
+    run from [//] to end of line. Character literals ['c'] (with [\n],
+    [\t], [\\], [\'] escapes) are numbers. Numbers are decimal, or octal
+    with a [#] prefix… no — [#] is "not equal"; octal uses [0o], hex
+    [0x]. *)

@@ -1,0 +1,341 @@
+open Ast
+
+exception Parse_error of Lexer.error
+
+type state = { mutable tokens : (Lexer.token * int) list; mutable line : int }
+
+let fail st message = raise (Parse_error { Lexer.line = st.line; message })
+
+let peek st = match st.tokens with [] -> None | (t, _) :: _ -> Some t
+
+let advance st =
+  match st.tokens with
+  | [] -> fail st "unexpected end of input"
+  | (t, line) :: rest ->
+      st.tokens <- rest;
+      st.line <- line;
+      t
+
+let expect st token what =
+  let got = advance st in
+  if got <> token then
+    fail st (Format.asprintf "expected %a %s, found %a" Lexer.pp_token token what Lexer.pp_token got)
+
+let expect_name st what =
+  match advance st with
+  | Lexer.Name n -> n
+  | t -> fail st (Format.asprintf "expected a name %s, found %a" what Lexer.pp_token t)
+
+let accept st token =
+  match peek st with
+  | Some t when t = token ->
+      let (_ : Lexer.token) = advance st in
+      true
+  | Some _ | None -> false
+
+(* {2 expressions} *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec loop left =
+    if accept st Lexer.Bar then loop (Bin (Or, left, parse_and st)) else left
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop left =
+    if accept st Lexer.Amp then loop (Bin (And, left, parse_cmp st)) else left
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let left = parse_add st in
+  let op =
+    match peek st with
+    | Some Lexer.Eq -> Some Eq
+    | Some Lexer.Ne -> Some Ne
+    | Some Lexer.Lt -> Some Lt
+    | Some Lexer.Gt -> Some Gt
+    | Some Lexer.Le -> Some Le
+    | Some Lexer.Ge -> Some Ge
+    | Some _ | None -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+      let (_ : Lexer.token) = advance st in
+      Bin (op, left, parse_add st)
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | Some Lexer.Plus ->
+        let (_ : Lexer.token) = advance st in
+        loop (Bin (Add, left, parse_mul st))
+    | Some Lexer.Minus ->
+        let (_ : Lexer.token) = advance st in
+        loop (Bin (Sub, left, parse_mul st))
+    | Some _ | None -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | Some Lexer.Star ->
+        let (_ : Lexer.token) = advance st in
+        loop (Bin (Mul, left, parse_unary st))
+    | Some Lexer.Slash ->
+        let (_ : Lexer.token) = advance st in
+        loop (Bin (Div, left, parse_unary st))
+    | Some Lexer.Kw_rem ->
+        let (_ : Lexer.token) = advance st in
+        loop (Bin (Rem, left, parse_unary st))
+    | Some _ | None -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Some Lexer.Minus ->
+      let (_ : Lexer.token) = advance st in
+      Neg (parse_unary st)
+  | Some Lexer.Bang ->
+      let (_ : Lexer.token) = advance st in
+      Deref (parse_unary st)
+  | Some _ | None -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop left =
+    if accept st Lexer.Bang then loop (Index (left, parse_primary st)) else left
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  match advance st with
+  | Lexer.Number n -> Num n
+  | Lexer.Kw_true -> Num 1
+  | Lexer.Kw_false -> Num 0
+  | Lexer.String_lit s -> Str s
+  | Lexer.At -> Addr_of (expect_name st "after '@'")
+  | Lexer.Lparen ->
+      let e = parse_expr st in
+      expect st Lexer.Rparen "to close the parenthesis";
+      e
+  | Lexer.Name name ->
+      if accept st Lexer.Lparen then begin
+        let rec args acc =
+          if accept st Lexer.Rparen then List.rev acc
+          else begin
+            let e = parse_expr st in
+            if accept st Lexer.Comma then args (e :: acc)
+            else begin
+              expect st Lexer.Rparen "after the arguments";
+              List.rev (e :: acc)
+            end
+          end
+        in
+        Call (name, args [])
+      end
+      else Var name
+  | t -> fail st (Format.asprintf "expected an expression, found %a" Lexer.pp_token t)
+
+(* {2 statements} *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Some Lexer.Lbrace -> parse_block st
+  | Some Lexer.Kw_let ->
+      let (_ : Lexer.token) = advance st in
+      let name = expect_name st "after 'let'" in
+      expect st Lexer.Eq "in the local declaration";
+      let e = parse_expr st in
+      expect st Lexer.Semi "after the declaration";
+      Let (name, e)
+  | Some Lexer.Kw_if ->
+      let (_ : Lexer.token) = advance st in
+      let cond = parse_expr st in
+      expect st Lexer.Kw_then "after the condition";
+      let then_branch = parse_stmt st in
+      let else_branch = if accept st Lexer.Kw_else then Some (parse_stmt st) else None in
+      If (cond, then_branch, else_branch)
+  | Some Lexer.Kw_while ->
+      let (_ : Lexer.token) = advance st in
+      let cond = parse_expr st in
+      expect st Lexer.Kw_do "after the condition";
+      While (cond, parse_stmt st)
+  | Some Lexer.Kw_for ->
+      (* BCPL's counted loop, desugared: the limit is evaluated once,
+         into a hidden local the program cannot name. *)
+      let (_ : Lexer.token) = advance st in
+      let name = expect_name st "after 'for'" in
+      expect st Lexer.Eq "in the for loop";
+      let start = parse_expr st in
+      expect st Lexer.Kw_to "after the start value";
+      let limit = parse_expr st in
+      expect st Lexer.Kw_do "after the limit";
+      let body = parse_stmt st in
+      Block
+        [
+          Let (name, start);
+          Let ("for$limit", limit);
+          While
+            ( Bin (Le, Var name, Var "for$limit"),
+              Block [ body; Assign (name, Bin (Add, Var name, Num 1)) ] );
+        ]
+  | Some Lexer.Kw_switchon ->
+      (* switchon e into { case k: … case k1: case k2: … default: … }
+         Desugared to an if-chain over a hidden local; no fall-through
+         (each arm is its own block). *)
+      let (_ : Lexer.token) = advance st in
+      let scrutinee = parse_expr st in
+      expect st Lexer.Kw_into "after the switched expression";
+      expect st Lexer.Lbrace "to open the cases";
+      let case_constant () =
+        match advance st with
+        | Lexer.Number n -> n
+        | Lexer.Minus -> (
+            match advance st with
+            | Lexer.Number n -> (-n) land 0xffff
+            | t -> fail st (Format.asprintf "expected a constant, found %a" Lexer.pp_token t))
+        | Lexer.Kw_true -> 1
+        | Lexer.Kw_false -> 0
+        | t -> fail st (Format.asprintf "expected a case constant, found %a" Lexer.pp_token t)
+      in
+      let rec labels acc =
+        (* one or more consecutive "case k:" labels *)
+        let k = case_constant () in
+        expect st Lexer.Colon "after the case constant";
+        if accept st Lexer.Kw_case then labels (k :: acc) else List.rev (k :: acc)
+      in
+      let rec body acc =
+        match peek st with
+        | Some (Lexer.Kw_case | Lexer.Kw_default | Lexer.Rbrace) -> Block (List.rev acc)
+        | Some _ | None -> body (parse_stmt st :: acc)
+      in
+      let rec arms cases default =
+        if accept st Lexer.Rbrace then (List.rev cases, default)
+        else if accept st Lexer.Kw_case then begin
+          let ks = labels [] in
+          let b = body [] in
+          arms ((ks, b) :: cases) default
+        end
+        else if accept st Lexer.Kw_default then begin
+          expect st Lexer.Colon "after 'default'";
+          if default <> None then fail st "two default arms";
+          arms cases (Some (body []))
+        end
+        else fail st "expected 'case', 'default' or '}'"
+      in
+      let cases, default = arms [] None in
+      let hidden = "switch$value" in
+      let test ks =
+        match
+          List.map (fun k -> Bin (Eq, Var hidden, Num k)) ks
+        with
+        | [] -> Num 0
+        | first :: rest -> List.fold_left (fun acc e -> Bin (Or, acc, e)) first rest
+      in
+      let chain =
+        List.fold_right
+          (fun (ks, b) els -> If (test ks, b, Some els))
+          cases
+          (Option.value default ~default:(Block []))
+      in
+      Block [ Let (hidden, scrutinee); chain ]
+  | Some Lexer.Kw_resultis ->
+      let (_ : Lexer.token) = advance st in
+      let e = parse_expr st in
+      expect st Lexer.Semi "after 'resultis'";
+      Resultis e
+  | Some Lexer.Kw_return ->
+      let (_ : Lexer.token) = advance st in
+      expect st Lexer.Semi "after 'return'";
+      Return
+  | Some _ | None ->
+      (* An expression; if ':=' follows, it must be an lvalue. *)
+      let e = parse_expr st in
+      if accept st Lexer.Assign then begin
+        let rhs = parse_expr st in
+        expect st Lexer.Semi "after the assignment";
+        match e with
+        | Var name -> Assign (name, rhs)
+        | Deref addr -> Store (addr, rhs)
+        | Index (base, index) -> Store (Bin (Add, base, index), rhs)
+        | Num _ | Str _ | Addr_of _ | Call _ | Bin _ | Neg _ ->
+            fail st "left side of ':=' is not assignable"
+      end
+      else begin
+        expect st Lexer.Semi "after the expression";
+        Expr_stmt e
+      end
+
+and parse_block st =
+  expect st Lexer.Lbrace "to open a block";
+  let rec stmts acc =
+    if accept st Lexer.Rbrace then Block (List.rev acc) else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+(* {2 declarations} *)
+
+let parse_defn st =
+  match advance st with
+  | Lexer.Kw_global ->
+      let name = expect_name st "after 'global'" in
+      let value =
+        if accept st Lexer.Eq then
+          match advance st with
+          | Lexer.Number n -> n
+          | Lexer.Minus -> (
+              match advance st with
+              | Lexer.Number n -> (-n) land 0xffff
+              | t -> fail st (Format.asprintf "expected a number, found %a" Lexer.pp_token t))
+          | t -> fail st (Format.asprintf "expected a number, found %a" Lexer.pp_token t)
+        else 0
+      in
+      expect st Lexer.Semi "after the global declaration";
+      Global (name, value)
+  | Lexer.Kw_vec ->
+      let name = expect_name st "after 'vec'" in
+      let size =
+        match advance st with
+        | Lexer.Number n when n > 0 -> n
+        | Lexer.Number _ -> fail st "vector size must be positive"
+        | t -> fail st (Format.asprintf "expected a size, found %a" Lexer.pp_token t)
+      in
+      expect st Lexer.Semi "after the vector declaration";
+      Vector (name, size)
+  | Lexer.Kw_let ->
+      let name = expect_name st "after 'let'" in
+      expect st Lexer.Lparen "to open the parameter list";
+      let rec params acc =
+        if accept st Lexer.Rparen then List.rev acc
+        else begin
+          let p = expect_name st "in the parameter list" in
+          if accept st Lexer.Comma then params (p :: acc)
+          else begin
+            expect st Lexer.Rparen "after the parameters";
+            List.rev (p :: acc)
+          end
+        end
+      in
+      let ps = params [] in
+      if accept st Lexer.Kw_be then Func (name, ps, parse_block st)
+      else begin
+        expect st Lexer.Eq "or 'be' after the parameter list";
+        let e = parse_expr st in
+        expect st Lexer.Semi "after the function body";
+        Func (name, ps, Block [ Resultis e ])
+      end
+  | t -> fail st (Format.asprintf "expected a declaration, found %a" Lexer.pp_token t)
+
+let parse tokens =
+  let st = { tokens; line = 1 } in
+  let rec defns acc =
+    match peek st with None -> List.rev acc | Some _ -> defns (parse_defn st :: acc)
+  in
+  match defns [] with
+  | program -> Ok program
+  | exception Parse_error e -> Error e

@@ -1,0 +1,3 @@
+(** Recursive-descent parser; the grammar is documented in {!Bcpl}. *)
+
+val parse : (Lexer.token * int) list -> (Ast.program, Lexer.error) result

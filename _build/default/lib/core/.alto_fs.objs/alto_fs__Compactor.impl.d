@@ -1,0 +1,1 @@
+lib/core/compactor.ml: Alto_disk Alto_machine Array Directory File File_id Format Fs Hashtbl Label Leader List Option Page Result Sweep

@@ -1,0 +1,1 @@
+lib/core/compactor.mli: File Format Fs

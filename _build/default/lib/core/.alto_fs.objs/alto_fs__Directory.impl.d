@@ -1,0 +1,1 @@
+lib/core/directory.ml: Alto_disk Alto_machine Array File File_id Format Fs Leader List Option Page Printf Result String

@@ -1,0 +1,1 @@
+lib/core/directory.mli: Alto_disk Alto_machine File Format Fs Page

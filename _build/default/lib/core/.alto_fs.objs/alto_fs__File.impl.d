@@ -1,0 +1,1 @@
+lib/core/file.ml: Alto_disk Alto_machine Array Bytes Char File_id Format Fs Label Leader List Option Page Printf Result String

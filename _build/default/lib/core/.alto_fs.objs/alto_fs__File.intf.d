@@ -1,0 +1,1 @@
+lib/core/file.mli: Alto_disk Alto_machine Bytes File_id Format Fs Leader Page

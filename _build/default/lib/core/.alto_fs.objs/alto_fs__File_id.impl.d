@@ -1,0 +1,1 @@
+lib/core/file_id.ml: Alto_machine Format Hashtbl Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/file_id.mli: Alto_machine Format

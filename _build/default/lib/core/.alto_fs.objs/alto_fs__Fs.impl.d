@@ -1,0 +1,1 @@
+lib/core/fs.ml: Alto_disk Alto_machine Array File_id Format Label Leader List Page Random Result

@@ -1,0 +1,1 @@
+lib/core/fs.mli: Alto_disk Alto_machine File_id Format Label Page Random

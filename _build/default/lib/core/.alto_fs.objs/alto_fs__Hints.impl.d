@@ -1,0 +1,1 @@
+lib/core/hints.ml: Alto_disk Alto_machine Directory File File_id Format Fs Label Leader List Page Printf Scavenger

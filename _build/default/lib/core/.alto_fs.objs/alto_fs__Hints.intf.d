@@ -1,0 +1,1 @@
+lib/core/hints.mli: Alto_disk Alto_machine File File_id Format Fs Label Page

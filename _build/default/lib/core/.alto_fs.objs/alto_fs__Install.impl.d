@@ -1,0 +1,1 @@
+lib/core/install.ml: Alto_disk Alto_machine Array Directory File File_id Format Leader List Page Printf Result String

@@ -1,0 +1,1 @@
+lib/core/install.mli: Alto_disk Directory File Format Fs Page

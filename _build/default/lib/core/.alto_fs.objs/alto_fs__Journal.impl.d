@@ -1,0 +1,1 @@
+lib/core/journal.ml: Alto_disk Alto_machine Array Bytes Directory File File_id Format List Page Printf Result String

@@ -1,0 +1,1 @@
+lib/core/journal.mli: Alto_disk Directory File Format Fs Page

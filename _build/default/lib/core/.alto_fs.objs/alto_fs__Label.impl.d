@@ -1,0 +1,1 @@
+lib/core/label.ml: Alto_disk Alto_machine Array File_id Format

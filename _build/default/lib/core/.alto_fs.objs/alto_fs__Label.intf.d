@@ -1,0 +1,1 @@
+lib/core/label.mli: Alto_disk Alto_machine File_id Format

@@ -1,0 +1,1 @@
+lib/core/leader.ml: Alto_disk Alto_machine Array Format Option String

@@ -1,0 +1,1 @@
+lib/core/leader.mli: Alto_disk Alto_machine Format

@@ -1,0 +1,1 @@
+lib/core/page.ml: Alto_disk Alto_machine Array File_id Format Label

@@ -1,0 +1,1 @@
+lib/core/page.mli: Alto_disk Alto_machine File_id Format Label

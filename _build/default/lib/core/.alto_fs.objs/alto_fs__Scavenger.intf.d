@@ -1,0 +1,1 @@
+lib/core/scavenger.mli: Alto_disk Format Fs

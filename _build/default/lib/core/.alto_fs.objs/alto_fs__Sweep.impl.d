@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Alto_disk Alto_machine Array Format Label Page

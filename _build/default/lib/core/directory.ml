@@ -1,0 +1,217 @@
+module Word = Alto_machine.Word
+module Disk_address = Alto_disk.Disk_address
+
+type entry = { entry_name : string; entry_file : Page.full_name }
+
+type error =
+  | File_error of File.error
+  | Malformed of string
+  | Name_too_long of string
+
+let pp_error fmt = function
+  | File_error e -> File.pp_error fmt e
+  | Malformed msg -> Format.fprintf fmt "directory malformed: %s" msg
+  | Name_too_long name -> Format.fprintf fmt "name too long: %S" name
+
+let max_name_length = Leader.max_name_length
+
+let header_words = 6
+let live_flag = 0x100
+
+let entry_words name = header_words + ((String.length name + 1) / 2)
+
+let wrap r = Result.map_error (fun e -> File_error e) r
+
+let check_name name =
+  if String.length name = 0 then Error (Malformed "empty name")
+  else if String.length name > max_name_length || String.contains name '\000' then
+    Error (Name_too_long name)
+  else Ok ()
+
+let create fs ~name = wrap (File.create_directory_file fs ~name)
+
+let open_root fs =
+  match Fs.root_dir fs with
+  | None -> Error (Malformed "this volume has no root directory")
+  | Some fn -> wrap (File.open_leader fs fn)
+
+let encode_entry name (fn : Page.full_name) =
+  let n = entry_words name in
+  let words = Array.make n Word.zero in
+  words.(0) <- Word.of_int_exn ((live_flag lor n) land 0xffff);
+  let w0, w1, v = File_id.to_words fn.Page.abs.Page.fid in
+  words.(1) <- w0;
+  words.(2) <- w1;
+  words.(3) <- v;
+  words.(4) <- Disk_address.to_word fn.Page.addr;
+  words.(5) <- Word.of_int_exn (String.length name);
+  Array.blit (Word.words_of_string name) 0 words header_words
+    ((String.length name + 1) / 2);
+  words
+
+let decode_entry words pos len =
+  if len < header_words then Error (Malformed "entry shorter than its header")
+  else
+    match File_id.of_words words.(pos + 1) words.(pos + 2) words.(pos + 3) with
+    | Error msg -> Error (Malformed msg)
+    | Ok fid ->
+        let name_len = Word.to_int words.(pos + 5) in
+        if name_len > max_name_length || header_words + ((name_len + 1) / 2) > len then
+          Error (Malformed "entry name length inconsistent")
+        else
+          let name_words = Array.sub words (pos + header_words) ((name_len + 1) / 2) in
+          Ok
+            {
+              entry_name = Word.string_of_words name_words ~len:name_len;
+              entry_file =
+                Page.full_name fid ~page:0 ~addr:(Disk_address.of_word words.(pos + 4));
+            }
+
+let read_all dir =
+  let total = File.byte_length dir / 2 in
+  wrap (File.read_words dir ~pos:0 ~len:total)
+
+(* Fold over slots: [f acc ~pos ~len ~live entry_option]. *)
+let fold_slots dir f init =
+  let ( let* ) = Result.bind in
+  let* words = read_all dir in
+  let total = Array.length words in
+  let rec scan acc pos =
+    if pos >= total then Ok acc
+    else
+      let w0 = Word.to_int words.(pos) in
+      let live = w0 land live_flag <> 0 in
+      let len = w0 land 0xff in
+      if len = 0 then Error (Malformed "zero-length entry")
+      else if pos + len > total then Error (Malformed "entry overruns directory")
+      else
+        let* entry =
+          if live then Result.map Option.some (decode_entry words pos len) else Ok None
+        in
+        let* acc = f acc ~pos ~len ~live entry in
+        scan acc (pos + len)
+  in
+  scan init 0
+
+let entries dir =
+  Result.map List.rev
+    (fold_slots dir
+       (fun acc ~pos:_ ~len:_ ~live:_ entry ->
+         match entry with Some e -> Ok (e :: acc) | None -> Ok acc)
+       [])
+
+let lookup dir name =
+  let ( let* ) = Result.bind in
+  let* found =
+    fold_slots dir
+      (fun acc ~pos:_ ~len:_ ~live:_ entry ->
+        match (acc, entry) with
+        | Some _, _ -> Ok acc
+        | None, Some e when String.equal e.entry_name name -> Ok (Some e)
+        | None, (Some _ | None) -> Ok acc)
+      None
+  in
+  Ok found
+
+(* Find the first free slot of at least [need] words; also report the
+   directory's total size and whether [name] is already present. *)
+let plan_add dir name need =
+  fold_slots dir
+    (fun (slot, total, dup) ~pos ~len ~live entry ->
+      let dup =
+        dup
+        ||
+        match entry with Some e -> String.equal e.entry_name name | None -> false
+      in
+      let slot =
+        match slot with
+        | Some _ -> slot
+        | None -> if (not live) && len >= need then Some (pos, len) else None
+      in
+      Ok (slot, max total (pos + len), dup))
+    (None, 0, false)
+
+let add dir ~name fn =
+  let ( let* ) = Result.bind in
+  let* () = check_name name in
+  let need = entry_words name in
+  let* slot, total, dup = plan_add dir name need in
+  if dup then Error (Malformed (Printf.sprintf "duplicate entry %S" name))
+  else
+    let words = encode_entry name fn in
+    match slot with
+    | Some (pos, len) ->
+        if len > need then begin
+          (* Split: the remainder stays a free slot. *)
+          let* () =
+            wrap
+              (File.write_words dir ~pos:(pos + need)
+                 [| Word.of_int_exn (len - need) |])
+          in
+          wrap (File.write_words dir ~pos words)
+        end
+        else wrap (File.write_words dir ~pos words)
+    | None -> wrap (File.write_words dir ~pos:total words)
+
+let find_slot dir name =
+  fold_slots dir
+    (fun acc ~pos ~len:_ ~live:_ entry ->
+      match (acc, entry) with
+      | Some _, _ -> Ok acc
+      | None, Some e when String.equal e.entry_name name -> Ok (Some pos)
+      | None, (Some _ | None) -> Ok acc)
+    None
+
+let remove dir name =
+  let ( let* ) = Result.bind in
+  let* slot = find_slot dir name in
+  match slot with
+  | None -> Ok false
+  | Some pos ->
+      let* words = wrap (File.read_words dir ~pos ~len:1) in
+      let len = Word.to_int words.(0) land 0xff in
+      let* () = wrap (File.write_words dir ~pos [| Word.of_int_exn len |]) in
+      Ok true
+
+let update_address dir name addr =
+  let ( let* ) = Result.bind in
+  let* slot = find_slot dir name in
+  match slot with
+  | None -> Ok false
+  | Some pos ->
+      let* () = wrap (File.write_words dir ~pos:(pos + 4) [| Disk_address.to_word addr |]) in
+      Ok true
+
+let salvage dir =
+  match read_all dir with
+  | Error _ -> ([], true)
+  | Ok words ->
+      let total = Array.length words in
+      let rec scan acc pos =
+        if pos >= total then (List.rev acc, false)
+        else
+          let w0 = Word.to_int words.(pos) in
+          let live = w0 land live_flag <> 0 in
+          let len = w0 land 0xff in
+          if len = 0 || pos + len > total then (List.rev acc, true)
+          else if not live then scan acc (pos + len)
+          else
+            match decode_entry words pos len with
+            | Ok e -> scan (e :: acc) (pos + len)
+            | Error _ -> (List.rev acc, true)
+      in
+      scan [] 0
+
+let rewrite dir entries =
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        check_name e.entry_name)
+      (Ok ()) entries
+  in
+  let chunks = List.map (fun e -> encode_entry e.entry_name e.entry_file) entries in
+  let words = Array.concat chunks in
+  let* () = wrap (File.truncate dir ~len:0) in
+  if Array.length words = 0 then Ok () else wrap (File.write_words dir ~pos:0 words)

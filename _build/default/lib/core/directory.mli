@@ -1,0 +1,69 @@
+(** Directories (§3.4).
+
+    A directory is just a file "which contains a set of pairs (string,
+    full name)". Nothing else is special about it: a file may appear in
+    any number of directories, directories may form an arbitrary directed
+    graph, and destroying one loses only the names it held, never the
+    files. Directory files carry the reserved (directory-flagged) file
+    ids so the scavenger can enumerate them.
+
+    Entry encoding, in words:
+    {v word 0   flags * 256 + entry length in words (flags: 1 live, 0 free)
+       word 1-3 file id of the named file
+       word 4   leader-page address (a hint, corrected on use)
+       word 5   name length in bytes
+       word 6.. name, packed two bytes per word v}
+    A free slot keeps its length word so the scan can skip it; adding an
+    entry reuses the first free slot that fits. *)
+
+module Word = Alto_machine.Word
+module Disk_address = Alto_disk.Disk_address
+
+type entry = {
+  entry_name : string;
+  entry_file : Page.full_name;  (** Page 0 of the named file. *)
+}
+
+type error =
+  | File_error of File.error
+  | Malformed of string  (** The directory's contents do not scan. *)
+  | Name_too_long of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val max_name_length : int
+
+val create : Fs.t -> name:string -> (File.t, error) result
+(** A fresh, empty directory file (not itself entered anywhere). *)
+
+val open_root : Fs.t -> (File.t, error) result
+(** The root directory named by the disk descriptor. *)
+
+val add : File.t -> name:string -> Page.full_name -> (unit, error) result
+(** Add the pair. An existing live entry with the same name is an error
+    ([Malformed "duplicate"]); names are compared exactly. *)
+
+val lookup : File.t -> string -> (entry option, error) result
+
+val remove : File.t -> string -> (bool, error) result
+(** [true] when an entry was removed. *)
+
+val update_address : File.t -> string -> Disk_address.t -> (bool, error) result
+(** Refresh the address hint of an entry in place — what a client does
+    after climbing the recovery ladder, and what the scavenger does for
+    every entry it verifies. *)
+
+val entries : File.t -> (entry list, error) result
+(** Live entries in file order. *)
+
+val rewrite : File.t -> entry list -> (unit, error) result
+(** Replace the directory's whole contents — the scavenger's way of
+    dropping dangling entries wholesale. *)
+
+val salvage : File.t -> entry list * bool
+(** Read as many live entries as possible, stopping at the first slot
+    that does not scan; the boolean reports whether anything was
+    unreadable. The scavenger uses this where {!entries} would refuse. *)
+
+val entry_words : string -> int
+(** Size in words of an entry with this name. *)

@@ -1,0 +1,113 @@
+(** Files (§3.2): allocation-level objects built out of pages.
+
+    "A file is a set of pages with absolute names (FV, 0) … (FV, n)." Page
+    0 is the leader; data lives in pages 1..n; every page but the last is
+    full. The basic operations are exactly the paper's: create an empty
+    file, add pages at the end, delete pages from the end, delete the
+    whole file — plus the byte-positioned reads and writes the stream
+    package is built from.
+
+    A file handle is a bag of hints: the leader address, a cached address
+    per page number, the last page's number and length. Every disk access
+    is label-checked, so a stale hint can never damage anything; when one
+    fails the handle re-derives it by following links from the nearest
+    page it still trusts ("it can follow links from that page, still
+    avoiding the directory lookup", §3.6). Only when the file itself has
+    moved or vanished does an operation give up with [Hint_failed] — at
+    which point the caller climbs the rest of the recovery ladder
+    ({!Hints}). *)
+
+module Word = Alto_machine.Word
+module Disk_address = Alto_disk.Disk_address
+
+type t
+
+type error =
+  | Hint_failed
+      (** The file could not be reached through any hint this handle
+          holds; consult a directory or the scavenger. *)
+  | No_such_page of int
+      (** The page number is beyond the end of the file. *)
+  | Fs_error of Fs.error
+  | Structure of string
+      (** The file's on-disk structure is inconsistent (scavenger bait). *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : Fs.t -> name:string -> (t, error) result
+(** A new file: a fresh id, a leader page carrying [name] as its leader
+    name, and one empty data page. The file is {e not} entered in any
+    directory — "a separate mechanism exists for associating names with
+    files" (§3.4). *)
+
+val create_directory_file : Fs.t -> name:string -> (t, error) result
+(** As {!create} but with a directory-flagged id, so the scavenger can
+    tell the file holds directory entries. *)
+
+val create_with_id : Fs.t -> File_id.t -> name:string -> (t, error) result
+(** As {!create} with a caller-chosen id — for system files with
+    well-known ids (the scavenger rebuilding a root directory). *)
+
+val open_leader : Fs.t -> Page.full_name -> (t, error) result
+(** Open an existing file from the full name of its leader page (as found
+    in a directory entry or an installed hint file). *)
+
+val fs : t -> Fs.t
+val fid : t -> File_id.t
+val leader_name : t -> Page.full_name
+val leader : t -> Leader.t
+(** The in-core copy of the leader's properties. *)
+
+val last_page : t -> int
+val byte_length : t -> int
+
+val page_name : t -> int -> (Page.full_name, error) result
+(** Resolve a page number to a full name, through the hint cache or by
+    chasing links. *)
+
+val read_page : t -> int -> (Word.t array * int, error) result
+(** Value and byte count of data page [pn >= 1]. *)
+
+val read_bytes : t -> pos:int -> len:int -> (Bytes.t, error) result
+(** Up to [len] bytes from byte position [pos]; shorter at end of file. *)
+
+val write_bytes : t -> pos:int -> string -> (unit, error) result
+(** Overwrite and/or extend. [pos] may not exceed the current length
+    (files have no holes). Growing the last page or adding pages pays
+    the label-rewrite revolution the paper describes. *)
+
+val append_bytes : t -> string -> (unit, error) result
+
+val truncate : t -> len:int -> (unit, error) result
+(** Delete pages from the end until the file holds [len] bytes. *)
+
+val delete : t -> (unit, error) result
+(** Free every page, last to first. The handle is dead afterwards.
+    Directory entries pointing at the file become dangling — their
+    removal is, again, a separate mechanism. *)
+
+val read_words : t -> pos:int -> len:int -> (Word.t array, error) result
+(** Word-granularity IO used by the directory package; [pos] and [len]
+    count words. Reads beyond end of file return a shorter array. *)
+
+val write_words : t -> pos:int -> Word.t array -> (unit, error) result
+
+val flush_leader : t -> (unit, error) result
+(** Write the in-core leader properties (dates, last-page hint) back to
+    page 0. The system calls this when a stream is closed; a crash before
+    then costs nothing but hint freshness. *)
+
+val invalidate_hints : t -> unit
+(** Forget every cached page address (the leader's stays). Tests and
+    experiments use this to force the re-derivation paths. *)
+
+val retain_hints : t -> every:int -> unit
+(** Keep only every [k]-th page's address (and the leader's), dropping
+    the rest — §3.6: "Hint addresses can also be kept for every k-th
+    page of the file to reduce the number of links that must be
+    followed." Experiment E4's sweep measures what each density buys.
+    Raises [Invalid_argument] when [every < 1]. *)
+
+val hinted_pages : t -> int
+(** How many page addresses the handle currently holds — benchmarks
+    report hint coverage. *)

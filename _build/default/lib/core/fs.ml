@@ -1,0 +1,418 @@
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+module Sector = Alto_disk.Sector
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Disk_address = Alto_disk.Disk_address
+
+type allocation_policy = Near_previous | Scattered of Random.State.t
+
+type error = Disk_full | Page_error of Page.error | Corrupt of string
+
+let pp_error fmt = function
+  | Disk_full -> Format.pp_print_string fmt "disk full"
+  | Page_error e -> Page.pp_error fmt e
+  | Corrupt msg -> Format.fprintf fmt "descriptor corrupt: %s" msg
+
+type counters = {
+  allocations : int;
+  frees : int;
+  stale_map_hits : int;
+  bad_sectors_hit : int;
+}
+
+let zero_counters =
+  { allocations = 0; frees = 0; stale_map_hits = 0; bad_sectors_hit = 0 }
+
+type t = {
+  drive : Drive.t;
+  shape : Geometry.t;
+  busy : bool array;  (** The allocation map, in core. true = busy. *)
+  mutable next_serial : int;
+  mutable root : Page.full_name option;
+  mutable last_allocated : int;
+  mutable policy : allocation_policy;
+  mutable label_checking : bool;
+  mutable descriptor_pages : Disk_address.t array;  (** Data pages, pn 1.. *)
+  mutable counters : counters;
+}
+
+let boot_address = Disk_address.of_index 0
+let descriptor_leader_address = Disk_address.of_index 1
+
+(* Descriptor content layout (word offsets within the file's data):
+     0      magic            10      (end of shape)
+     1      format version   11-13   root directory file id
+     2-10   disk shape       14      root directory leader address
+     15-16  next serial (hi/lo)
+     17     allocation-map word count W
+     18     reserved
+     19..   allocation map, 16 sectors per word, MSB first *)
+let desc_magic = 0xA170
+let desc_version = 1
+let map_offset = 19
+
+let drive t = t.drive
+let geometry t = t.shape
+let clock t = Drive.clock t.drive
+let now_seconds t = int_of_float (Sim_clock.now_seconds (clock t))
+let root_dir t = t.root
+let set_root_dir t fn = t.root <- Some fn
+
+let fresh_fid ?directory t =
+  let serial = t.next_serial in
+  t.next_serial <- serial + 1;
+  File_id.make ?directory ~serial ~version:1 ()
+
+let policy t = t.policy
+let set_policy t p = t.policy <- p
+let label_checking t = t.label_checking
+let set_label_checking t flag = t.label_checking <- flag
+let counters t = t.counters
+let reset_counters t = t.counters <- zero_counters
+let next_serial t = t.next_serial
+let set_next_serial t n = t.next_serial <- n
+
+let sector_count t = Array.length t.busy
+
+let free_count t =
+  Array.fold_left (fun n busy -> if busy then n else n + 1) 0 t.busy
+
+let is_free_in_map t addr = not t.busy.(Disk_address.to_index addr)
+let mark_busy t addr = t.busy.(Disk_address.to_index addr) <- true
+let mark_free t addr = t.busy.(Disk_address.to_index addr) <- false
+
+(* {2 Allocation} *)
+
+let pick_candidate t =
+  let n = sector_count t in
+  let linear_from start =
+    let rec scan k i =
+      if k >= n then Error Disk_full
+      else if not t.busy.(i) then Ok i
+      else scan (k + 1) ((i + 1) mod n)
+    in
+    scan 0 start
+  in
+  match t.policy with
+  | Near_previous -> linear_from ((t.last_allocated + 1) mod n)
+  | Scattered rng ->
+      let rec probe k =
+        if k = 0 then linear_from (Random.State.int rng n)
+        else
+          let i = Random.State.int rng n in
+          if not t.busy.(i) then Ok i else probe (k - 1)
+      in
+      probe 32
+
+let reserve t =
+  match pick_candidate t with
+  | Error e -> Error e
+  | Ok i ->
+      t.busy.(i) <- true;
+      t.last_allocated <- i;
+      Ok (Disk_address.of_index i)
+
+let unreserve t addr = mark_free t addr
+
+let write_first t addr label value =
+  let write_op () =
+    Drive.run t.drive addr
+      { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
+      ~label:(Label.to_words label) ~value ()
+  in
+  if t.label_checking then
+    match
+      Drive.run t.drive addr
+        { Drive.op_none with label = Some Drive.Check }
+        ~label:(Label.check_free ()) ()
+    with
+    | Error (Drive.Check_mismatch _) -> Error `Not_free
+    | Error Drive.Bad_sector -> Error `Bad
+    | Ok () -> (
+        match write_op () with
+        | Ok () -> Ok ()
+        | Error Drive.Bad_sector -> Error `Bad
+        | Error (Drive.Check_mismatch _) -> assert false (* no checks in op *))
+  else
+    match write_op () with
+    | Ok () -> Ok ()
+    | Error Drive.Bad_sector -> Error `Bad
+    | Error (Drive.Check_mismatch _) -> assert false
+
+let allocate_page t ~label ~value =
+  let rec attempt () =
+    match reserve t with
+    | Error e -> Error e
+    | Ok addr -> (
+        match write_first t addr (label addr) value with
+        | Ok () ->
+            t.counters <- { t.counters with allocations = t.counters.allocations + 1 };
+            Ok addr
+        | Error `Not_free ->
+            (* The map lied: the page was busy all along. It stays marked
+               busy and we go around again — the paper's "little extra
+               one-time disk activity". *)
+            t.counters <- { t.counters with stale_map_hits = t.counters.stale_map_hits + 1 };
+            attempt ()
+        | Error `Bad ->
+            t.counters <-
+              { t.counters with bad_sectors_hit = t.counters.bad_sectors_hit + 1 };
+            attempt ())
+  in
+  attempt ()
+
+let free_page t (fn : Page.full_name) =
+  let write_free () =
+    Drive.run t.drive fn.Page.addr
+      { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
+      ~label:(Label.free_words ()) ~value:(Label.free_value ()) ()
+  in
+  let finish () =
+    match write_free () with
+    | Error e -> Error (Page_error (Page.Hint_failed e))
+    | Ok () ->
+        mark_free t fn.Page.addr;
+        t.counters <- { t.counters with frees = t.counters.frees + 1 };
+        Ok ()
+  in
+  if t.label_checking then
+    match
+      Drive.run t.drive fn.Page.addr
+        { Drive.op_none with label = Some Drive.Check }
+        ~label:(Label.check_name fn.Page.abs.Page.fid ~page:fn.Page.abs.Page.page)
+        ()
+    with
+    | Error e -> Error (Page_error (Page.Hint_failed e))
+    | Ok () -> finish ()
+  else finish ()
+
+(* {2 Descriptor encoding} *)
+
+let map_word_count t = (sector_count t + 15) / 16
+
+let descriptor_content_words t = map_offset + map_word_count t
+
+let descriptor_data_pages t =
+  (descriptor_content_words t + Sector.value_words - 1) / Sector.value_words
+
+let assemble_descriptor t =
+  let total = descriptor_content_words t in
+  let words = Array.make total Word.zero in
+  words.(0) <- Word.of_int desc_magic;
+  words.(1) <- Word.of_int desc_version;
+  Array.blit (Geometry.to_words t.shape) 0 words 2 Geometry.encoded_words;
+  (match t.root with
+  | None -> ()
+  | Some fn ->
+      let w0, w1, v = File_id.to_words fn.Page.abs.Page.fid in
+      words.(11) <- w0;
+      words.(12) <- w1;
+      words.(13) <- v;
+      words.(14) <- Disk_address.to_word fn.Page.addr);
+  words.(15) <- Word.of_int (t.next_serial lsr 16);
+  words.(16) <- Word.of_int t.next_serial;
+  let map_words = map_word_count t in
+  words.(17) <- Word.of_int_exn map_words;
+  for j = 0 to map_words - 1 do
+    let w = ref 0 in
+    for k = 0 to 15 do
+      let i = (j * 16) + k in
+      if i < sector_count t && t.busy.(i) then w := !w lor (1 lsl (15 - k))
+    done;
+    words.(map_offset + j) <- Word.of_int !w
+  done;
+  words
+
+let parse_descriptor t words =
+  let ( let* ) = Result.bind in
+  if Array.length words < map_offset then Error "descriptor too short"
+  else if Word.to_int words.(0) <> desc_magic then Error "bad descriptor magic"
+  else if Word.to_int words.(1) <> desc_version then Error "unknown descriptor version"
+  else
+    let* shape = Geometry.of_words (Array.sub words 2 Geometry.encoded_words) in
+    if not (Geometry.equal shape (Drive.geometry t.drive)) then
+      Error "descriptor shape contradicts the drive"
+    else begin
+      (match File_id.of_words words.(11) words.(12) words.(13) with
+      | Ok fid ->
+          t.root <-
+            Some (Page.full_name fid ~page:0 ~addr:(Disk_address.of_word words.(14)))
+      | Error _ -> t.root <- None);
+      t.next_serial <- (Word.to_int words.(15) lsl 16) lor Word.to_int words.(16);
+      let map_words = Word.to_int words.(17) in
+      if Array.length words < map_offset + map_words then
+        Error "descriptor map truncated"
+      else begin
+        for j = 0 to map_words - 1 do
+          let w = Word.to_int words.(map_offset + j) in
+          for k = 0 to 15 do
+            let i = (j * 16) + k in
+            if i < sector_count t then t.busy.(i) <- w land (1 lsl (15 - k)) <> 0
+          done
+        done;
+        Ok ()
+      end
+    end
+
+(* {2 Writing the descriptor file} *)
+
+let descriptor_page_name t pn =
+  if pn = 0 then
+    Page.full_name File_id.descriptor ~page:0 ~addr:descriptor_leader_address
+  else Page.full_name File_id.descriptor ~page:pn ~addr:t.descriptor_pages.(pn - 1)
+
+let flush t =
+  let words = assemble_descriptor t in
+  let pages = descriptor_data_pages t in
+  let rec write pn =
+    if pn > pages then Ok ()
+    else
+      let value = Array.make Sector.value_words Word.zero in
+      let offset = (pn - 1) * Sector.value_words in
+      let len = min Sector.value_words (Array.length words - offset) in
+      Array.blit words offset value 0 len;
+      match Page.write t.drive (descriptor_page_name t pn) value with
+      | Error e -> Error (Page_error e)
+      | Ok _ -> write (pn + 1)
+  in
+  write 1
+
+(* Lay down fresh labels and leader for the descriptor file at the
+   standard addresses. Used at format and by the scavenger's rebuild. *)
+let place_descriptor_file t =
+  let pages = descriptor_data_pages t in
+  let content = descriptor_content_words t in
+  let addr pn = Disk_address.of_index (1 + pn) in
+  t.descriptor_pages <- Array.init pages (fun i -> addr (i + 1));
+  mark_busy t boot_address;
+  for pn = 0 to pages do
+    mark_busy t (addr pn)
+  done;
+  let label pn =
+    let length =
+      if pn = 0 then Sector.bytes_per_page
+      else if pn < pages then Sector.bytes_per_page
+      else (2 * content) - (Sector.bytes_per_page * (pages - 1))
+    in
+    let next = if pn = pages then Disk_address.nil else addr (pn + 1) in
+    let prev = if pn = 0 then Disk_address.nil else addr (pn - 1) in
+    Label.make ~fid:File_id.descriptor ~page:pn ~length ~next ~prev
+  in
+  for pn = 0 to pages do
+    Alto_disk.Drive.poke t.drive (addr pn) Sector.Label (Label.to_words (label pn))
+  done;
+  let leader =
+    Leader.make ~created_s:(now_seconds t) ~name:"DiskDescriptor."
+      ~last_page:pages ~last_addr:(addr pages) ~maybe_consecutive:true ()
+  in
+  match Page.write t.drive (descriptor_page_name t 0) (Leader.to_value leader) with
+  | Error e -> Error (Page_error e)
+  | Ok _ -> flush t
+
+let make_handle drive =
+  {
+    drive;
+    shape = Drive.geometry drive;
+    busy = Array.make (Drive.sector_count drive) false;
+    next_serial = File_id.first_user_serial;
+    root = None;
+    last_allocated = 0;
+    policy = Near_previous;
+    label_checking = true;
+    descriptor_pages = [||];
+    counters = zero_counters;
+  }
+
+let create_unmounted drive =
+  let t = make_handle drive in
+  Array.fill t.busy 0 (Array.length t.busy) true;
+  t
+
+let rebuild_descriptor t =
+  match place_descriptor_file t with Ok () -> Ok () | Error e -> Error e
+
+let descriptor_page_count = descriptor_data_pages
+
+(* Create the root directory: a leader page and one empty data page,
+   written through the ordinary allocation path. *)
+let create_root_directory t =
+  let ( let* ) = Result.bind in
+  let* leader_addr = reserve t in
+  let* page1_addr = reserve t in
+  let leader_label =
+    Label.make ~fid:File_id.root_directory ~page:0 ~length:Sector.bytes_per_page
+      ~next:page1_addr ~prev:Disk_address.nil
+  in
+  let page1_label =
+    Label.make ~fid:File_id.root_directory ~page:1 ~length:0 ~next:Disk_address.nil
+      ~prev:leader_addr
+  in
+  let leader =
+    Leader.make ~created_s:(now_seconds t) ~name:"SysDir." ~last_page:1
+      ~last_addr:page1_addr ~maybe_consecutive:true ()
+  in
+  let fail = Error (Corrupt "fresh page refused first write") in
+  let* () =
+    match write_first t leader_addr leader_label (Leader.to_value leader) with
+    | Ok () -> Ok ()
+    | Error (`Not_free | `Bad) -> fail
+  in
+  let* () =
+    match
+      write_first t page1_addr page1_label (Array.make Sector.value_words Word.zero)
+    with
+    | Ok () -> Ok ()
+    | Error (`Not_free | `Bad) -> fail
+  in
+  t.root <- Some (Page.full_name File_id.root_directory ~page:0 ~addr:leader_addr);
+  Ok ()
+
+let format ?disk_name:_ drive =
+  let t = make_handle drive in
+  (* Factory formatting: free every sector out-of-band. *)
+  let free_label = Label.free_words () and free_value = Label.free_value () in
+  for i = 0 to Drive.sector_count drive - 1 do
+    let addr = Disk_address.of_index i in
+    Alto_disk.Drive.poke drive addr Sector.Label free_label;
+    Alto_disk.Drive.poke drive addr Sector.Value free_value
+  done;
+  mark_busy t boot_address;
+  (match place_descriptor_file t with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Fs.format: %a" pp_error e));
+  (match create_root_directory t with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Fs.format: %a" pp_error e));
+  (match flush t with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Fs.format: %a" pp_error e));
+  t
+
+let mount drive =
+  let ( let* ) = Result.bind in
+  let t = make_handle drive in
+  let* leader_label, leader_value =
+    Result.map_error
+      (fun e -> Format.asprintf "descriptor leader unreadable: %a" Page.pp_error e)
+      (Page.read drive (descriptor_page_name t 0))
+  in
+  let* leader = Leader.of_value leader_value in
+  let pages = leader.Leader.last_page in
+  let rec chase acc fn label pn =
+    if pn > pages then Ok (List.rev acc)
+    else
+      match Page.next_name fn label with
+      | None -> Error "descriptor file ends early"
+      | Some next_fn -> (
+          match Page.read drive next_fn with
+          | Error e ->
+              Error (Format.asprintf "descriptor page %d unreadable: %a" pn Page.pp_error e)
+          | Ok (next_label, value) ->
+              chase ((next_fn, value) :: acc) next_fn next_label (pn + 1))
+  in
+  let* data = chase [] (descriptor_page_name t 0) leader_label 1 in
+  let words = Array.concat (List.map snd data) in
+  let* () = parse_descriptor t words in
+  t.descriptor_pages <- Array.of_list (List.map (fun (fn, _) -> fn.Page.addr) data);
+  Ok t

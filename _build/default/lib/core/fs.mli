@@ -1,0 +1,146 @@
+(** A mounted volume: the disk descriptor and the page allocator (§3.3).
+
+    The disk descriptor lives in a file at a standard disk address and
+    holds the allocation map (a {e hint} — "the absolute information
+    about which pages are free is contained in the labels"), the disk
+    shape (absolute), and the name of the root directory (a hint).
+
+    Allocation follows the paper's protocol exactly. The map proposes a
+    page; the first write checks the free pattern in its label and only
+    then writes the real label — so "a page improperly marked free in the
+    map results in a little extra one-time disk activity", and a page
+    improperly marked busy is merely lost until the scavenger finds it.
+    Freeing checks the page's full name, then writes ones through label
+    and value. Both allocation and freeing therefore cost about one disk
+    revolution; ordinary data writes check the label for free.
+
+    [label_checking] can be turned off to measure what those checks cost
+    and what they buy (experiment E3/E9 ablations). *)
+
+module Word = Alto_machine.Word
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Disk_address = Alto_disk.Disk_address
+
+type allocation_policy =
+  | Near_previous
+      (** Scan onward from the last allocation — the default, which lays
+          files out close to consecutively on a quiet disk. *)
+  | Scattered of Random.State.t
+      (** Allocate uniformly at random — used by the experiments to
+          manufacture fragmentation. *)
+
+type error =
+  | Disk_full
+  | Page_error of Page.error
+  | Corrupt of string
+      (** The on-disk descriptor is unusable; the cure is the scavenger. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val boot_address : Disk_address.t
+(** DA 0: reserved for the first page of the boot file (§4). *)
+
+val descriptor_leader_address : Disk_address.t
+(** DA 1: the standard address of the disk descriptor file. *)
+
+val format : ?disk_name:string -> Drive.t -> t
+(** Make a virgin file system: every sector freed (ones through label and
+    value), a fresh descriptor file at the standard address, an empty
+    root directory, and the map flushed. Factory formatting writes the
+    pack out-of-band, so it costs no simulated time. *)
+
+val mount : Drive.t -> (t, string) result
+(** Read the descriptor from the standard address. Any damage — to the
+    descriptor's pages, its magic, or a shape that contradicts the
+    drive — yields [Error]; the caller's recovery is {!Scavenger}. *)
+
+val drive : t -> Drive.t
+val geometry : t -> Geometry.t
+val clock : t -> Alto_machine.Sim_clock.t
+val now_seconds : t -> int
+
+val root_dir : t -> Page.full_name option
+(** Page 0 of the root directory file. *)
+
+val set_root_dir : t -> Page.full_name -> unit
+
+val fresh_fid : ?directory:bool -> t -> File_id.t
+(** The next unused file id (serial counter; flushed with the map). *)
+
+val policy : t -> allocation_policy
+val set_policy : t -> allocation_policy -> unit
+val label_checking : t -> bool
+val set_label_checking : t -> bool -> unit
+
+(** {2 Allocation} *)
+
+val allocate_page :
+  t -> label:(Disk_address.t -> Label.t) -> value:Word.t array -> (Disk_address.t, error) result
+(** Pick a free page, then perform the first write: check the free
+    pattern, write [label addr] and [value]. Stale map entries and bad
+    sectors are retried transparently (the map is corrected as a side
+    effect). *)
+
+val reserve : t -> (Disk_address.t, error) result
+(** The map half of allocation only: pick a page and mark it busy. Used
+    when several pages' labels must cross-link before any is written;
+    each must still be written with {!write_first}. *)
+
+val unreserve : t -> Disk_address.t -> unit
+
+val write_first :
+  t -> Disk_address.t -> Label.t -> Word.t array -> (unit, [ `Not_free | `Bad ]) result
+(** The disk half: check-free then write label and value (two disk
+    operations — the revolution the paper charges to allocation). *)
+
+val free_page : t -> Page.full_name -> (unit, error) result
+(** Check the page's name, write ones through label and value, clear the
+    map bit. *)
+
+val free_count : t -> int
+val is_free_in_map : t -> Disk_address.t -> bool
+val mark_busy : t -> Disk_address.t -> unit
+(** Map-only marking; the scavenger and compactor use these while they
+    rebuild the map from labels. *)
+
+val mark_free : t -> Disk_address.t -> unit
+
+val flush : t -> (unit, error) result
+(** Write map, serial counter, shape and root name back into the
+    descriptor file. *)
+
+type counters = {
+  allocations : int;
+  frees : int;
+  stale_map_hits : int;
+      (** Allocation attempts refuted by the label's free check — the
+          map hint being caught lying. *)
+  bad_sectors_hit : int;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+(** {2 Reconstruction interface}
+
+    Used by the scavenger to build a volume handle from swept labels
+    rather than from a (possibly destroyed) descriptor. *)
+
+val create_unmounted : Drive.t -> t
+(** A handle with an all-busy map, no root, and the serial counter at
+    the first user serial; the scavenger then corrects all three and
+    calls {!rebuild_descriptor}. *)
+
+val set_next_serial : t -> int -> unit
+val next_serial : t -> int
+
+val rebuild_descriptor : t -> (unit, error) result
+(** Re-create the descriptor file's pages at the standard addresses
+    (assumed free or already the descriptor's own) and flush. *)
+
+val descriptor_page_count : t -> int
+(** Number of data pages the descriptor file occupies on this geometry;
+    together with the leader they sit at addresses 1..1+count. *)

@@ -1,0 +1,155 @@
+module Word = Alto_machine.Word
+module Disk_address = Alto_disk.Disk_address
+
+type entry = {
+  file_name : string;
+  leader : Page.full_name;
+  last_page : int;
+  last_addr : Disk_address.t;
+}
+
+type state = entry list
+
+type error =
+  | Dir_error of Directory.error
+  | File_error of File.error
+  | State_malformed of string
+
+let pp_error fmt = function
+  | Dir_error e -> Directory.pp_error fmt e
+  | File_error e -> File.pp_error fmt e
+  | State_malformed msg -> Format.fprintf fmt "state file malformed: %s" msg
+
+let ( let* ) = Result.bind
+let dir_err r = Result.map_error (fun e -> Dir_error e) r
+let file_err r = Result.map_error (fun e -> File_error e) r
+
+let entry_of_file file =
+  let* last_fn = file_err (File.page_name file (max 1 (File.last_page file))) in
+  Ok
+    {
+      file_name = (File.leader file).Leader.name;
+      leader = File.leader_name file;
+      last_page = File.last_page file;
+      last_addr = last_fn.Page.addr;
+    }
+
+let install fs ~directory ~names =
+  let rec each acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest ->
+        let* file =
+          let* existing = dir_err (Directory.lookup directory name) in
+          match existing with
+          | Some e -> file_err (File.open_leader fs e.Directory.entry_file)
+          | None ->
+              let* file = file_err (File.create fs ~name) in
+              let* () = dir_err (Directory.add directory ~name (File.leader_name file)) in
+              Ok file
+        in
+        let* entry = entry_of_file file in
+        each (entry :: acc) rest
+  in
+  each [] names
+
+(* State serialization: [count; per entry: fid (3 words), leader addr,
+   last page, last addr, name length, packed name]. *)
+let encode state =
+  let encode_entry e =
+    let w0, w1, v = File_id.to_words e.leader.Page.abs.Page.fid in
+    Array.concat
+      [
+        [|
+          w0;
+          w1;
+          v;
+          Disk_address.to_word e.leader.Page.addr;
+          Word.of_int_exn e.last_page;
+          Disk_address.to_word e.last_addr;
+          Word.of_int_exn (String.length e.file_name);
+        |];
+        Word.words_of_string e.file_name;
+      ]
+  in
+  Array.concat ([| Word.of_int_exn (List.length state) |] :: List.map encode_entry state)
+
+let decode words =
+  if Array.length words < 1 then Error (State_malformed "empty")
+  else
+    let count = Word.to_int words.(0) in
+    let rec each acc pos k =
+      if k = 0 then Ok (List.rev acc)
+      else if pos + 7 > Array.length words then Error (State_malformed "truncated entry")
+      else
+        match File_id.of_words words.(pos) words.(pos + 1) words.(pos + 2) with
+        | Error msg -> Error (State_malformed msg)
+        | Ok fid ->
+            let name_len = Word.to_int words.(pos + 6) in
+            let name_words = (name_len + 1) / 2 in
+            if pos + 7 + name_words > Array.length words then
+              Error (State_malformed "truncated name")
+            else
+              let e =
+                {
+                  file_name =
+                    Word.string_of_words
+                      (Array.sub words (pos + 7) name_words)
+                      ~len:name_len;
+                  leader =
+                    Page.full_name fid ~page:0
+                      ~addr:(Disk_address.of_word words.(pos + 3));
+                  last_page = Word.to_int words.(pos + 4);
+                  last_addr = Disk_address.of_word words.(pos + 5);
+                }
+              in
+              each (e :: acc) (pos + 7 + name_words) (k - 1)
+    in
+    each [] 1 count
+
+let state_file fs ~directory ~state_name ~create =
+  let* existing = dir_err (Directory.lookup directory state_name) in
+  match existing with
+  | Some e ->
+      let* f = file_err (File.open_leader fs e.Directory.entry_file) in
+      Ok (Some f)
+  | None ->
+      if not create then Ok None
+      else
+        let* file = file_err (File.create fs ~name:state_name) in
+        let* () = dir_err (Directory.add directory ~name:state_name (File.leader_name file)) in
+        Ok (Some file)
+
+let save fs ~directory ~state_name state =
+  let* file = state_file fs ~directory ~state_name ~create:true in
+  match file with
+  | None -> assert false
+  | Some file ->
+      let* () = file_err (File.truncate file ~len:0) in
+      let* () = file_err (File.write_words file ~pos:0 (encode state)) in
+      file_err (File.flush_leader file)
+
+let load_from file =
+  let total = File.byte_length file / 2 in
+  let* words = file_err (File.read_words file ~pos:0 ~len:total) in
+  decode words
+
+let load fs ~directory ~state_name =
+  let* file = state_file fs ~directory ~state_name ~create:false in
+  match file with
+  | None -> Ok None
+  | Some file ->
+      let* state = load_from file in
+      Ok (Some state)
+
+let fast_open fs state =
+  let rec each acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match File.open_leader fs e.leader with
+        | Ok file -> each (file :: acc) rest
+        | Error _ ->
+            Error
+              (`Reinstall_required
+                (Printf.sprintf "hint for %S failed" e.file_name)))
+  in
+  each [] state

@@ -1,0 +1,56 @@
+(** Installed hint files (§3.6).
+
+    "Many programs use a collection of auxiliary files to which they need
+    rapid access. … When these programs are 'installed', they create the
+    necessary files and store hints for them in a data structure that is
+    then written onto a state file. Subsequently the program can start
+    up, read the state file, and access all its auxiliary files at
+    maximum disk speed. If a hint fails, e.g. because a scratch file got
+    deleted or moved, the program must repeat the installation phase."
+
+    This module is that pattern, packaged: {!install} makes the files and
+    gathers the hints, {!save}/{!load} move the hint table through a
+    state file with a well-known name, and {!fast_open} opens everything
+    by hints alone — succeeding in a handful of label-checked reads, or
+    failing with [`Reinstall_required] and harming nothing. *)
+
+module Disk_address = Alto_disk.Disk_address
+
+type entry = {
+  file_name : string;
+  leader : Page.full_name;
+  last_page : int;  (** Hint to the file's last page… *)
+  last_addr : Disk_address.t;  (** …and its address. *)
+}
+
+type state = entry list
+
+type error =
+  | Dir_error of Directory.error
+  | File_error of File.error
+  | State_malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val install :
+  Fs.t -> directory:File.t -> names:string list -> (state, error) result
+(** Ensure each named file exists (creating and cataloguing missing
+    ones) and collect fresh hints for all of them. *)
+
+val save :
+  Fs.t -> directory:File.t -> state_name:string -> state -> (unit, error) result
+(** Write the hint table to the state file called [state_name] (created
+    on first use), replacing previous contents. *)
+
+val load :
+  Fs.t -> directory:File.t -> state_name:string -> (state option, error) result
+(** [Ok None] when no state file exists yet. *)
+
+val load_from : File.t -> (state, error) result
+(** Read the hint table from an already-open state file — for programs
+    that remember their state file's full name (in a world image, say)
+    and so never touch a directory on the fast path. *)
+
+val fast_open : Fs.t -> state -> (File.t list, [ `Reinstall_required of string ]) result
+(** Open every file through its saved hints only — no directory lookups.
+    Any stale hint means the installation is out of date. *)

@@ -1,0 +1,90 @@
+module Word = Alto_machine.Word
+module Sector = Alto_disk.Sector
+module Disk_address = Alto_disk.Disk_address
+
+type t = {
+  fid : File_id.t;
+  page : int;
+  length : int;
+  next : Disk_address.t;
+  prev : Disk_address.t;
+}
+
+let max_length = Sector.bytes_per_page
+
+let make ~fid ~page ~length ~next ~prev =
+  if page < 0 || page > 0xffff then invalid_arg "Label.make: page number out of range"
+  else if length < 0 || length > max_length then
+    invalid_arg "Label.make: length out of [0, 512]"
+  else { fid; page; length; next; prev }
+
+let to_words t =
+  let w0, w1, v = File_id.to_words t.fid in
+  [|
+    w0;
+    w1;
+    v;
+    Word.of_int_exn t.page;
+    Word.of_int_exn t.length;
+    Disk_address.to_word t.next;
+    Disk_address.to_word t.prev;
+  |]
+
+let ones = Word.of_int 0xffff
+
+(* The bad marker sets only the reserved bit in word 0; no valid file id
+   can produce it, and it differs from the free pattern in every other
+   word. *)
+let bad_marker = Word.of_int 0x4000
+
+let free_words () = Array.make Sector.label_words ones
+let bad_words () = Array.append [| bad_marker |] (Array.make (Sector.label_words - 1) Word.zero)
+let free_value () = Array.make Sector.value_words ones
+
+let check_size ws =
+  if Array.length ws <> Sector.label_words then
+    invalid_arg "Label: label image must be 7 words"
+
+type classified = Valid of t | Free | Bad | Garbage of string
+
+let classify ws =
+  check_size ws;
+  if Array.for_all (fun w -> Word.equal w ones) ws then Free
+  else if Word.equal ws.(0) bad_marker then Bad
+  else
+    match File_id.of_words ws.(0) ws.(1) ws.(2) with
+    | Error e -> Garbage e
+    | Ok fid ->
+        let length = Word.to_int ws.(4) in
+        if length > max_length then Garbage "length exceeds 512 bytes"
+        else
+          Valid
+            {
+              fid;
+              page = Word.to_int ws.(3);
+              length;
+              next = Disk_address.of_word ws.(5);
+              prev = Disk_address.of_word ws.(6);
+            }
+
+let of_words ws =
+  match classify ws with
+  | Valid t -> Ok t
+  | Free -> Error "label: page is free"
+  | Bad -> Error "label: page is marked bad"
+  | Garbage e -> Error ("label: " ^ e)
+
+let check_name fid ~page =
+  let w0, w1, v = File_id.to_words fid in
+  [| w0; w1; v; Word.of_int_exn page; Word.zero; Word.zero; Word.zero |]
+
+let check_free = free_words
+
+let equal a b =
+  File_id.equal a.fid b.fid && a.page = b.page && a.length = b.length
+  && Disk_address.equal a.next b.next
+  && Disk_address.equal a.prev b.prev
+
+let pp fmt t =
+  Format.fprintf fmt "(%a, %d) L=%d NL=%a PL=%a" File_id.pp t.fid t.page t.length
+    Disk_address.pp t.next Disk_address.pp t.prev

@@ -1,0 +1,83 @@
+(** The file system's interpretation of a sector's 7-word label (§3.1).
+
+    A label holds the page's absolute name — file id (2 words), version
+    (1 word), page number (1 word) — plus the byte count of live data and
+    the two link hints:
+
+    {v word 0-1  file identifier F
+       word 2    version number V
+       word 3    page number PN
+       word 4    length L (bytes of data in this page, 0..512)
+       word 5    next link NL (disk address hint, 0xffff = NIL)
+       word 6    previous link PL v}
+
+    Two further patterns share the label space: a {e free} page has all
+    seven words set to ones ("ones are written into label and value, to
+    ensure that any attempt to treat the page as part of a file will fail
+    with a label check error", §3.3), and a {e bad} page carries a marker
+    "so that it will never be used again" (§3.5). Both are unreachable by
+    valid labels because a valid file id never has the reserved bit set.
+
+    This module also builds the memory patterns handed to the disk's
+    check action. Word 0 of a check pattern for the zero-wildcard scheme:
+    any label word that is legitimately 0 (for instance the page number
+    of a leader page) silently becomes a wildcard — a genuine property of
+    the Alto's pattern-match check that the tests document. *)
+
+module Word = Alto_machine.Word
+module Sector = Alto_disk.Sector
+module Disk_address = Alto_disk.Disk_address
+
+type t = {
+  fid : File_id.t;
+  page : int;  (** Page number PN. *)
+  length : int;  (** Data bytes in this page, 0..512 (absolute). *)
+  next : Disk_address.t;  (** Address of (FV, PN+1), a hint. *)
+  prev : Disk_address.t;  (** Address of (FV, PN-1), a hint. *)
+}
+
+val make :
+  fid:File_id.t ->
+  page:int ->
+  length:int ->
+  next:Disk_address.t ->
+  prev:Disk_address.t ->
+  t
+(** Raises [Invalid_argument] if [page] is outside [0, 0xffff] or
+    [length] outside [0, 512]. *)
+
+val to_words : t -> Word.t array
+
+type classified =
+  | Valid of t
+  | Free  (** The all-ones free pattern. *)
+  | Bad  (** The permanently-bad marker. *)
+  | Garbage of string  (** Anything else — a scrambled or virgin label. *)
+
+val classify : Word.t array -> classified
+(** Raises [Invalid_argument] on a wrong-sized array. *)
+
+val of_words : Word.t array -> (t, string) result
+(** [Valid] labels only; everything else is an [Error]. *)
+
+val free_words : unit -> Word.t array
+(** A fresh all-ones label image, for writing when a page is freed. *)
+
+val bad_words : unit -> Word.t array
+(** A fresh bad-page marker image. *)
+
+val free_value : unit -> Word.t array
+(** The all-ones 256-word value image written alongside {!free_words}. *)
+
+val check_name : File_id.t -> page:int -> Word.t array
+(** The check pattern asserting the page's absolute name, with wildcards
+    for length and both links. After a successful check action the
+    wildcard positions have been replaced by the disk's words, so the
+    buffer decodes (via {!of_words}) to the page's complete label — the
+    standard way a reader learns the links for free. *)
+
+val check_free : unit -> Word.t array
+(** The check pattern asserting that the page is free. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

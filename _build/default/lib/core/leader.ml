@@ -1,0 +1,104 @@
+module Word = Alto_machine.Word
+module Sector = Alto_disk.Sector
+module Disk_address = Alto_disk.Disk_address
+
+type t = {
+  created_s : int;
+  written_s : int;
+  read_s : int;
+  name : string;
+  last_page : int;
+  last_addr : Disk_address.t;
+  maybe_consecutive : bool;
+}
+
+let max_name_length = 63
+
+(* Leader-page value layout (word offsets):
+     0      magic
+     1-2    created (seconds, hi/lo)
+     3-4    written
+     5-6    read
+     7      name byte count
+     8-39   name, packed two bytes per word
+     40     last page number
+     41     last page address
+     42     maybe-consecutive flag *)
+let magic = 0x1EAD
+let name_offset = 8
+let last_page_offset = 40
+let last_addr_offset = 41
+let consecutive_offset = 42
+
+let check_name name =
+  if String.length name > max_name_length then
+    invalid_arg "Leader: name longer than 63 bytes"
+  else if String.contains name '\000' then invalid_arg "Leader: name contains NUL"
+
+let make ?(created_s = 0) ?(written_s = 0) ?(read_s = 0) ~name ~last_page
+    ~last_addr ~maybe_consecutive () =
+  check_name name;
+  { created_s; written_s; read_s; name; last_page; last_addr; maybe_consecutive }
+
+let put32 value offset n =
+  value.(offset) <- Word.of_int (n lsr 16);
+  value.(offset + 1) <- Word.of_int n
+
+let get32 value offset =
+  (Word.to_int value.(offset) lsl 16) lor Word.to_int value.(offset + 1)
+
+let to_value t =
+  let value = Array.make Sector.value_words Word.zero in
+  value.(0) <- Word.of_int magic;
+  put32 value 1 t.created_s;
+  put32 value 3 t.written_s;
+  put32 value 5 t.read_s;
+  value.(7) <- Word.of_int_exn (String.length t.name);
+  Array.blit (Word.words_of_string t.name) 0 value name_offset
+    ((String.length t.name + 1) / 2);
+  value.(last_page_offset) <- Word.of_int_exn t.last_page;
+  value.(last_addr_offset) <- Disk_address.to_word t.last_addr;
+  value.(consecutive_offset) <- (if t.maybe_consecutive then Word.one else Word.zero);
+  value
+
+let of_value value =
+  if Array.length value <> Sector.value_words then Error "leader: wrong value size"
+  else if Word.to_int value.(0) <> magic then Error "leader: bad magic"
+  else
+    let name_len = Word.to_int value.(7) in
+    if name_len > max_name_length then Error "leader: name length corrupt"
+    else
+      let name_words = Array.sub value name_offset ((name_len + 1) / 2) in
+      Ok
+        {
+          created_s = get32 value 1;
+          written_s = get32 value 3;
+          read_s = get32 value 5;
+          name = Word.string_of_words name_words ~len:name_len;
+          last_page = Word.to_int value.(last_page_offset);
+          last_addr = Disk_address.of_word value.(last_addr_offset);
+          maybe_consecutive = not (Word.equal value.(consecutive_offset) Word.zero);
+        }
+
+let with_last t ~last_page ~last_addr = { t with last_page; last_addr }
+
+let with_times t ?written_s ?read_s () =
+  {
+    t with
+    written_s = Option.value written_s ~default:t.written_s;
+    read_s = Option.value read_s ~default:t.read_s;
+  }
+
+let with_consecutive t flag = { t with maybe_consecutive = flag }
+
+let equal a b =
+  a.created_s = b.created_s && a.written_s = b.written_s && a.read_s = b.read_s
+  && String.equal a.name b.name
+  && a.last_page = b.last_page
+  && Disk_address.equal a.last_addr b.last_addr
+  && a.maybe_consecutive = b.maybe_consecutive
+
+let pp fmt t =
+  Format.fprintf fmt "leader %S (last page %d @@ %a%s)" t.name t.last_page
+    Disk_address.pp t.last_addr
+    (if t.maybe_consecutive then ", consecutive" else "")

@@ -1,0 +1,51 @@
+(** Leader pages (§3.2).
+
+    Page 0 of every file "contains all the properties of the file other
+    than its length and its data": the three dates and the leader name
+    are absolute; the last-page hint and the maybe-consecutive flag are
+    hints. The leader name exists solely so that the scavenger can
+    re-attach a file to a directory when every directory entry for it has
+    been lost (§3.4, §3.5). *)
+
+module Word = Alto_machine.Word
+module Disk_address = Alto_disk.Disk_address
+
+type t = {
+  created_s : int;  (** Creation time, seconds (absolute). *)
+  written_s : int;  (** Last write (absolute). *)
+  read_s : int;  (** Last read (absolute). *)
+  name : string;  (** The leader name (absolute). *)
+  last_page : int;  (** Page number of the last page (hint). *)
+  last_addr : Disk_address.t;  (** Its disk address (hint). *)
+  maybe_consecutive : bool;
+      (** Set when the file was laid out consecutively; a program "is
+          free to assume that a file is consecutive" and let the label
+          check catch it out (hint). *)
+}
+
+val max_name_length : int
+(** 63 bytes. *)
+
+val make :
+  ?created_s:int ->
+  ?written_s:int ->
+  ?read_s:int ->
+  name:string ->
+  last_page:int ->
+  last_addr:Disk_address.t ->
+  maybe_consecutive:bool ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on an over-long or NUL-containing name. *)
+
+val to_value : t -> Word.t array
+(** The full 256-word leader-page image. *)
+
+val of_value : Word.t array -> (t, string) result
+
+val with_last : t -> last_page:int -> last_addr:Disk_address.t -> t
+val with_times : t -> ?written_s:int -> ?read_s:int -> unit -> t
+val with_consecutive : t -> bool -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module Word = Alto_machine.Word
+module Sector = Alto_disk.Sector
+module Drive = Alto_disk.Drive
+module Disk_address = Alto_disk.Disk_address
+
+type absolute = { fid : File_id.t; page : int }
+
+type full_name = { abs : absolute; addr : Disk_address.t }
+
+let full_name fid ~page ~addr = { abs = { fid; page }; addr }
+
+let pp_full_name fmt fn =
+  Format.fprintf fmt "(%a, %d) @@ %a" File_id.pp fn.abs.fid fn.abs.page
+    Disk_address.pp fn.addr
+
+let next_name fn (label : Label.t) =
+  if Disk_address.is_nil label.Label.next then None
+  else Some (full_name fn.abs.fid ~page:(fn.abs.page + 1) ~addr:label.Label.next)
+
+let prev_name fn (label : Label.t) =
+  if Disk_address.is_nil label.Label.prev then None
+  else Some (full_name fn.abs.fid ~page:(fn.abs.page - 1) ~addr:label.Label.prev)
+
+type error = Hint_failed of Drive.error | Bad_label of string
+
+let pp_error fmt = function
+  | Hint_failed e -> Format.fprintf fmt "hint failed: %a" Drive.pp_error e
+  | Bad_label msg -> Format.fprintf fmt "bad label: %s" msg
+
+let decode_checked_label buf =
+  match Label.of_words buf with
+  | Ok label -> Ok label
+  | Error msg -> Error (Bad_label msg)
+
+let read drive fn =
+  let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
+  let value = Array.make Sector.value_words Word.zero in
+  match
+    Drive.run drive fn.addr
+      { Drive.op_none with label = Some Drive.Check; value = Some Drive.Read }
+      ~label:label_buf ~value ()
+  with
+  | Error e -> Error (Hint_failed e)
+  | Ok () -> (
+      match decode_checked_label label_buf with
+      | Ok label -> Ok (label, value)
+      | Error e -> Error e)
+
+let read_label drive fn =
+  let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
+  match
+    Drive.run drive fn.addr
+      { Drive.op_none with label = Some Drive.Check }
+      ~label:label_buf ()
+  with
+  | Error e -> Error (Hint_failed e)
+  | Ok () -> decode_checked_label label_buf
+
+let check_value_size value =
+  if Array.length value <> Sector.value_words then
+    invalid_arg "Page: value must be 256 words"
+
+let write ?(check = true) drive fn value =
+  check_value_size value;
+  if check then
+    let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
+    match
+      Drive.run drive fn.addr
+        { Drive.op_none with label = Some Drive.Check; value = Some Drive.Write }
+        ~label:label_buf ~value ()
+    with
+    | Error e -> Error (Hint_failed e)
+    | Ok () -> decode_checked_label label_buf
+  else
+    match
+      Drive.run drive fn.addr
+        { Drive.op_none with value = Some Drive.Write }
+        ~value ()
+    with
+    | Error e -> Error (Hint_failed e)
+    | Ok () ->
+        (* Without the check we can only trust the caller's absolute name. *)
+        Ok
+          (Label.make ~fid:fn.abs.fid ~page:fn.abs.page ~length:0
+             ~next:Disk_address.nil ~prev:Disk_address.nil)
+
+let rewrite_label drive fn ~new_label ~value =
+  check_value_size value;
+  let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
+  match
+    Drive.run drive fn.addr
+      { Drive.op_none with label = Some Drive.Check }
+      ~label:label_buf ()
+  with
+  | Error e -> Error (Hint_failed e)
+  | Ok () -> (
+      match
+        Drive.run drive fn.addr
+          { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
+          ~label:(Label.to_words new_label) ~value ()
+      with
+      | Error e -> Error (Hint_failed e)
+      | Ok () -> Ok ())
+
+let read_raw drive addr =
+  let header = Array.make Sector.header_words Word.zero in
+  let label = Array.make Sector.label_words Word.zero in
+  match
+    Drive.run drive addr
+      { Drive.op_none with header = Some Drive.Read; label = Some Drive.Read }
+      ~header ~label ()
+  with
+  | Error e -> Error e
+  | Ok () -> Ok (header, label)

@@ -1,0 +1,63 @@
+(** Pages and their names (§3.1), and the label-checked disk operations
+    on them (§3.3).
+
+    A page's {e absolute name} is (FV, n): file id, version, page number.
+    Its {e hint name} is a disk address. The {e full name} is the pair;
+    every disk access in the system quotes a full name, and the label
+    check guarantees that "the hint (address) used to access a disk page
+    actually leads to the page specified by the absolute part". *)
+
+module Word = Alto_machine.Word
+module Drive = Alto_disk.Drive
+module Disk_address = Alto_disk.Disk_address
+
+type absolute = { fid : File_id.t; page : int }
+
+type full_name = { abs : absolute; addr : Disk_address.t }
+
+val full_name : File_id.t -> page:int -> addr:Disk_address.t -> full_name
+val pp_full_name : Format.formatter -> full_name -> unit
+
+val next_name : full_name -> Label.t -> full_name option
+(** The full name of the following page, built from a just-read label —
+    "it is easy to go from the full name of a page to the full names of
+    the next and previous pages". [None] when the label's next link is
+    NIL. *)
+
+val prev_name : full_name -> Label.t -> full_name option
+
+type error =
+  | Hint_failed of Drive.error
+      (** The label check refuted the address hint, or the sector is
+          bad. The caller should climb the recovery ladder of §3.6. *)
+  | Bad_label of string
+      (** The label read back does not parse — scavenger territory. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val read : Drive.t -> full_name -> (Label.t * Word.t array, error) result
+(** One disk operation: check the label against the absolute name, read
+    the value. The returned label is complete (length and links), learned
+    through the check's wildcards. *)
+
+val read_label : Drive.t -> full_name -> (Label.t, error) result
+(** As {!read} but without transferring the value. *)
+
+val write : ?check:bool -> Drive.t -> full_name -> Word.t array -> (Label.t, error) result
+(** One disk operation: check the label (unless [check:false] — the
+    ablation mode of experiment E3), write the 256-word value. Does not
+    change the label, so the page keeps its length; use {!rewrite_label}
+    to change L or the links. Raises [Invalid_argument] on a wrong-sized
+    value. *)
+
+val rewrite_label :
+  Drive.t -> full_name -> new_label:Label.t -> value:Word.t array -> (unit, error) result
+(** Two disk operations, §3.3's third label-write occasion: first check
+    the old label (and read the current value into [value]'s zeroed
+    buffer if desired), then write the new label and value. Costs about a
+    revolution — the price the paper quotes for changing a file's
+    length. *)
+
+val read_raw :
+  Drive.t -> Disk_address.t -> (Word.t array * Word.t array, Drive.error) result
+(** Header and label, no checking — what the scavenger's sweep uses. *)

@@ -1,0 +1,490 @@
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+module Sector = Alto_disk.Sector
+module Drive = Alto_disk.Drive
+module Disk_address = Alto_disk.Disk_address
+
+type report = {
+  sectors_scanned : int;
+  files_found : int;
+  nameless_files : int;
+  directories_found : int;
+  orphans_adopted : int;
+  links_repaired : int;
+  labels_reclaimed : int;
+  bad_sectors : int;
+  entries_fixed : int;
+  entries_removed : int;
+  incomplete_files : int;
+  pages_lost : int;
+  duplicate_pages : int;
+  relocated_pages : int;
+  pages_marked_bad : int;
+  root_rebuilt : bool;
+  duration_us : int;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>scanned %d sectors in %a@,\
+     files %d (dirs %d), orphans adopted %d@,\
+     links repaired %d, labels reclaimed %d, bad sectors %d@,\
+     entries fixed %d, removed %d; incomplete files %d, pages lost %d@,\
+     duplicates %d, relocated %d%s%s@]"
+    r.sectors_scanned Sim_clock.pp_duration r.duration_us r.files_found
+    r.directories_found r.orphans_adopted r.links_repaired r.labels_reclaimed
+    r.bad_sectors r.entries_fixed r.entries_removed r.incomplete_files
+    r.pages_lost r.duplicate_pages r.relocated_pages
+    (if r.pages_marked_bad > 0 then
+       Printf.sprintf ", %d pages marked bad" r.pages_marked_bad
+     else "")
+    (if r.root_rebuilt then ", root rebuilt" else "")
+
+
+(* Mutable per-file assembly: page number -> (sector index, label). *)
+type file_pages = (int, int * Label.t) Hashtbl.t
+
+type state = {
+  drive : Drive.t;
+  mutable duplicate_pages : int;
+  mutable pages_lost : int;
+  mutable incomplete_files : int;
+  mutable links_repaired : int;
+  mutable labels_reclaimed : int;
+  mutable relocated_pages : int;
+  mutable entries_fixed : int;
+  mutable entries_removed : int;
+  mutable orphans_adopted : int;
+}
+
+let write_free st index =
+  let addr = Disk_address.of_index index in
+  match
+    Drive.run st.drive addr
+      { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
+      ~label:(Label.free_words ()) ~value:(Label.free_value ()) ()
+  with
+  | Ok () -> true
+  | Error (Drive.Bad_sector | Drive.Check_mismatch _) -> false
+
+(* Copy one page's sector to a fresh location, out of the descriptor's
+   reserved range. *)
+let move_page st ~fid ~pn ~src ~dst (label : Label.t) =
+  let value = Array.make Sector.value_words Word.zero in
+  let src_addr = Disk_address.of_index src and dst_addr = Disk_address.of_index dst in
+  match
+    Drive.run st.drive src_addr
+      { Drive.op_none with value = Some Drive.Read }
+      ~value ()
+  with
+  | Error _ -> false
+  | Ok () -> (
+      ignore fid;
+      ignore pn;
+      match
+        Drive.run st.drive dst_addr
+          { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
+          ~label:(Label.to_words label) ~value ()
+      with
+      | Error _ -> false
+      | Ok () ->
+          st.relocated_pages <- st.relocated_pages + 1;
+          true)
+
+(* Rewrite a page's label with corrected links (reads the value first,
+   then the two-operation check-and-rewrite). *)
+let repair_label st ~fid ~pn ~addr_index ~length ~next ~prev =
+  let addr = Disk_address.of_index addr_index in
+  let fn = Page.full_name fid ~page:pn ~addr in
+  match Page.read st.drive fn with
+  | Error _ -> false
+  | Ok (_, value) -> (
+      let new_label = Label.make ~fid ~page:pn ~length ~next ~prev in
+      match Page.rewrite_label st.drive fn ~new_label ~value with
+      | Ok () ->
+          st.links_repaired <- st.links_repaired + 1;
+          true
+      | Error _ -> false)
+
+let scavenge ?(verify_values = false) drive =
+  let clock = Drive.clock drive in
+  let started = Sim_clock.now_us clock in
+  let sweep = Sweep.run drive in
+  let n = Array.length sweep.Sweep.classes in
+  let st =
+    {
+      drive;
+      duplicate_pages = 0;
+      pages_lost = 0;
+      incomplete_files = 0;
+      links_repaired = 0;
+      labels_reclaimed = 0;
+      relocated_pages = 0;
+      entries_fixed = 0;
+      entries_removed = 0;
+      orphans_adopted = 0;
+    }
+  in
+
+  (* 1. Group live pages by file id; detect duplicate absolute names. *)
+  let files : (File_id.t, file_pages) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    match sweep.Sweep.classes.(i) with
+    | Sweep.Live label ->
+        let fid = label.Label.fid in
+        (* The descriptor is rebuilt from scratch, so its old pages are
+           simply not collected. *)
+        if not (File_id.equal fid File_id.descriptor) then begin
+          let pages =
+            match Hashtbl.find_opt files fid with
+            | Some p -> p
+            | None ->
+                let p = Hashtbl.create 8 in
+                Hashtbl.add files fid p;
+                p
+          in
+          match Hashtbl.find_opt pages label.Label.page with
+          | Some _ -> st.duplicate_pages <- st.duplicate_pages + 1
+          | None -> Hashtbl.add pages label.Label.page (i, label)
+        end
+    | Sweep.Free_sector | Sweep.Marked_bad | Sweep.Bad_media | Sweep.Garbage _ -> ()
+  done;
+
+  (* 1b. Optional value verification: read every live page's data. A
+     sector whose label works but whose data surface is gone gets the
+     bad marker written into its label — §3.5's "marked in the label
+     with a special value so that they will never be used again" — and
+     its page drops out of its file. *)
+  let quarantined : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  if verify_values then begin
+    let probe = Array.make Alto_disk.Sector.value_words Word.zero in
+    (* Probe in disk-address order so the pass streams like the sweep. *)
+    let live =
+      Hashtbl.fold
+        (fun _fid (pages : file_pages) acc ->
+          Hashtbl.fold (fun pn (i, _) acc -> (i, pn, pages) :: acc) pages acc)
+        files []
+    in
+    let live = List.sort (fun (a, _, _) (b, _, _) -> compare a b) live in
+    List.iter
+      (fun (i, pn, pages) ->
+        match
+          Drive.run st.drive (Disk_address.of_index i)
+            { Drive.op_none with Drive.value = Some Drive.Read }
+            ~value:probe ()
+        with
+        | Ok () -> ()
+        | Error (Drive.Bad_sector | Drive.Check_mismatch _) ->
+            Hashtbl.remove pages pn;
+            (* Write the marker; the data surface accepts writes blind. *)
+            (match
+               Drive.run st.drive (Disk_address.of_index i)
+                 { Drive.op_none with
+                   Drive.label = Some Drive.Write;
+                   value = Some Drive.Write
+                 }
+                 ~label:(Label.bad_words ()) ~value:(Label.free_value ()) ()
+             with
+            | Ok () | Error _ -> ());
+            Hashtbl.replace quarantined i ();
+            st.pages_lost <- st.pages_lost + 1)
+      live
+  end;
+
+  (* 2. Per-file contiguity: keep the longest prefix 0..k; everything
+     beyond a gap (or a whole headless file) is lost. *)
+  let final : (File_id.t, (int * Label.t) array) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun fid (pages : file_pages) ->
+      if Hashtbl.length pages = 0 then ()
+      else if not (Hashtbl.mem pages 0) then begin
+        st.incomplete_files <- st.incomplete_files + 1;
+        st.pages_lost <- st.pages_lost + Hashtbl.length pages
+      end
+      else begin
+        let rec prefix k = if Hashtbl.mem pages (k + 1) then prefix (k + 1) else k in
+        let k = prefix 0 in
+        let total = Hashtbl.length pages in
+        if total > k + 1 then begin
+          st.incomplete_files <- st.incomplete_files + 1;
+          Hashtbl.iter
+            (fun pn (_, _) -> if pn > k then st.pages_lost <- st.pages_lost + 1)
+            pages
+        end;
+        Hashtbl.replace final fid (Array.init (k + 1) (fun pn -> Hashtbl.find pages pn))
+      end)
+    files;
+
+  (* 3. Occupancy: the reserved range, bad sectors, and every kept page. *)
+  let fs = Fs.create_unmounted drive in
+  let reserved_top = 1 + Fs.descriptor_page_count fs in
+  let reserved i = i >= 1 && i <= reserved_top in
+  let busy = Array.make n false in
+  busy.(0) <- true;
+  for i = 1 to reserved_top do
+    busy.(i) <- true
+  done;
+  let bad_sectors = ref 0 in
+  for i = 0 to n - 1 do
+    match sweep.Sweep.classes.(i) with
+    | Sweep.Marked_bad | Sweep.Bad_media ->
+        busy.(i) <- true;
+        incr bad_sectors
+    | Sweep.Live _ | Sweep.Free_sector | Sweep.Garbage _ ->
+        if Hashtbl.mem quarantined i then busy.(i) <- true
+  done;
+  Hashtbl.iter
+    (fun _ pages ->
+      Array.iter (fun (i, _) -> if not (reserved i) then busy.(i) <- true) pages)
+    final;
+
+  (* 4. Evacuate live pages from the reserved range (page 0, the boot
+     page, stays where it is). *)
+  let next_target = ref 0 in
+  let pick_target () =
+    while
+      !next_target < n
+      && (busy.(!next_target)
+         ||
+         match sweep.Sweep.classes.(!next_target) with
+         | Sweep.Marked_bad | Sweep.Bad_media -> true
+         | Sweep.Live _ | Sweep.Free_sector | Sweep.Garbage _ -> false)
+    do
+      incr next_target
+    done;
+    if !next_target >= n then None
+    else begin
+      busy.(!next_target) <- true;
+      Some !next_target
+    end
+  in
+  Hashtbl.iter
+    (fun fid pages ->
+      Array.iteri
+        (fun pn (i, label) ->
+          if reserved i then
+            match pick_target () with
+            | Some dst when move_page st ~fid ~pn ~src:i ~dst label ->
+                pages.(pn) <- (dst, label)
+            | Some _ | None ->
+                (* No room or the move failed: the page is lost. *)
+                st.pages_lost <- st.pages_lost + 1;
+                pages.(pn) <- (i, label))
+        pages)
+    final;
+
+  (* 5. Free every non-busy sector that is not already free. *)
+  for i = 0 to n - 1 do
+    if not busy.(i) then begin
+      (match sweep.Sweep.classes.(i) with
+      | Sweep.Free_sector -> ()
+      | Sweep.Garbage _ ->
+          if write_free st i then st.labels_reclaimed <- st.labels_reclaimed + 1
+          else begin
+            busy.(i) <- true;
+            incr bad_sectors
+          end
+      | Sweep.Live _ ->
+          if not (write_free st i) then begin
+            busy.(i) <- true;
+            incr bad_sectors
+          end
+      | Sweep.Marked_bad | Sweep.Bad_media -> assert false);
+      ()
+    end
+  done;
+
+  (* 6. Install the rebuilt allocation map. *)
+  for i = 0 to n - 1 do
+    let addr = Disk_address.of_index i in
+    if busy.(i) then Fs.mark_busy fs addr else Fs.mark_free fs addr
+  done;
+
+  (* 7. Repair links (and force the last page's next link to NIL). *)
+  Hashtbl.iter
+    (fun fid pages ->
+      let last = Array.length pages - 1 in
+      let addr_of pn =
+        if pn < 0 || pn > last then Disk_address.nil
+        else Disk_address.of_index (fst pages.(pn))
+      in
+      Array.iteri
+        (fun pn (i, label) ->
+          let next = addr_of (pn + 1) and prev = addr_of (pn - 1) in
+          if
+            (not (Disk_address.equal label.Label.next next))
+            || not (Disk_address.equal label.Label.prev prev)
+          then begin
+            if
+              repair_label st ~fid ~pn ~addr_index:i ~length:label.Label.length
+                ~next ~prev
+            then
+              pages.(pn) <-
+                (i, Label.make ~fid ~page:pn ~length:label.Label.length ~next ~prev)
+          end)
+        pages)
+    final;
+
+  (* 8. Read every leader page: the leader name is the file's survival
+     kit, so the scavenger verifies each one is legible (and this pass is
+     a large share of the minute the paper quotes — one scattered read
+     per file). *)
+  let nameless_files = ref 0 in
+  Hashtbl.iter
+    (fun fid pages ->
+      let fn = Page.full_name fid ~page:0 ~addr:(Disk_address.of_index (fst pages.(0))) in
+      match Page.read drive fn with
+      | Error _ -> incr nameless_files
+      | Ok (_, value) -> (
+          match Leader.of_value value with
+          | Ok _ -> ()
+          | Error _ -> incr nameless_files))
+    final;
+
+  (* 9. Serial counter: beyond every serial seen. *)
+  let max_serial =
+    Hashtbl.fold (fun fid _ m -> max m fid.File_id.serial) final 0
+  in
+  Fs.set_next_serial fs (max (max_serial + 1) File_id.first_user_serial);
+
+  (* 9. Directories: verify entries, fix addresses, drop dangling ones. *)
+  let leader_name_of fid = Page.full_name fid ~page:0 ~addr:(Disk_address.of_index (fst (Hashtbl.find final fid).(0))) in
+  let referenced : (File_id.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let open_directories =
+    Hashtbl.fold
+      (fun fid _ acc ->
+        if File_id.is_directory fid then
+          match File.open_leader fs (leader_name_of fid) with
+          | Ok file -> (fid, file) :: acc
+          | Error _ -> acc
+        else acc)
+      final []
+  in
+  List.iter
+    (fun (_fid, dir_file) ->
+      let entries, damaged = Directory.salvage dir_file in
+      let changed = ref damaged in
+      let kept =
+        List.filter_map
+          (fun (e : Directory.entry) ->
+            let efid = e.Directory.entry_file.Page.abs.Page.fid in
+            match Hashtbl.find_opt final efid with
+            | None ->
+                st.entries_removed <- st.entries_removed + 1;
+                changed := true;
+                None
+            | Some pages ->
+                Hashtbl.replace referenced efid ();
+                let real = Disk_address.of_index (fst pages.(0)) in
+                if Disk_address.equal e.Directory.entry_file.Page.addr real then Some e
+                else begin
+                  st.entries_fixed <- st.entries_fixed + 1;
+                  changed := true;
+                  Some
+                    {
+                      e with
+                      Directory.entry_file =
+                        Page.full_name efid ~page:0 ~addr:real;
+                    }
+                end)
+          entries
+      in
+      if !changed then
+        match Directory.rewrite dir_file kept with
+        | Ok () -> ()
+        | Error _ -> ())
+    open_directories;
+
+  (* 10. Choose or rebuild the root directory. *)
+  let find_root () =
+    match
+      List.find_opt
+        (fun (fid, _) -> File_id.equal fid File_id.root_directory)
+        open_directories
+    with
+    | Some (_, file) -> Some file
+    | None ->
+        List.find_opt
+          (fun (_, file) -> String.equal (File.leader file).Leader.name "SysDir.")
+          open_directories
+        |> Option.map snd
+  in
+  let root_rebuilt = ref false in
+  let root_result =
+    match find_root () with
+    | Some file -> Ok file
+    | None ->
+        root_rebuilt := true;
+        let fid =
+          if Hashtbl.mem final File_id.root_directory then
+            Fs.fresh_fid ~directory:true fs
+          else File_id.root_directory
+        in
+        File.create_with_id fs fid ~name:"SysDir."
+  in
+  match root_result with
+  | Error e -> Error (Format.asprintf "cannot rebuild a root directory: %a" File.pp_error e)
+  | Ok root -> (
+      Fs.set_root_dir fs (File.leader_name root);
+      Hashtbl.replace referenced (File.fid root) ();
+
+      (* 11. Adopt orphans under their leader names. *)
+      let unique_name base =
+        let rec go candidate k =
+          match Directory.lookup root candidate with
+          | Ok None -> candidate
+          | Ok (Some _) -> go (Printf.sprintf "%s~%d" base k) (k + 1)
+          | Error _ -> candidate
+        in
+        go base 1
+      in
+      Hashtbl.iter
+        (fun fid pages ->
+          if not (Hashtbl.mem referenced fid) then begin
+            let addr = Disk_address.of_index (fst pages.(0)) in
+            let fn = Page.full_name fid ~page:0 ~addr in
+            let base =
+              match Page.read drive fn with
+              | Ok (_, value) -> (
+                  match Leader.of_value value with
+                  | Ok leader when String.length leader.Leader.name > 0 ->
+                      leader.Leader.name
+                  | Ok _ | Error _ ->
+                      Printf.sprintf "Scavenged.%d!%d" fid.File_id.serial
+                        fid.File_id.version)
+              | Error _ ->
+                  Printf.sprintf "Scavenged.%d!%d" fid.File_id.serial
+                    fid.File_id.version
+            in
+            match Directory.add root ~name:(unique_name base) fn with
+            | Ok () -> st.orphans_adopted <- st.orphans_adopted + 1
+            | Error _ -> ()
+          end)
+        final;
+
+      (* 12. A fresh descriptor at the standard address. *)
+      match Fs.rebuild_descriptor fs with
+      | Error e -> Error (Format.asprintf "cannot write a fresh descriptor: %a" Fs.pp_error e)
+      | Ok () ->
+          let report =
+            {
+              sectors_scanned = n;
+              files_found = Hashtbl.length final;
+              nameless_files = !nameless_files;
+              directories_found = List.length open_directories;
+              orphans_adopted = st.orphans_adopted;
+              links_repaired = st.links_repaired;
+              labels_reclaimed = st.labels_reclaimed;
+              bad_sectors = !bad_sectors;
+              entries_fixed = st.entries_fixed;
+              entries_removed = st.entries_removed;
+              incomplete_files = st.incomplete_files;
+              pages_lost = st.pages_lost;
+              duplicate_pages = st.duplicate_pages;
+              relocated_pages = st.relocated_pages;
+              pages_marked_bad = Hashtbl.length quarantined;
+              root_rebuilt = !root_rebuilt;
+              duration_us = Sim_clock.now_us clock - started;
+            }
+          in
+          Ok (fs, report))

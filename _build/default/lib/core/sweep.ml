@@ -1,0 +1,65 @@
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+module Drive = Alto_disk.Drive
+module Disk_address = Alto_disk.Disk_address
+
+type sector_class =
+  | Live of Label.t
+  | Free_sector
+  | Marked_bad
+  | Bad_media
+  | Garbage of string
+
+type t = {
+  classes : sector_class array;
+  headers_ok : bool array;
+  duration_us : int;
+}
+
+let classify_sector header label ~pack_id ~index =
+  let cls =
+    match Label.classify label with
+    | Label.Valid l -> Live l
+    | Label.Free -> Free_sector
+    | Label.Bad -> Marked_bad
+    | Label.Garbage msg -> Garbage msg
+  in
+  let header_ok =
+    Word.to_int header.(0) = pack_id
+    && Disk_address.equal (Disk_address.of_word header.(1)) (Disk_address.of_index index)
+  in
+  (cls, header_ok)
+
+let run drive =
+  let clock = Drive.clock drive in
+  let started = Sim_clock.now_us clock in
+  let n = Drive.sector_count drive in
+  let classes = Array.make n Free_sector in
+  let headers_ok = Array.make n true in
+  for i = 0 to n - 1 do
+    let addr = Disk_address.of_index i in
+    match Page.read_raw drive addr with
+    | Error Drive.Bad_sector -> classes.(i) <- Bad_media
+    | Error (Drive.Check_mismatch _) ->
+        (* read_raw performs no checks. *)
+        assert false
+    | Ok (header, label) ->
+        let cls, header_ok =
+          classify_sector header label ~pack_id:(Drive.pack_id drive) ~index:i
+        in
+        classes.(i) <- cls;
+        headers_ok.(i) <- header_ok
+  done;
+  { classes; headers_ok; duration_us = Sim_clock.now_us clock - started }
+
+let live_count t =
+  Array.fold_left
+    (fun n c -> match c with Live _ -> n + 1 | Free_sector | Marked_bad | Bad_media | Garbage _ -> n)
+    0 t.classes
+
+let pp_class fmt = function
+  | Live l -> Format.fprintf fmt "live %a" Label.pp l
+  | Free_sector -> Format.pp_print_string fmt "free"
+  | Marked_bad -> Format.pp_print_string fmt "marked bad"
+  | Bad_media -> Format.pp_print_string fmt "bad media"
+  | Garbage msg -> Format.fprintf fmt "garbage (%s)" msg

@@ -1,0 +1,31 @@
+(** The scavenger's first pass: "reading all the labels on the disk"
+    (§3.5).
+
+    One label read per sector, in address order — consecutive sectors on
+    a track stream past in a single revolution, which is what makes a
+    full sweep of a 2.5 MB pack take seconds rather than minutes. The
+    result classifies every sector; interpreting the classes (chains,
+    files, repairs) is {!Scavenger}'s job, and the compacting scavenger
+    ({!Compactor}) reuses the same pass. *)
+
+module Drive = Alto_disk.Drive
+module Disk_address = Alto_disk.Disk_address
+
+type sector_class =
+  | Live of Label.t  (** A valid label: part of some file. *)
+  | Free_sector  (** The all-ones free pattern. *)
+  | Marked_bad  (** Carries the bad-page marker; never reuse. *)
+  | Bad_media  (** The drive cannot read it at all. *)
+  | Garbage of string  (** An unparseable label. *)
+
+type t = {
+  classes : sector_class array;  (** Indexed by sector number. *)
+  headers_ok : bool array;
+      (** Whether the sector's header named the right pack and address. *)
+  duration_us : int;
+}
+
+val run : Drive.t -> t
+
+val live_count : t -> int
+val pp_class : Format.formatter -> sector_class -> unit

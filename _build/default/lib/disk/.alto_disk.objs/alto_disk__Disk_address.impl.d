@@ -1,0 +1,1 @@
+lib/disk/disk_address.ml: Alto_machine Format Geometry Stdlib

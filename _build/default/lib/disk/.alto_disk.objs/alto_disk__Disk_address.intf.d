@@ -1,0 +1,1 @@
+lib/disk/disk_address.mli: Alto_machine Format Geometry

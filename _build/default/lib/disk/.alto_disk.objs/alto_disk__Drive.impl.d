@@ -1,0 +1,1 @@
+lib/disk/drive.ml: Alto_machine Array Disk_address Format Geometry Option Printf Sector

@@ -1,0 +1,1 @@
+lib/disk/drive.mli: Alto_machine Disk_address Format Geometry Sector

@@ -1,0 +1,1 @@
+lib/disk/fault.ml: Alto_machine Array Disk_address Drive Random Sector

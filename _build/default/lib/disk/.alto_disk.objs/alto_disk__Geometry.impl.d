@@ -1,0 +1,1 @@
+lib/disk/geometry.ml: Alto_machine Array Format

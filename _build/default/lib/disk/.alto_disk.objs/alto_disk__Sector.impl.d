@@ -1,0 +1,1 @@
+lib/disk/sector.ml: Alto_machine Array Format

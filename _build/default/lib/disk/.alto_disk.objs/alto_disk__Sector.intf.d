@@ -1,0 +1,1 @@
+lib/disk/sector.mli: Alto_machine Format

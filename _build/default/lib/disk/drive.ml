@@ -1,0 +1,245 @@
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+
+type action = Read | Check | Write
+
+type op = {
+  header : action option;
+  label : action option;
+  value : action option;
+}
+
+let op_none = { header = None; label = None; value = None }
+
+type error =
+  | Bad_sector
+  | Check_mismatch of {
+      part : Sector.part;
+      offset : int;
+      memory : Word.t;
+      disk : Word.t;
+    }
+
+let pp_error fmt = function
+  | Bad_sector -> Format.pp_print_string fmt "bad sector"
+  | Check_mismatch { part; offset; memory; disk } ->
+      Format.fprintf fmt "check mismatch in %a word %d: memory %a, disk %a"
+        Sector.pp_part part offset Word.pp memory Word.pp disk
+
+type stats = {
+  operations : int;
+  seeks : int;
+  seek_us : int;
+  rotational_wait_us : int;
+  transfer_us : int;
+  words_read : int;
+  words_written : int;
+  check_failures : int;
+}
+
+let zero_stats =
+  {
+    operations = 0;
+    seeks = 0;
+    seek_us = 0;
+    rotational_wait_us = 0;
+    transfer_us = 0;
+    words_read = 0;
+    words_written = 0;
+    check_failures = 0;
+  }
+
+exception Power_failure
+
+type t = {
+  geometry : Geometry.t;
+  pack_id : int;
+  clock : Sim_clock.t;
+  sectors : Sector.t array;
+  bad : bool array;
+  mutable current_cylinder : int;
+  mutable stats : stats;
+  mutable power_budget : int option;
+  value_unreadable : bool array;
+}
+
+let format_header t index =
+  let s = t.sectors.(index) in
+  s.Sector.header.(0) <- Word.of_int t.pack_id;
+  s.Sector.header.(1) <- Disk_address.to_word (Disk_address.of_index index)
+
+let create ?clock ~pack_id geometry =
+  (match Geometry.validate geometry with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Drive.create: " ^ e));
+  let n = Geometry.sector_count geometry in
+  let clock = match clock with Some c -> c | None -> Sim_clock.create () in
+  let t =
+    {
+      geometry;
+      pack_id;
+      clock;
+      sectors = Array.init n (fun _ -> Sector.create ());
+      bad = Array.make n false;
+      current_cylinder = 0;
+      stats = zero_stats;
+      power_budget = None;
+      value_unreadable = Array.make n false;
+    }
+  in
+  for i = 0 to n - 1 do
+    format_header t i
+  done;
+  t
+
+let geometry t = t.geometry
+let clock t = t.clock
+let pack_id t = t.pack_id
+let sector_count t = Array.length t.sectors
+
+let check_address t addr =
+  let i = Disk_address.to_index addr in
+  if i >= sector_count t then
+    invalid_arg (Printf.sprintf "Drive: address %d beyond disk (%d sectors)" i (sector_count t))
+  else i
+
+(* Write-continuation rule: a write on a part forces writes on every
+   later part of the sector. *)
+let validate_continuation op =
+  let is_write = function Some Write -> true | Some Read | Some Check | None -> false in
+  let violation =
+    (is_write op.header && not (is_write op.label && is_write op.value))
+    || (is_write op.label && not (is_write op.value))
+  in
+  if violation then
+    invalid_arg "Drive.run: once a write is begun it must continue through the rest of the sector"
+
+let validate_buffer part action buf =
+  match (action, buf) with
+  | None, _ -> ()
+  | Some _, None ->
+      invalid_arg
+        (Format.asprintf "Drive.run: %a action requires a buffer" Sector.pp_part part)
+  | Some _, Some b ->
+      if Array.length b <> Sector.part_size part then
+        invalid_arg
+          (Format.asprintf "Drive.run: %a buffer must have %d words" Sector.pp_part
+             part (Sector.part_size part))
+
+let charge_motion t index =
+  let cylinder, _, sector = Disk_address.chs t.geometry (Disk_address.of_index index) in
+  let seek_us =
+    Geometry.seek_time_us t.geometry ~from_cylinder:t.current_cylinder
+      ~to_cylinder:cylinder
+  in
+  if seek_us > 0 then begin
+    Sim_clock.advance_us t.clock seek_us;
+    t.stats <- { t.stats with seeks = t.stats.seeks + 1; seek_us = t.stats.seek_us + seek_us }
+  end;
+  t.current_cylinder <- cylinder;
+  let rotation = t.geometry.Geometry.rotation_us in
+  let sector_time = Geometry.sector_time_us t.geometry in
+  let angle = Sim_clock.now_us t.clock mod rotation in
+  let slot_start = sector * sector_time in
+  let wait = (slot_start - angle + rotation) mod rotation in
+  Sim_clock.advance_us t.clock wait;
+  t.stats <-
+    { t.stats with rotational_wait_us = t.stats.rotational_wait_us + wait };
+  Sim_clock.advance_us t.clock sector_time;
+  t.stats <- { t.stats with transfer_us = t.stats.transfer_us + sector_time }
+
+(* Perform one part's action; [Error _] aborts the rest of the sector. *)
+let perform t part action disk_words buf =
+  let n = Array.length disk_words in
+  match action with
+  | Read ->
+      Array.blit disk_words 0 buf 0 n;
+      t.stats <- { t.stats with words_read = t.stats.words_read + n };
+      Ok ()
+  | Write ->
+      Array.blit buf 0 disk_words 0 n;
+      t.stats <- { t.stats with words_written = t.stats.words_written + n };
+      Ok ()
+  | Check ->
+      let rec scan i =
+        if i >= n then Ok ()
+        else if Word.equal buf.(i) Word.zero then begin
+          buf.(i) <- disk_words.(i);
+          scan (i + 1)
+        end
+        else if Word.equal buf.(i) disk_words.(i) then scan (i + 1)
+        else begin
+          t.stats <- { t.stats with check_failures = t.stats.check_failures + 1 };
+          Error (Check_mismatch { part; offset = i; memory = buf.(i); disk = disk_words.(i) })
+        end
+      in
+      scan 0
+
+let set_power_budget t budget =
+  if Option.fold ~none:false ~some:(fun n -> n < 0) budget then
+    invalid_arg "Drive.set_power_budget: negative budget"
+  else t.power_budget <- budget
+
+let run t addr op ?header ?label ?value () =
+  (match t.power_budget with
+  | Some 0 -> raise Power_failure
+  | Some n -> t.power_budget <- Some (n - 1)
+  | None -> ());
+  let index = check_address t addr in
+  validate_continuation op;
+  validate_buffer Sector.Header op.header header;
+  validate_buffer Sector.Label op.label label;
+  validate_buffer Sector.Value op.value value;
+  charge_motion t index;
+  t.stats <- { t.stats with operations = t.stats.operations + 1 };
+  if t.bad.(index) then Error Bad_sector
+  else
+    let sector = t.sectors.(index) in
+    let step part action buf k =
+      match action with
+      | None -> k ()
+      | Some action ->
+          if
+            part = Sector.Value
+            && t.value_unreadable.(index)
+            && (action = Read || action = Check)
+          then Error Bad_sector
+          else (
+            let buf = Option.get buf in
+            match perform t part action (Sector.part_of sector part) buf with
+            | Ok () -> k ()
+            | Error e -> Error e)
+    in
+    step Sector.Header op.header header (fun () ->
+        step Sector.Label op.label label (fun () ->
+            step Sector.Value op.value value (fun () -> Ok ())))
+
+let stats t = t.stats
+let reset_stats t = t.stats <- zero_stats
+
+let peek t addr =
+  let index = check_address t addr in
+  Sector.copy t.sectors.(index)
+
+let poke t addr part words =
+  let index = check_address t addr in
+  let target = Sector.part_of t.sectors.(index) part in
+  if Array.length words <> Array.length target then
+    invalid_arg "Drive.poke: wrong part size"
+  else Array.blit words 0 target 0 (Array.length target)
+
+let set_bad t addr flag =
+  let index = check_address t addr in
+  t.bad.(index) <- flag
+
+let is_bad t addr =
+  let index = check_address t addr in
+  t.bad.(index)
+
+let set_value_unreadable t addr flag =
+  let index = check_address t addr in
+  t.value_unreadable.(index) <- flag
+
+let is_value_unreadable t addr =
+  let index = check_address t addr in
+  t.value_unreadable.(index)

@@ -1,0 +1,130 @@
+(** A simulated disk drive with the Alto controller's transfer semantics.
+
+    §3.3: "A single disk operation can perform read, check or write
+    actions independently on each of these parts, with the restriction
+    that once a write is begun, it must continue through the rest of the
+    sector. A check action compares data on the disk with corresponding
+    data taken from memory, word by word, and aborts the entire operation
+    if they don't match. If a memory word is 0, however, it is replaced by
+    the corresponding disk word, so that a check action is a simple kind
+    of pattern match."
+
+    Every operation is charged simulated time: a seek if the cylinder
+    changes, a rotational wait until the target sector comes under the
+    head, and one sector's transfer time. The paper's one-revolution cost
+    for allocate/free falls out of this model: two successive operations
+    on the same sector must wait almost a full revolution between them,
+    while an operation on the next sector of the same track starts
+    immediately. *)
+
+module Word = Alto_machine.Word
+
+type t
+
+type action = Read | Check | Write
+
+type op = {
+  header : action option;
+  label : action option;
+  value : action option;
+}
+(** What to do to each part, processed in header, label, value order.
+    [None] means the part is skipped. *)
+
+val op_none : op
+(** All parts skipped; combine with record update syntax. *)
+
+type error =
+  | Bad_sector  (** The sector is permanently unreadable. *)
+  | Check_mismatch of {
+      part : Sector.part;
+      offset : int;
+      memory : Word.t;
+      disk : Word.t;
+    }
+      (** A check action found a non-wildcard memory word differing from
+          the disk. Parts after the failing one were not performed. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type stats = {
+  operations : int;
+  seeks : int;
+  seek_us : int;
+  rotational_wait_us : int;
+  transfer_us : int;
+  words_read : int;
+  words_written : int;
+  check_failures : int;
+}
+
+val create : ?clock:Alto_machine.Sim_clock.t -> pack_id:int -> Geometry.t -> t
+(** A formatted pack: every sector's header holds the pack id and its own
+    disk address; labels and values are zeroed. Raises [Invalid_argument]
+    if the geometry fails {!Geometry.validate}. *)
+
+val geometry : t -> Geometry.t
+val clock : t -> Alto_machine.Sim_clock.t
+val pack_id : t -> int
+val sector_count : t -> int
+
+val run :
+  t ->
+  Disk_address.t ->
+  op ->
+  ?header:Word.t array ->
+  ?label:Word.t array ->
+  ?value:Word.t array ->
+  unit ->
+  (unit, error) result
+(** Execute one disk operation. Each part with an action must be given a
+    buffer of exactly that part's size: [Read] fills the buffer from the
+    disk, [Check] pattern-matches it against the disk (mutating wildcard
+    zeros to the disk's words), [Write] stores it to the disk.
+
+    Raises [Invalid_argument] — these are programming errors, not disk
+    errors — if the address is nil or out of range, a buffer is missing
+    or mis-sized, or the operation violates the write-continuation rule
+    (a write on one part requires writes on all later parts). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+exception Power_failure
+(** Raised by {!run} when an injected power budget runs out — the
+    machine stops mid-workload, leaving the pack exactly as the
+    completed operations left it. The crash-consistency tests sweep the
+    failure point across whole workloads. *)
+
+val set_power_budget : t -> int option -> unit
+(** [set_power_budget t (Some n)] lets [n] more operations complete and
+    makes the one after raise {!Power_failure}; [None] (the default)
+    removes the limit. Out-of-band access ({!peek}/{!poke}) is not
+    limited — the microscope works even on a dead machine. *)
+
+(** {2 Out-of-band access}
+
+    These bypass the controller and the clock. They exist for tests,
+    fault injection and the experiment harness — the moral equivalent of
+    pulling the pack out of the drive and putting it under a microscope.
+    Production code paths must use {!run}. *)
+
+val peek : t -> Disk_address.t -> Sector.t
+(** A copy of the sector's current contents. *)
+
+val poke : t -> Disk_address.t -> Sector.part -> Word.t array -> unit
+(** Overwrite one part directly. *)
+
+val set_bad : t -> Disk_address.t -> bool -> unit
+(** Mark or unmark a sector as permanently bad. *)
+
+val is_bad : t -> Disk_address.t -> bool
+
+val set_value_unreadable : t -> Disk_address.t -> bool -> unit
+(** A subtler media failure: the data surface is damaged, so reading or
+    checking the value part fails with {!Bad_sector}, but the label (and
+    writes, which have no read-back) still work — the failure mode
+    behind §3.5's "permanently bad pages are marked in the label with a
+    special value so that they will never be used again". *)
+
+val is_value_unreadable : t -> Disk_address.t -> bool

@@ -1,0 +1,32 @@
+(** Fault injection.
+
+    §3.5's scavenger exists because packs decay, programs crash mid-write
+    and directories get scrambled. This module manufactures those
+    misfortunes deterministically (all randomness comes from a caller-
+    supplied [Random.State.t]) so the robustness experiments (E9) and the
+    scavenger tests are reproducible. *)
+
+val corrupt_part :
+  Random.State.t -> Drive.t -> Disk_address.t -> Sector.part -> unit
+(** Replace every word of the part with random junk. *)
+
+val zero_part : Drive.t -> Disk_address.t -> Sector.part -> unit
+
+val flip_word :
+  Random.State.t -> Drive.t -> Disk_address.t -> Sector.part -> unit
+(** Flip one random bit in one random word — a single soft error. *)
+
+val make_bad : Drive.t -> Disk_address.t -> unit
+(** The sector becomes permanently unreadable. *)
+
+val make_value_unreadable : Drive.t -> Disk_address.t -> unit
+(** The sector's data surface fails: value reads error, label operations
+    and writes still work. The scavenger's value-verification pass finds
+    such sectors and marks them bad in the label. *)
+
+val decay :
+  Random.State.t -> Drive.t -> fraction:float -> Disk_address.t list
+(** [decay rng drive ~fraction] corrupts the labels of roughly [fraction]
+    of all sectors (each sector independently with that probability) and
+    returns the victims. Raises [Invalid_argument] unless
+    [0 <= fraction <= 1]. *)

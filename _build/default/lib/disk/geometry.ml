@@ -1,0 +1,105 @@
+module Word = Alto_machine.Word
+
+type t = {
+  model : string;
+  cylinders : int;
+  heads : int;
+  sectors_per_track : int;
+  rotation_us : int;
+  seek_settle_us : int;
+  seek_per_cylinder_us : int;
+}
+
+let diablo_31 =
+  {
+    model = "Diablo Model 31";
+    cylinders = 203;
+    heads = 2;
+    sectors_per_track = 12;
+    rotation_us = 40_000;
+    seek_settle_us = 8_000;
+    seek_per_cylinder_us = 260;
+  }
+
+let diablo_44 =
+  {
+    model = "Diablo Model 44";
+    cylinders = 406;
+    heads = 2;
+    sectors_per_track = 12;
+    rotation_us = 20_000;
+    seek_settle_us = 8_000;
+    seek_per_cylinder_us = 130;
+  }
+
+let sector_count g = g.cylinders * g.heads * g.sectors_per_track
+let capacity_words g = sector_count g * 256
+let capacity_bytes g = capacity_words g * 2
+let sector_time_us g = g.rotation_us / g.sectors_per_track
+
+let seek_time_us g ~from_cylinder ~to_cylinder =
+  let distance = abs (to_cylinder - from_cylinder) in
+  if distance = 0 then 0 else g.seek_settle_us + (distance * g.seek_per_cylinder_us)
+
+let validate g =
+  if g.cylinders <= 0 || g.heads <= 0 || g.sectors_per_track <= 0 then
+    Error "geometry: dimensions must be positive"
+  else if g.rotation_us <= 0 then Error "geometry: rotation time must be positive"
+  else if g.seek_settle_us < 0 || g.seek_per_cylinder_us < 0 then
+    Error "geometry: seek times must be non-negative"
+  else if sector_count g > 0xfffe then
+    (* 0xffff is reserved for the nil disk address. *)
+    Error "geometry: too many sectors for 16-bit disk addresses"
+  else Ok ()
+
+(* Three dimension words, then each timing field split into two words
+   (high, low) so that times above 65535 µs survive the 16-bit encoding. *)
+let encoded_words = 9
+
+let split32 n = (Word.of_int (n lsr 16), Word.of_int n)
+let join32 hi lo = (Word.to_int hi lsl 16) lor Word.to_int lo
+
+let to_words g =
+  let rot_hi, rot_lo = split32 g.rotation_us in
+  let settle_hi, settle_lo = split32 g.seek_settle_us in
+  let per_cyl_hi, per_cyl_lo = split32 g.seek_per_cylinder_us in
+  [|
+    Word.of_int_exn g.cylinders;
+    Word.of_int_exn g.heads;
+    Word.of_int_exn g.sectors_per_track;
+    rot_hi;
+    rot_lo;
+    settle_hi;
+    settle_lo;
+    per_cyl_hi;
+    per_cyl_lo;
+  |]
+
+let of_words ws =
+  if Array.length ws <> encoded_words then Error "geometry: wrong encoding length"
+  else
+    let g =
+      {
+        model = "(decoded from disk descriptor)";
+        cylinders = Word.to_int ws.(0);
+        heads = Word.to_int ws.(1);
+        sectors_per_track = Word.to_int ws.(2);
+        rotation_us = join32 ws.(3) ws.(4);
+        seek_settle_us = join32 ws.(5) ws.(6);
+        seek_per_cylinder_us = join32 ws.(7) ws.(8);
+      }
+    in
+    match validate g with Ok () -> Ok g | Error e -> Error e
+
+let equal a b =
+  a.cylinders = b.cylinders && a.heads = b.heads
+  && a.sectors_per_track = b.sectors_per_track
+  && a.rotation_us = b.rotation_us
+  && a.seek_settle_us = b.seek_settle_us
+  && a.seek_per_cylinder_us = b.seek_per_cylinder_us
+
+let pp fmt g =
+  Format.fprintf fmt "%s: %d cyl x %d heads x %d sectors (%d KB, %d ms/rev)"
+    g.model g.cylinders g.heads g.sectors_per_track
+    (capacity_bytes g / 1024)
+    (g.rotation_us / 1000)

@@ -1,0 +1,36 @@
+let header_words = 2
+let label_words = 7
+let value_words = 256
+let bytes_per_page = value_words * 2
+
+type part = Header | Label | Value
+
+let part_size = function
+  | Header -> header_words
+  | Label -> label_words
+  | Value -> value_words
+
+let pp_part fmt part =
+  Format.pp_print_string fmt
+    (match part with Header -> "header" | Label -> "label" | Value -> "value")
+
+type t = {
+  header : Alto_machine.Word.t array;
+  label : Alto_machine.Word.t array;
+  value : Alto_machine.Word.t array;
+}
+
+let create () =
+  {
+    header = Array.make header_words Alto_machine.Word.zero;
+    label = Array.make label_words Alto_machine.Word.zero;
+    value = Array.make value_words Alto_machine.Word.zero;
+  }
+
+let copy s =
+  { header = Array.copy s.header; label = Array.copy s.label; value = Array.copy s.value }
+
+let part_of s = function
+  | Header -> s.header
+  | Label -> s.label
+  | Value -> s.value

@@ -1,0 +1,46 @@
+(** The physical representation of a page (§3.3).
+
+    A sector has three independently accessible parts:
+    - a {e header} (2 words): the disk pack number and the disk address;
+    - a {e label} (7 words): the file id (2), version, page number, length,
+      next link, previous link — interpreted by the file system layer;
+    - a {e value}: the 256 data words.
+
+    This module fixes those sizes and provides raw sector storage. The
+    disk layer treats all three parts as opaque word arrays; giving the
+    words meaning is the file system's business, which is how the paper
+    gets a disk format "standardized at a level below any of the
+    software". *)
+
+val header_words : int
+(** 2 *)
+
+val label_words : int
+(** 7 *)
+
+val value_words : int
+(** 256 *)
+
+val bytes_per_page : int
+(** 512: the data capacity of one page's value part. *)
+
+type part = Header | Label | Value
+
+val part_size : part -> int
+val pp_part : Format.formatter -> part -> unit
+
+type t = {
+  header : Alto_machine.Word.t array;
+  label : Alto_machine.Word.t array;
+  value : Alto_machine.Word.t array;
+}
+(** Live storage for one sector; the arrays are mutated in place by disk
+    transfers. *)
+
+val create : unit -> t
+(** A factory-fresh sector, all parts zeroed. *)
+
+val copy : t -> t
+
+val part_of : t -> part -> Alto_machine.Word.t array
+(** The live array backing a part. *)

@@ -1,0 +1,1 @@
+lib/machine/asm.ml: Array Instr List Printf Result String Word

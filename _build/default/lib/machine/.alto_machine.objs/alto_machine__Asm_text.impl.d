@@ -1,0 +1,1 @@
+lib/machine/asm_text.ml: Asm Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/machine/asm_text.mli: Asm

@@ -1,0 +1,1 @@
+lib/machine/instr.ml: Format Printf Word

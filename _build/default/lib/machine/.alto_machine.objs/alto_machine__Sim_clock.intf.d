@@ -1,0 +1,1 @@
+lib/machine/sim_clock.mli: Format

@@ -1,0 +1,1 @@
+lib/machine/vm.ml: Cpu Format Instr List Memory Printf Word

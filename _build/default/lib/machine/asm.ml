@@ -1,0 +1,186 @@
+type operand = Reg of int | Imm of int | Lab of string | Ext of string
+
+type item =
+  | Op of string * operand list
+  | Label of string
+  | Word_data of int
+  | String_data of string
+  | Block of int
+
+type program = {
+  origin : int;
+  code : Word.t array;
+  entry : int;
+  fixups : (int * string) list;
+  symbols : (string * int) list;
+}
+
+(* Mnemonic shapes: how many operands, which kinds, and the constructor. *)
+type kind =
+  | K0 of Instr.t
+  | Kr of (int -> Instr.t)
+  | Krr of (int -> int -> Instr.t)
+  | Krc of (int -> int -> Instr.t)  (* register + small literal count *)
+  | Kri of (int -> int -> Instr.t)  (* register + immediate/label/extern *)
+  | Ki of (int -> Instr.t)  (* immediate/label/extern *)
+  | Kc of (int -> Instr.t)  (* small literal code *)
+
+let kinds =
+  [
+    ("HALT", K0 Instr.Halt);
+    ("RET", K0 Instr.Ret);
+    ("PUSH", Kr (fun r -> Instr.Push r));
+    ("POP", Kr (fun r -> Instr.Pop r));
+    ("JSRI", Kr (fun r -> Instr.Jsri r));
+    ("MFP", Kr (fun r -> Instr.Mfp r));
+    ("MTF", Kr (fun r -> Instr.Mtf r));
+    ("MUL", Krr (fun r r2 -> Instr.Mul (r, r2)));
+    ("DIV", Krr (fun r r2 -> Instr.Div (r, r2)));
+    ("REM", Krr (fun r r2 -> Instr.Rem (r, r2)));
+    ("LDX", Krr (fun r r2 -> Instr.Ldx (r, r2)));
+    ("STX", Krr (fun r r2 -> Instr.Stx (r, r2)));
+    ("MOV", Krr (fun r r2 -> Instr.Mov (r, r2)));
+    ("ADD", Krr (fun r r2 -> Instr.Add (r, r2)));
+    ("SUB", Krr (fun r r2 -> Instr.Sub (r, r2)));
+    ("AND", Krr (fun r r2 -> Instr.And_ (r, r2)));
+    ("OR", Krr (fun r r2 -> Instr.Or_ (r, r2)));
+    ("XOR", Krr (fun r r2 -> Instr.Xor_ (r, r2)));
+    ("SHL", Krc (fun r n -> Instr.Shl (r, n)));
+    ("SHR", Krc (fun r n -> Instr.Shr (r, n)));
+    ("LDI", Kri (fun r v -> Instr.Ldi (r, v)));
+    ("LDA", Kri (fun r v -> Instr.Lda (r, v)));
+    ("STA", Kri (fun r v -> Instr.Sta (r, v)));
+    ("ADDI", Kri (fun r v -> Instr.Addi (r, v)));
+    ("JZ", Kri (fun r v -> Instr.Jz (r, v)));
+    ("JNZ", Kri (fun r v -> Instr.Jnz (r, v)));
+    ("JLT", Kri (fun r v -> Instr.Jlt (r, v)));
+    ("JMP", Ki (fun v -> Instr.Jmp v));
+    ("JSR", Ki (fun v -> Instr.Jsr v));
+    ("SYS", Kc (fun c -> Instr.Sys c));
+  ]
+
+let kind_of mnemonic = List.assoc_opt mnemonic kinds
+
+let item_size = function
+  | Op (m, _) -> (
+      match kind_of m with
+      | Some (K0 _ | Kr _ | Krr _ | Krc _ | Kc _) -> Ok 1
+      | Some (Kri _ | Ki _) -> Ok 2
+      | None -> Error (Printf.sprintf "unknown mnemonic %S" m))
+  | Label _ -> Ok 0
+  | Word_data _ -> Ok 1
+  | String_data s -> Ok (1 + ((String.length s + 1) / 2))
+  | Block n -> if n < 0 then Error "negative block size" else Ok n
+
+let assemble ?(origin = 0) items =
+  let ( let* ) = Result.bind in
+  (* Pass 1: addresses of every item and label. *)
+  let* symbols, _total =
+    List.fold_left
+      (fun acc item ->
+        let* symbols, addr = acc in
+        let* size = item_size item in
+        match item with
+        | Label name ->
+            if List.mem_assoc name symbols then
+              Error (Printf.sprintf "label %S defined twice" name)
+            else Ok ((name, addr) :: symbols, addr)
+        | Op _ | Word_data _ | String_data _ | Block _ -> Ok (symbols, addr + size))
+      (Ok ([], origin))
+      items
+  in
+  let lookup name =
+    match List.assoc_opt name symbols with
+    | Some a -> Ok a
+    | None -> Error (Printf.sprintf "undefined label %S" name)
+  in
+  (* Pass 2: emit. [emit] returns words in reverse plus fixups. *)
+  let reg = function
+    | Reg r when r >= 0 && r <= 3 -> Ok r
+    | Reg r -> Error (Printf.sprintf "no register AC%d" r)
+    | Imm _ | Lab _ | Ext _ -> Error "expected a register operand"
+  in
+  let literal = function
+    | Imm v -> Ok v
+    | Reg _ | Lab _ | Ext _ -> Error "expected a literal operand"
+  in
+  (* An immediate position may hold a literal, a label, or an extern; an
+     extern assembles as 0 and records a fixup at [imm_offset]. *)
+  let immediate imm_offset fixups = function
+    | Imm v -> Ok (v, fixups)
+    | Lab name ->
+        let* a = lookup name in
+        Ok (a, fixups)
+    | Ext name -> Ok (0, (imm_offset, name) :: fixups)
+    | Reg _ -> Error "expected an immediate, label or external operand"
+  in
+  let bad_arity m = Error (Printf.sprintf "wrong operand count for %s" m) in
+  let emit_instr offset fixups m operands =
+    let* kind =
+      match kind_of m with
+      | Some k -> Ok k
+      | None -> Error (Printf.sprintf "unknown mnemonic %S" m)
+    in
+    let* instr, fixups =
+      match (kind, operands) with
+      | K0 i, [] -> Ok (i, fixups)
+      | Kr f, [ o ] ->
+          let* r = reg o in
+          Ok (f r, fixups)
+      | Krr f, [ o1; o2 ] ->
+          let* r = reg o1 in
+          let* r2 = reg o2 in
+          Ok (f r r2, fixups)
+      | Krc f, [ o1; o2 ] ->
+          let* r = reg o1 in
+          let* n = literal o2 in
+          Ok (f r n, fixups)
+      | Kri f, [ o1; o2 ] ->
+          let* r = reg o1 in
+          let* v, fixups = immediate (offset + 1) fixups o2 in
+          Ok (f r v, fixups)
+      | Ki f, [ o ] ->
+          let* v, fixups = immediate (offset + 1) fixups o in
+          Ok (f v, fixups)
+      | Kc f, [ o ] ->
+          let* c = literal o in
+          Ok (f c, fixups)
+      | (K0 _ | Kr _ | Krr _ | Krc _ | Kri _ | Ki _ | Kc _), _ -> bad_arity m
+    in
+    match Instr.encode instr with
+    | words -> Ok (words, fixups)
+    | exception Invalid_argument msg -> Error (m ^ ": " ^ msg)
+  in
+  let* rev_words, fixups =
+    List.fold_left
+      (fun acc item ->
+        let* rev_words, fixups = acc in
+        let offset = List.length rev_words in
+        match item with
+        | Label _ -> Ok (rev_words, fixups)
+        | Word_data v ->
+            if v < 0 || v > 0xffff then Error "data word out of range"
+            else Ok (Word.of_int_exn v :: rev_words, fixups)
+        | String_data s ->
+            let packed = Word.words_of_string s in
+            let with_len =
+              Word.of_int_exn (String.length s) :: Array.to_list packed
+            in
+            Ok (List.rev_append with_len rev_words, fixups)
+        | Block n -> Ok (List.rev_append (List.init n (fun _ -> Word.zero)) rev_words, fixups)
+        | Op (m, operands) ->
+            let* words, fixups = emit_instr offset fixups m operands in
+            Ok (List.rev_append words rev_words, fixups))
+      (Ok ([], []))
+      items
+  in
+  let code = Array.of_list (List.rev rev_words) in
+  let entry =
+    match List.assoc_opt "start" symbols with Some a -> a | None -> origin
+  in
+  Ok { origin; code; entry; fixups = List.rev fixups; symbols = List.rev symbols }
+
+let assemble_exn ?origin items =
+  match assemble ?origin items with
+  | Ok p -> p
+  | Error msg -> failwith ("Asm.assemble: " ^ msg)

@@ -1,0 +1,40 @@
+(** A small two-pass assembler.
+
+    Test programs, example applications and the executive's utilities are
+    written in this assembly and turned into code images for the loader.
+    Beyond labels, the assembler supports {e external references} to
+    named operating-system procedures: each leaves a hole in the emitted
+    code and an entry in the fixup table, exactly the arrangement §5.1
+    describes ("all references to operating system procedures are bound,
+    using a fixup table contained in the code file"). *)
+
+type operand =
+  | Reg of int  (** AC0–AC3. *)
+  | Imm of int  (** A literal word. *)
+  | Lab of string  (** A label defined in the same program. *)
+  | Ext of string  (** An OS procedure, bound by the loader at load time. *)
+
+type item =
+  | Op of string * operand list  (** Mnemonic as printed by {!Instr.pp}. *)
+  | Label of string
+  | Word_data of int  (** One literal data word. *)
+  | String_data of string
+      (** A length word followed by the string packed two bytes/word. *)
+  | Block of int  (** [n] zeroed words. *)
+
+type program = {
+  origin : int;  (** Address the code was assembled for. *)
+  code : Word.t array;
+  entry : int;  (** Absolute address of the [start] label, else [origin]. *)
+  fixups : (int * string) list;
+      (** [(offset, name)]: the word at [code.(offset)] must be patched
+          with the address of OS procedure [name] before running. *)
+  symbols : (string * int) list;  (** Every label, at its absolute address. *)
+}
+
+val assemble : ?origin:int -> item list -> (program, string) result
+(** Errors mention the offending mnemonic, label or operand. *)
+
+val assemble_exn : ?origin:int -> item list -> program
+(** Raises [Failure] — for tests and examples whose programs are
+    constants. *)

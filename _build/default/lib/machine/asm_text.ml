@@ -1,0 +1,143 @@
+exception Syntax of string
+
+let fail_line n msg = raise (Syntax (Printf.sprintf "line %d: %s" n msg))
+
+(* Strip a trailing comment, respecting string literals. *)
+let strip_comment line =
+  let n = String.length line in
+  let rec scan i in_string =
+    if i >= n then line
+    else
+      match line.[i] with
+      | '"' -> scan (i + 1) (not in_string)
+      | '\\' when in_string -> scan (i + 2) in_string
+      | ';' when not in_string -> String.sub line 0 i
+      | _ -> scan (i + 1) in_string
+  in
+  scan 0 false
+
+let parse_literal token =
+  let char_literal () =
+    if String.length token = 3 && token.[2] = '\'' then Some (Char.code token.[1])
+    else if String.length token = 4 && token.[1] = '\\' && token.[3] = '\'' then
+      match token.[2] with
+      | 'n' -> Some (Char.code '\n')
+      | 't' -> Some (Char.code '\t')
+      | '\\' -> Some (Char.code '\\')
+      | '\'' -> Some (Char.code '\'')
+      | '0' -> Some 0
+      | _ -> None
+    else None
+  in
+  if String.length token = 0 then None
+  else if token.[0] = '\'' then char_literal ()
+  else int_of_string_opt token (* handles 0x…, 0o…, decimal *)
+
+let parse_operand lineno token =
+  let token = String.trim token in
+  if String.length token = 0 then fail_line lineno "empty operand"
+  else if String.length token = 3 && String.sub token 0 2 = "AC" then
+    match token.[2] with
+    | '0' .. '3' -> Asm.Reg (Char.code token.[2] - Char.code '0')
+    | _ -> fail_line lineno (Printf.sprintf "no register %s" token)
+  else if token.[0] = '@' then Asm.Ext (String.sub token 1 (String.length token - 1))
+  else
+    match parse_literal token with
+    | Some v -> Asm.Imm v
+    | None -> Asm.Lab token
+
+let split_operands s =
+  if String.trim s = "" then []
+  else List.map String.trim (String.split_on_char ',' s)
+
+let parse_string_literal s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then None
+  else begin
+    let buffer = Buffer.create (n - 2) in
+    let rec go i =
+      if i >= n - 1 then Some (Buffer.contents buffer)
+      else if s.[i] = '\\' && i + 1 < n - 1 then begin
+        (match s.[i + 1] with
+        | 'n' -> Buffer.add_char buffer '\n'
+        | 't' -> Buffer.add_char buffer '\t'
+        | '\\' -> Buffer.add_char buffer '\\'
+        | '"' -> Buffer.add_char buffer '"'
+        | c -> Buffer.add_char buffer c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buffer s.[i];
+        go (i + 1)
+      end
+    in
+    go 1
+  end
+
+let is_label_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '$'
+
+let parse_directive lineno rest =
+  let directive, argument =
+    match String.index_opt rest ' ' with
+    | Some k -> (String.sub rest 0 k, String.trim (String.sub rest k (String.length rest - k)))
+    | None -> (rest, "")
+  in
+  match directive with
+  | ".word" -> (
+      match parse_literal argument with
+      | Some v when v >= 0 && v <= 0xffff -> Asm.Word_data v
+      | Some _ | None -> fail_line lineno ".word needs a 16-bit literal")
+  | ".block" -> (
+      match parse_literal argument with
+      | Some v when v >= 0 -> Asm.Block v
+      | Some _ | None -> fail_line lineno ".block needs a size")
+  | ".string" -> (
+      match parse_string_literal argument with
+      | Some s -> Asm.String_data s
+      | None -> fail_line lineno ".string needs a quoted string")
+  | other -> fail_line lineno (Printf.sprintf "unknown directive %s" other)
+
+let parse source =
+  try
+    let items = ref [] in
+    let emit item = items := item :: !items in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let line = String.trim (strip_comment raw) in
+        if line <> "" then begin
+          (* Peel a leading "name:" label. *)
+          let rest =
+            match String.index_opt line ':' with
+            | Some k when k > 0 && String.for_all is_label_char (String.sub line 0 k) ->
+                emit (Asm.Label (String.sub line 0 k));
+                String.trim (String.sub line (k + 1) (String.length line - k - 1))
+            | Some _ | None -> line
+          in
+          if rest = "" then ()
+          else if rest.[0] = '.' then emit (parse_directive lineno rest)
+          else begin
+            let mnemonic, operand_text =
+              match String.index_opt rest ' ' with
+              | Some k -> (String.sub rest 0 k, String.sub rest k (String.length rest - k))
+              | None -> (rest, "")
+            in
+            emit
+              (Asm.Op
+                 ( String.uppercase_ascii mnemonic,
+                   List.map (parse_operand lineno) (split_operands operand_text) ))
+          end
+        end)
+      (String.split_on_char '\n' source);
+    Ok (List.rev !items)
+  with Syntax msg -> Error msg
+
+let assemble ?origin source =
+  match parse source with
+  | Error _ as e -> e
+  | Ok items -> Asm.assemble ?origin items

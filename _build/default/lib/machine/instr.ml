@@ -1,0 +1,189 @@
+type t =
+  | Halt
+  | Ldi of int * int
+  | Lda of int * int
+  | Sta of int * int
+  | Ldx of int * int
+  | Stx of int * int
+  | Mov of int * int
+  | Add of int * int
+  | Sub of int * int
+  | And_ of int * int
+  | Or_ of int * int
+  | Xor_ of int * int
+  | Shl of int * int
+  | Shr of int * int
+  | Addi of int * int
+  | Jmp of int
+  | Jz of int * int
+  | Jnz of int * int
+  | Jlt of int * int
+  | Jsr of int
+  | Jsri of int
+  | Ret
+  | Mfp of int
+  | Mtf of int
+  | Mul of int * int
+  | Div of int * int
+  | Rem of int * int
+  | Push of int
+  | Pop of int
+  | Sys of int
+
+let size = function
+  | Ldi _ | Lda _ | Sta _ | Addi _ | Jmp _ | Jz _ | Jnz _ | Jlt _ | Jsr _ -> 2
+  | Halt | Ldx _ | Stx _ | Mov _ | Add _ | Sub _ | And_ _ | Or_ _ | Xor_ _
+  | Shl _ | Shr _ | Jsri _ | Ret | Mfp _ | Mtf _ | Mul _ | Div _ | Rem _
+  | Push _ | Pop _ | Sys _ ->
+      1
+
+let check_reg r = if r < 0 || r > 3 then invalid_arg "Instr: register must be 0-3"
+
+let check_count n =
+  if n < 0 || n > 15 then invalid_arg "Instr: shift count must be 0-15"
+
+let check_imm v =
+  if v < 0 || v > 0xffff then invalid_arg "Instr: immediate out of 16-bit range"
+
+let check_byte v = if v < 0 || v > 0xff then invalid_arg "Instr: code out of byte range"
+
+let word op operand = Word.of_int_exn ((op lsl 8) lor operand)
+
+let rr r r2 =
+  check_reg r;
+  check_reg r2;
+  r lor (r2 lsl 2)
+
+let r_imm op r imm =
+  check_reg r;
+  check_imm imm;
+  [ word op r; Word.of_int_exn imm ]
+
+let encode = function
+  | Halt -> [ word 0x00 0 ]
+  | Ldi (r, imm) -> r_imm 0x01 r imm
+  | Lda (r, imm) -> r_imm 0x02 r imm
+  | Sta (r, imm) -> r_imm 0x03 r imm
+  | Ldx (r, r2) -> [ word 0x04 (rr r r2) ]
+  | Stx (r, r2) -> [ word 0x05 (rr r r2) ]
+  | Mov (r, r2) -> [ word 0x06 (rr r r2) ]
+  | Add (r, r2) -> [ word 0x07 (rr r r2) ]
+  | Sub (r, r2) -> [ word 0x08 (rr r r2) ]
+  | And_ (r, r2) -> [ word 0x09 (rr r r2) ]
+  | Or_ (r, r2) -> [ word 0x0a (rr r r2) ]
+  | Xor_ (r, r2) -> [ word 0x0b (rr r r2) ]
+  | Shl (r, n) ->
+      check_reg r;
+      check_count n;
+      [ word 0x0c (r lor (n lsl 4)) ]
+  | Shr (r, n) ->
+      check_reg r;
+      check_count n;
+      [ word 0x0d (r lor (n lsl 4)) ]
+  | Addi (r, imm) -> r_imm 0x0e r imm
+  | Jmp imm ->
+      check_imm imm;
+      [ word 0x10 0; Word.of_int_exn imm ]
+  | Jz (r, imm) -> r_imm 0x11 r imm
+  | Jnz (r, imm) -> r_imm 0x12 r imm
+  | Jlt (r, imm) -> r_imm 0x13 r imm
+  | Jsr imm ->
+      check_imm imm;
+      [ word 0x14 0; Word.of_int_exn imm ]
+  | Jsri r ->
+      check_reg r;
+      [ word 0x15 r ]
+  | Ret -> [ word 0x16 0 ]
+  | Mfp r ->
+      check_reg r;
+      [ word 0x1a r ]
+  | Mtf r ->
+      check_reg r;
+      [ word 0x1b r ]
+  | Mul (r, r2) -> [ word 0x1c (rr r r2) ]
+  | Div (r, r2) -> [ word 0x1d (rr r r2) ]
+  | Rem (r, r2) -> [ word 0x1e (rr r r2) ]
+  | Push r ->
+      check_reg r;
+      [ word 0x17 r ]
+  | Pop r ->
+      check_reg r;
+      [ word 0x18 r ]
+  | Sys code ->
+      check_byte code;
+      [ word 0x19 code ]
+
+let decode ~fetch ~pc =
+  let w = Word.to_int (fetch pc) in
+  let op = w lsr 8 and operand = w land 0xff in
+  let r = operand land 3 and r2 = (operand lsr 2) land 3 in
+  let count = (operand lsr 4) land 0xf in
+  let imm () = Word.to_int (fetch (pc + 1)) in
+  let one i = Ok (i, pc + 1) in
+  let two i = Ok (i, pc + 2) in
+  match op with
+  | 0x00 -> one Halt
+  | 0x01 -> two (Ldi (r, imm ()))
+  | 0x02 -> two (Lda (r, imm ()))
+  | 0x03 -> two (Sta (r, imm ()))
+  | 0x04 -> one (Ldx (r, r2))
+  | 0x05 -> one (Stx (r, r2))
+  | 0x06 -> one (Mov (r, r2))
+  | 0x07 -> one (Add (r, r2))
+  | 0x08 -> one (Sub (r, r2))
+  | 0x09 -> one (And_ (r, r2))
+  | 0x0a -> one (Or_ (r, r2))
+  | 0x0b -> one (Xor_ (r, r2))
+  | 0x0c -> one (Shl (r, count))
+  | 0x0d -> one (Shr (r, count))
+  | 0x0e -> two (Addi (r, imm ()))
+  | 0x10 -> two (Jmp (imm ()))
+  | 0x11 -> two (Jz (r, imm ()))
+  | 0x12 -> two (Jnz (r, imm ()))
+  | 0x13 -> two (Jlt (r, imm ()))
+  | 0x14 -> two (Jsr (imm ()))
+  | 0x15 -> one (Jsri r)
+  | 0x16 -> one Ret
+  | 0x17 -> one (Push r)
+  | 0x18 -> one (Pop r)
+  | 0x19 -> one (Sys operand)
+  | 0x1a -> one (Mfp r)
+  | 0x1b -> one (Mtf r)
+  | 0x1c -> one (Mul (r, r2))
+  | 0x1d -> one (Div (r, r2))
+  | 0x1e -> one (Rem (r, r2))
+  | _ -> Error (Printf.sprintf "invalid opcode %#x at address %d" op pc)
+
+let pp fmt i =
+  let p f = Format.fprintf fmt f in
+  match i with
+  | Halt -> p "HALT"
+  | Ldi (r, v) -> p "LDI AC%d, %d" r v
+  | Lda (r, a) -> p "LDA AC%d, [%d]" r a
+  | Sta (r, a) -> p "STA AC%d, [%d]" r a
+  | Ldx (r, r2) -> p "LDX AC%d, [AC%d]" r r2
+  | Stx (r, r2) -> p "STX AC%d, [AC%d]" r r2
+  | Mov (r, r2) -> p "MOV AC%d, AC%d" r r2
+  | Add (r, r2) -> p "ADD AC%d, AC%d" r r2
+  | Sub (r, r2) -> p "SUB AC%d, AC%d" r r2
+  | And_ (r, r2) -> p "AND AC%d, AC%d" r r2
+  | Or_ (r, r2) -> p "OR AC%d, AC%d" r r2
+  | Xor_ (r, r2) -> p "XOR AC%d, AC%d" r r2
+  | Shl (r, n) -> p "SHL AC%d, %d" r n
+  | Shr (r, n) -> p "SHR AC%d, %d" r n
+  | Addi (r, v) -> p "ADDI AC%d, %d" r v
+  | Jmp a -> p "JMP %d" a
+  | Jz (r, a) -> p "JZ AC%d, %d" r a
+  | Jnz (r, a) -> p "JNZ AC%d, %d" r a
+  | Jlt (r, a) -> p "JLT AC%d, %d" r a
+  | Jsr a -> p "JSR %d" a
+  | Jsri r -> p "JSRI AC%d" r
+  | Ret -> p "RET"
+  | Mfp r -> p "MFP AC%d" r
+  | Mtf r -> p "MTF AC%d" r
+  | Mul (r, r2) -> p "MUL AC%d, AC%d" r r2
+  | Div (r, r2) -> p "DIV AC%d, AC%d" r r2
+  | Rem (r, r2) -> p "REM AC%d, AC%d" r r2
+  | Push r -> p "PUSH AC%d" r
+  | Pop r -> p "POP AC%d" r
+  | Sys c -> p "SYS %d" c

@@ -1,0 +1,63 @@
+(** The simulated processor's instruction set.
+
+    The real Alto executed BCPL-oriented instruction sets implemented in
+    writable microcode; the paper's operating system only depends on the
+    machine being a 16-bit word machine with procedure calls and a way to
+    trap to resident system code. This instruction set is our stand-in:
+    a minimal accumulator machine with a downward-growing stack (through
+    the frame-pointer register) and a [SYS] trap by which loaded programs
+    invoke operating-system services. Programs written in it are what the
+    loader loads, the world-swapper suspends, and the Junta survives.
+
+    Encoding: one word per instruction, [opcode * 256 + operand], with an
+    optional immediate word following. The operand byte packs up to two
+    register numbers ([r] in bits 0–1, [r2] in bits 2–3) or, for [SYS]
+    and the shifts, a small literal. *)
+
+type t =
+  | Halt
+  | Ldi of int * int  (** [Ldi (r, imm)]: AC[r] ← imm. *)
+  | Lda of int * int  (** AC[r] ← memory[imm]. *)
+  | Sta of int * int  (** memory[imm] ← AC[r]. *)
+  | Ldx of int * int  (** [Ldx (r, r2)]: AC[r] ← memory[AC[r2]]. *)
+  | Stx of int * int  (** memory[AC[r2]] ← AC[r]. *)
+  | Mov of int * int  (** AC[r] ← AC[r2]. *)
+  | Add of int * int
+  | Sub of int * int
+  | And_ of int * int
+  | Or_ of int * int
+  | Xor_ of int * int
+  | Shl of int * int  (** [Shl (r, count)], count in 0–15. *)
+  | Shr of int * int
+  | Addi of int * int  (** AC[r] ← AC[r] + imm. *)
+  | Jmp of int
+  | Jz of int * int  (** [Jz (r, imm)]: jump to imm when AC[r] = 0. *)
+  | Jnz of int * int
+  | Jlt of int * int  (** Jump when AC[r] is negative as a signed word. *)
+  | Jsr of int  (** Push return address, jump to imm. *)
+  | Jsri of int  (** Push return address, jump to AC[r]. *)
+  | Ret
+  | Mfp of int  (** AC[r] ← frame pointer. *)
+  | Mtf of int  (** frame pointer ← AC[r]. *)
+  | Mul of int * int  (** AC[r] ← AC[r] × AC[r2], low 16 bits. *)
+  | Div of int * int
+      (** AC[r] ← AC[r] ÷ AC[r2], unsigned; division by zero faults.
+          Multiply and divide were microcode routines on the real
+          machine; here the "microcode" is the interpreter. *)
+  | Rem of int * int  (** AC[r] ← AC[r] mod AC[r2], unsigned. *)
+  | Push of int
+  | Pop of int
+  | Sys of int  (** Trap to the system-call handler with code 0–255. *)
+
+val size : t -> int
+(** Words occupied: 1, or 2 when an immediate follows. *)
+
+val encode : t -> Word.t list
+(** The instruction's words, in memory order. Raises [Invalid_argument]
+    on an out-of-range register, count, immediate or trap code. *)
+
+val decode : fetch:(int -> Word.t) -> pc:int -> (t * int, string) result
+(** [decode ~fetch ~pc] decodes the instruction at [pc] and returns it
+    with the address of the following instruction. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** The Alto's main memory: 64K 16-bit words, word-addressed.
+
+    There is no virtual-memory hardware and no protection; any address in
+    [0, 0xffff] is readable and writable by anyone. The operating system's
+    only defence is convention (the level structure of {!Alto_os}), exactly
+    as in the paper. *)
+
+exception Invalid_address of int
+(** Raised on any access outside [0, size - 1]. *)
+
+type t
+
+val size : int
+(** Number of words, 65536. *)
+
+val create : unit -> t
+(** A fresh memory, zero-filled. *)
+
+val read : t -> int -> Word.t
+val write : t -> int -> Word.t -> unit
+
+val read_block : t -> pos:int -> len:int -> Word.t array
+(** [read_block m ~pos ~len] copies [len] consecutive words out. *)
+
+val write_block : t -> pos:int -> Word.t array -> unit
+(** [write_block m ~pos ws] copies [ws] into memory starting at [pos]. *)
+
+val fill : t -> pos:int -> len:int -> Word.t -> unit
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Word-by-word copy between memories (or within one; overlapping regions
+    behave like [Array.blit]). *)
+
+val copy : t -> t
+(** A deep copy: a snapshot of the whole 64K image. *)
+
+val restore : t -> from:t -> unit
+(** Overwrite every word of [t] with the contents of [from]. *)
+
+val equal : t -> t -> bool
+(** Word-for-word equality of the full image. *)
+
+val words_differing : t -> t -> int
+(** Number of addresses whose contents differ — used by tests and by the
+    world-swap experiments to report image deltas. *)
+
+val write_string : t -> pos:int -> string -> unit
+(** Pack a string two characters per word at [pos] (BCPL convention:
+    word 0 holds the length in its high byte is {e not} used here; this is
+    the raw packed form used for leader names and directory entries). *)
+
+val read_string : t -> pos:int -> len:int -> string

@@ -1,0 +1,17 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+let now_us c = c.now
+
+let advance_us c dt =
+  if dt < 0 then invalid_arg "Sim_clock.advance_us: negative duration"
+  else c.now <- c.now + dt
+
+let reset c = c.now <- 0
+let now_seconds c = float_of_int c.now /. 1e6
+
+let pp_duration fmt us =
+  if us < 1_000 then Format.fprintf fmt "%d µs" us
+  else if us < 1_000_000 then Format.fprintf fmt "%.2f ms" (float_of_int us /. 1e3)
+  else if us < 60_000_000 then Format.fprintf fmt "%.2f s" (float_of_int us /. 1e6)
+  else Format.fprintf fmt "%.2f min" (float_of_int us /. 60e6)

@@ -1,0 +1,29 @@
+(** Simulated time.
+
+    The paper's performance claims (a one-minute scavenge, a one-second
+    world swap) are about Alto hardware, not about the host running this
+    simulation. Every device in the system therefore charges its costs to
+    a shared simulated clock, measured in microseconds, and the experiment
+    harness reports simulated time. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock reading zero. *)
+
+val now_us : t -> int
+(** Current simulated time in microseconds since creation/reset. *)
+
+val advance_us : t -> int -> unit
+(** [advance_us c dt] moves time forward by [dt] microseconds. Raises
+    [Invalid_argument] if [dt] is negative. *)
+
+val reset : t -> unit
+(** Rewind to zero. Accumulated time is discarded. *)
+
+val now_seconds : t -> float
+(** {!now_us} converted to seconds. *)
+
+val pp_duration : Format.formatter -> int -> unit
+(** Pretty-print a duration in microseconds with a human-readable unit
+    (µs, ms, s or min as appropriate). *)

@@ -1,0 +1,1 @@
+lib/net/net.ml: Alto_machine Array Buffer Format Hashtbl List Printf Queue Result String

@@ -1,0 +1,119 @@
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+
+type packet = { src : string; payload : Word.t array }
+
+type station = { name : string; queue : packet Queue.t; net : t }
+
+and t = {
+  stations : (string, station) Hashtbl.t;
+  clock : Sim_clock.t option;
+  latency_us : int;
+}
+
+type error = Unknown_station of string | Payload_too_long
+
+let pp_error fmt = function
+  | Unknown_station name -> Format.fprintf fmt "no station named %S" name
+  | Payload_too_long -> Format.pp_print_string fmt "payload exceeds one page"
+
+let max_payload_words = 256
+
+let create ?clock ?(latency_us = 500) () =
+  { stations = Hashtbl.create 8; clock; latency_us }
+
+let attach net ~name =
+  if Hashtbl.mem net.stations name then
+    invalid_arg (Printf.sprintf "Net.attach: station %S already attached" name);
+  let station = { name; queue = Queue.create (); net } in
+  Hashtbl.replace net.stations name station;
+  station
+
+let station_name s = s.name
+
+let send s ~to_ payload =
+  if Array.length payload > max_payload_words then Error Payload_too_long
+  else
+    match Hashtbl.find_opt s.net.stations to_ with
+    | None -> Error (Unknown_station to_)
+    | Some dst ->
+        (match s.net.clock with
+        | Some clock -> Sim_clock.advance_us clock s.net.latency_us
+        | None -> ());
+        Queue.push { src = s.name; payload = Array.copy payload } dst.queue;
+        Ok ()
+
+let receive s = Queue.take_opt s.queue
+let pending s = Queue.length s.queue
+
+(* File transfer framing: word 0 is the kind — 1 header (name follows:
+   length word + packed string), 2 data (chunk), 3 trailer. *)
+let kind_header = 1
+let kind_data = 2
+let kind_trailer = 3
+
+let chunk_bytes = (max_payload_words - 2) * 2
+
+let send_file s ~to_ ~name data =
+  let ( let* ) = Result.bind in
+  let header =
+    Array.concat
+      [
+        [| Word.of_int kind_header; Word.of_int_exn (String.length name) |];
+        Word.words_of_string name;
+      ]
+  in
+  let* () = send s ~to_ header in
+  let total = String.length data in
+  let rec chunks pos =
+    if pos >= total then Ok ()
+    else begin
+      let len = min chunk_bytes (total - pos) in
+      let words = Word.words_of_string (String.sub data pos len) in
+      let* () =
+        send s ~to_
+          (Array.concat [ [| Word.of_int kind_data; Word.of_int_exn len |]; words ])
+      in
+      chunks (pos + len)
+    end
+  in
+  (* Data packets carry a byte count so odd-length chunks survive. *)
+  let* () =
+    match chunks 0 with
+    | Ok () -> Ok ()
+    | Error e -> Error e
+  in
+  send s ~to_ [| Word.of_int kind_trailer |]
+
+let receive_file s =
+  (* Peek: only consume if a complete file heads the queue. *)
+  let items = List.of_seq (Queue.to_seq s.queue) in
+  let parse = function
+    | { payload; _ } :: rest when Array.length payload >= 2 && Word.to_int payload.(0) = kind_header ->
+        let name_len = Word.to_int payload.(1) in
+        let name =
+          Word.string_of_words (Array.sub payload 2 (Array.length payload - 2)) ~len:name_len
+        in
+        let buffer = Buffer.create 512 in
+        let rec data consumed = function
+          | { payload; _ } :: rest
+            when Array.length payload >= 2 && Word.to_int payload.(0) = kind_data ->
+              let len = Word.to_int payload.(1) in
+              let words = Array.sub payload 2 (Array.length payload - 2) in
+              Buffer.add_string buffer (Word.string_of_words words ~len);
+              data (consumed + 1) rest
+          | { payload; _ } :: _
+            when Array.length payload >= 1 && Word.to_int payload.(0) = kind_trailer ->
+              Some (name, Buffer.contents buffer, consumed + 2)
+          | _ -> None
+        in
+        data 0 rest
+    | _ -> None
+  in
+  match parse items with
+  | None -> None
+  | Some (name, contents, packets) ->
+      for _ = 1 to packets do
+        ignore (Queue.pop s.queue)
+      done;
+      Some (name, contents)

@@ -1,0 +1,56 @@
+(** A simulated local network.
+
+    The paper's machine room had an Ethernet: the printing server
+    "accepts files from a local communications network and prints them"
+    (§4), and a diskless configuration of the system ran on "network
+    communications rather than … local disk storage" (§5.2). The packet
+    representation is the standardized level here, just as the sector is
+    for the disk: stations exchange word arrays; everything above that is
+    convention.
+
+    Delivery is reliable and in order (a queue per station), with an
+    optional per-packet latency charged to a simulated clock. That is
+    deliberately simpler than a real Ethernet — the workloads that need
+    the network exercise control structure, not loss recovery. *)
+
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+
+type t
+type station
+
+type packet = { src : string; payload : Word.t array }
+
+type error = Unknown_station of string | Payload_too_long
+
+val pp_error : Format.formatter -> error -> unit
+
+val max_payload_words : int
+(** 256 — one page per packet, like the Alto's pup-sized frames. *)
+
+val create : ?clock:Sim_clock.t -> ?latency_us:int -> unit -> t
+(** [latency_us] (default 500) is charged to [clock] per packet sent,
+    when a clock is given. *)
+
+val attach : t -> name:string -> station
+(** Join the network. Raises [Invalid_argument] on a duplicate name. *)
+
+val station_name : station -> string
+
+val send : station -> to_:string -> Word.t array -> (unit, error) result
+val receive : station -> packet option
+val pending : station -> int
+
+(** {2 File transfer}
+
+    A minimal convention on top of raw packets: a header packet carrying
+    the file's name, data packets of up to a page each, and a trailer.
+    Enough to feed a print server. *)
+
+val send_file : station -> to_:string -> name:string -> string -> (unit, error) result
+
+val receive_file : station -> (string * string) option
+(** Reassemble the next complete file from the queue, if its trailer has
+    arrived; non-file packets ahead of it are delivered by {!receive}
+    first (mixing conventions on one station is the caller's problem,
+    as the paper would cheerfully note). *)

@@ -1,0 +1,1 @@
+lib/os/executive.ml: Alto_bcpl Alto_fs Alto_machine Alto_streams Bytes Format Level List Loader Result String System

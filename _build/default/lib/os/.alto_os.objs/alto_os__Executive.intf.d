@@ -1,0 +1,1 @@
+lib/os/executive.mli: System

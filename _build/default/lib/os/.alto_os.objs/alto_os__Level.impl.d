@@ -1,0 +1,1 @@
+lib/os/level.ml: Alto_machine List Printf String

@@ -1,0 +1,1 @@
+lib/os/level.mli: Alto_machine

@@ -1,0 +1,1 @@
+lib/os/loader.ml: Alto_fs Alto_machine Array Format Level List Printf Result String System

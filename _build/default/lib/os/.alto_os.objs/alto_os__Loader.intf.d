@@ -1,0 +1,1 @@
+lib/os/loader.mli: Alto_fs Alto_machine Format System

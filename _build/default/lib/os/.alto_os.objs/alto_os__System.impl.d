@@ -1,0 +1,1 @@
+lib/os/system.ml: Alto_disk Alto_fs Alto_machine Alto_streams Alto_world Alto_zones Array Format Hashtbl Level List Printf String

@@ -1,0 +1,1 @@
+lib/os/system.mli: Alto_disk Alto_fs Alto_machine Alto_streams Alto_zones

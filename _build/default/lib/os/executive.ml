@@ -1,0 +1,363 @@
+module Word = Alto_machine.Word
+module Vm = Alto_machine.Vm
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module Directory = Alto_fs.Directory
+module Scavenger = Alto_fs.Scavenger
+module Compactor = Alto_fs.Compactor
+module Stream = Alto_streams.Stream
+module Keyboard = Alto_streams.Keyboard
+module Display = Alto_streams.Display
+
+type outcome = { commands_executed : int; quit : bool }
+
+let command_file_name = "Com.cm"
+
+let say system fmt =
+  Format.kasprintf
+    (fun s -> Stream.put_line (Display.stream (System.display system)) s)
+    fmt
+
+let with_root system f =
+  match Directory.open_root (System.fs system) with
+  | Error e -> say system "cannot open the root directory: %a" Directory.pp_error e
+  | Ok root -> f root
+
+let open_by_name system root name =
+  match Directory.lookup root name with
+  | Error e ->
+      say system "%s: %a" name Directory.pp_error e;
+      None
+  | Ok None ->
+      say system "%s: not found" name;
+      None
+  | Ok (Some e) -> (
+      match File.open_leader (System.fs system) e.Directory.entry_file with
+      | Error err ->
+          say system "%s: %a" name File.pp_error err;
+          None
+      | Ok file -> Some file)
+
+(* §4: the command scanner records the command line in a file with a
+   standard name before transferring control. *)
+let record_command system line =
+  with_root system (fun root ->
+      let fs = System.fs system in
+      let file =
+        match Directory.lookup root command_file_name with
+        | Ok (Some e) -> (
+            match File.open_leader fs e.Directory.entry_file with
+            | Ok f -> Some f
+            | Error _ -> None)
+        | Ok None -> (
+            match File.create fs ~name:command_file_name with
+            | Error _ -> None
+            | Ok f -> (
+                match Directory.add root ~name:command_file_name (File.leader_name f) with
+                | Ok () -> Some f
+                | Error _ -> None))
+        | Error _ -> None
+      in
+      match file with
+      | None -> say system "warning: cannot record the command in %s" command_file_name
+      | Some f ->
+          let update =
+            let ( let* ) = Result.bind in
+            let* () = File.truncate f ~len:0 in
+            let* () = File.write_bytes f ~pos:0 line in
+            File.flush_leader f
+          in
+          (match update with
+          | Ok () -> ()
+          | Error e -> say system "warning: %s: %a" command_file_name File.pp_error e))
+
+let cmd_ls system =
+  with_root system (fun root ->
+      match Directory.entries root with
+      | Error e -> say system "ls: %a" Directory.pp_error e
+      | Ok entries ->
+          List.iter
+            (fun (e : Directory.entry) ->
+              match File.open_leader (System.fs system) e.Directory.entry_file with
+              | Ok f -> say system "%-24s %6d bytes" e.Directory.entry_name (File.byte_length f)
+              | Error _ -> say system "%-24s (unreadable)" e.Directory.entry_name)
+            entries;
+          say system "%d free pages" (Fs.free_count (System.fs system)))
+
+let cmd_type system name =
+  with_root system (fun root ->
+      match open_by_name system root name with
+      | None -> ()
+      | Some file -> (
+          match File.read_bytes file ~pos:0 ~len:(File.byte_length file) with
+          | Error e -> say system "type: %a" File.pp_error e
+          | Ok bytes -> say system "%s" (Bytes.to_string bytes)))
+
+let cmd_put system name text =
+  with_root system (fun root ->
+      let fs = System.fs system in
+      let write file =
+        let ( let* ) = Result.bind in
+        let* () = File.truncate file ~len:0 in
+        let* () = File.write_bytes file ~pos:0 text in
+        File.flush_leader file
+      in
+      match Directory.lookup root name with
+      | Error e -> say system "put: %a" Directory.pp_error e
+      | Ok (Some e) -> (
+          match File.open_leader fs e.Directory.entry_file with
+          | Error err -> say system "put: %a" File.pp_error err
+          | Ok file -> (
+              match write file with
+              | Ok () -> ()
+              | Error err -> say system "put: %a" File.pp_error err))
+      | Ok None -> (
+          match File.create fs ~name with
+          | Error err -> say system "put: %a" File.pp_error err
+          | Ok file -> (
+              match Directory.add root ~name (File.leader_name file) with
+              | Error err -> say system "put: %a" Directory.pp_error err
+              | Ok () -> (
+                  match write file with
+                  | Ok () -> ()
+                  | Error err -> say system "put: %a" File.pp_error err))))
+
+let cmd_delete system name =
+  with_root system (fun root ->
+      match open_by_name system root name with
+      | None -> ()
+      | Some file -> (
+          match File.delete file with
+          | Error e -> say system "delete: %a" File.pp_error e
+          | Ok () -> (
+              match Directory.remove root name with
+              | Ok _ -> ()
+              | Error e -> say system "delete: %a" Directory.pp_error e)))
+
+let cmd_rename system old_name new_name =
+  with_root system (fun root ->
+      match Directory.lookup root old_name with
+      | Error e -> say system "rename: %a" Directory.pp_error e
+      | Ok None -> say system "rename: %s not found" old_name
+      | Ok (Some e) -> (
+          match Directory.add root ~name:new_name e.Directory.entry_file with
+          | Error err -> say system "rename: %a" Directory.pp_error err
+          | Ok () -> (
+              match Directory.remove root old_name with
+              | Ok _ -> ()
+              | Error err -> say system "rename: %a" Directory.pp_error err)))
+
+let cmd_scavenge system =
+  match Scavenger.scavenge (System.drive system) with
+  | Error msg -> say system "scavenge failed: %s" msg
+  | Ok (fs, report) ->
+      System.set_fs system fs;
+      say system "%a" Scavenger.pp_report report
+
+let cmd_compact system =
+  match Compactor.compact (System.fs system) with
+  | Error msg -> say system "compact failed: %s" msg
+  | Ok report -> say system "%a" Compactor.pp_report report
+
+let cmd_levels system =
+  let resident = System.resident_level system in
+  List.iter
+    (fun (l : Level.t) ->
+      say system "%2d %s %s (%d words)" l.Level.index
+        (if l.Level.index <= resident then "resident" else "removed ")
+        l.Level.level_name l.Level.size_words)
+    Level.all;
+  say system "user space: %d..%d" System.user_base (System.user_boundary system - 1)
+
+let cmd_copy system src_name dst_name =
+  with_root system (fun root ->
+      match open_by_name system root src_name with
+      | None -> ()
+      | Some src -> (
+          match File.read_bytes src ~pos:0 ~len:(File.byte_length src) with
+          | Error e -> say system "copy: %a" File.pp_error e
+          | Ok bytes -> (
+              let fs = System.fs system in
+              let write file =
+                let ( let* ) = Result.bind in
+                let* () = File.truncate file ~len:0 in
+                let* () =
+                  if Bytes.length bytes = 0 then Ok ()
+                  else File.write_bytes file ~pos:0 (Bytes.to_string bytes)
+                in
+                File.flush_leader file
+              in
+              match Directory.lookup root dst_name with
+              | Error e -> say system "copy: %a" Directory.pp_error e
+              | Ok (Some e) -> (
+                  match File.open_leader fs e.Directory.entry_file with
+                  | Error err -> say system "copy: %a" File.pp_error err
+                  | Ok dst -> (
+                      match write dst with
+                      | Ok () -> ()
+                      | Error err -> say system "copy: %a" File.pp_error err))
+              | Ok None -> (
+                  match File.create fs ~name:dst_name with
+                  | Error err -> say system "copy: %a" File.pp_error err
+                  | Ok dst -> (
+                      match Directory.add root ~name:dst_name (File.leader_name dst) with
+                      | Error err -> say system "copy: %a" Directory.pp_error err
+                      | Ok () -> (
+                          match write dst with
+                          | Ok () -> ()
+                          | Error err -> say system "copy: %a" File.pp_error err))))))
+
+let cmd_assemble system src_name dst_name =
+  with_root system (fun root ->
+      match open_by_name system root src_name with
+      | None -> ()
+      | Some src -> (
+          match File.read_bytes src ~pos:0 ~len:(File.byte_length src) with
+          | Error e -> say system "assemble: %a" File.pp_error e
+          | Ok bytes -> (
+              match
+                Alto_machine.Asm_text.assemble ~origin:System.user_base
+                  (Bytes.to_string bytes)
+              with
+              | Error msg -> say system "assemble: %s" msg
+              | Ok program -> (
+                  match Loader.save_program system ~name:dst_name program with
+                  | Ok _ -> say system "%s assembled to %s" src_name dst_name
+                  | Error e -> say system "assemble: %a" Loader.pp_error e))))
+
+let cmd_compile system src_name dst_name =
+  with_root system (fun root ->
+      match open_by_name system root src_name with
+      | None -> ()
+      | Some src -> (
+          match File.read_bytes src ~pos:0 ~len:(File.byte_length src) with
+          | Error e -> say system "compile: %a" File.pp_error e
+          | Ok bytes -> (
+              match
+                Alto_bcpl.Bcpl.compile ~origin:System.user_base (Bytes.to_string bytes)
+              with
+              | Error e -> say system "compile: %a" Alto_bcpl.Bcpl.pp_error e
+              | Ok program -> (
+                  match Loader.save_program system ~name:dst_name program with
+                  | Ok _ -> say system "%s compiled to %s" src_name dst_name
+                  | Error e -> say system "compile: %a" Loader.pp_error e))))
+
+let cmd_dump system name =
+  with_root system (fun root ->
+      match open_by_name system root name with
+      | None -> ()
+      | Some file -> (
+          match File.read_words file ~pos:0 ~len:(File.byte_length file / 2) with
+          | Error e -> say system "dump: %a" File.pp_error e
+          | Ok words -> (
+              match Loader.parse_code words with
+              | Error e -> say system "dump: %a" Loader.pp_error e
+              | Ok parsed ->
+                  List.iter (fun line -> say system "%s" line) (Loader.disassemble parsed))))
+
+let cmd_run system name =
+  match Loader.run_by_name system name with
+  | Error e -> say system "run: %a" Loader.pp_error e
+  | Ok stop -> (
+      match stop with
+      | Vm.Stopped 0 -> ()
+      | stop -> say system "%s: %a" name Vm.pp_stop stop)
+
+let looks_like_code_file system name =
+  match Directory.open_root (System.fs system) with
+  | Error _ -> false
+  | Ok root -> (
+      match Directory.lookup root name with
+      | Ok (Some e) -> (
+          match File.open_leader (System.fs system) e.Directory.entry_file with
+          | Ok f -> (
+              match File.read_words f ~pos:0 ~len:1 with
+              | Ok [| w |] -> Word.to_int w = 0xC0DE
+              | Ok _ | Error _ -> false)
+          | Error _ -> false)
+      | Ok None | Error _ -> false)
+
+let split_words line =
+  List.filter (fun s -> String.length s > 0) (String.split_on_char ' ' line)
+
+let execute system line =
+  record_command system line;
+  match split_words line with
+  | [] -> `Continue
+  | [ "quit" ] -> `Quit
+  | [ "ls" ] ->
+      cmd_ls system;
+      `Continue
+  | [ "type"; name ] ->
+      cmd_type system name;
+      `Continue
+  | "put" :: name :: rest ->
+      cmd_put system name (String.concat " " rest);
+      `Continue
+  | [ "delete"; name ] ->
+      cmd_delete system name;
+      `Continue
+  | [ "rename"; old_name; new_name ] ->
+      cmd_rename system old_name new_name;
+      `Continue
+  | [ "scavenge" ] ->
+      cmd_scavenge system;
+      `Continue
+  | [ "compact" ] ->
+      cmd_compact system;
+      `Continue
+  | [ "levels" ] ->
+      cmd_levels system;
+      `Continue
+  | [ "junta"; n ] -> (
+      match int_of_string_opt n with
+      | Some keep when keep >= 1 && keep <= Level.count ->
+          System.junta system ~keep;
+          say system "resident through level %d; user space now ends at %d" keep
+            (System.user_boundary system - 1);
+          `Continue
+      | Some _ | None ->
+          say system "junta: expected a level 1..13";
+          `Continue)
+  | [ "counterjunta" ] ->
+      System.counter_junta system;
+      say system "all levels restored";
+      `Continue
+  | [ "run"; name ] ->
+      cmd_run system name;
+      `Continue
+  | [ "compile"; src; dst ] ->
+      cmd_compile system src dst;
+      `Continue
+  | [ "assemble"; src; dst ] ->
+      cmd_assemble system src dst;
+      `Continue
+  | [ "copy"; src; dst ] ->
+      cmd_copy system src dst;
+      `Continue
+  | [ "dump"; name ] ->
+      cmd_dump system name;
+      `Continue
+  | [ name ] when looks_like_code_file system name ->
+      cmd_run system name;
+      `Continue
+  | cmd :: _ ->
+      say system "%s: unknown command" cmd;
+      `Continue
+
+let run ?(max_commands = 1000) system =
+  let input = Keyboard.stream (System.keyboard system) in
+  let rec loop executed =
+    if executed >= max_commands then { commands_executed = executed; quit = false }
+    else begin
+      Stream.put_string (Display.stream (System.display system)) "> ";
+      match Stream.get_line input with
+      | None -> { commands_executed = executed; quit = false }
+      | Some line -> (
+          Stream.put_line (Display.stream (System.display system)) line;
+          match execute system line with
+          | `Quit -> { commands_executed = executed + 1; quit = true }
+          | `Continue -> loop (executed + 1))
+    end
+  in
+  loop 0

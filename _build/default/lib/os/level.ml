@@ -1,0 +1,151 @@
+module Word = Alto_machine.Word
+module Memory = Alto_machine.Memory
+module Instr = Alto_machine.Instr
+
+type service = { service_name : string; code : int }
+
+type t = {
+  index : int;
+  level_name : string;
+  size_words : int;
+  services : service list;
+}
+
+let s service_name code = { service_name; code }
+
+(* The thirteen levels of §5.2. Sizes are in the spirit of the paper's
+   numbers (it gives ~900 words for InLoad/OutLoad); the precise values
+   matter only in that they are fixed, published, and add up to a
+   resident system comfortably smaller than memory. *)
+let all =
+  [
+    {
+      index = 1;
+      level_name = "OutLoad/InLoad, CounterJunta";
+      size_words = 900;
+      services = [ s "OutLoad" 1; s "InLoad" 2; s "CounterJunta" 3 ];
+    };
+    { index = 2; level_name = "Keyboard input buffer"; size_words = 128; services = [] };
+    { index = 3; level_name = "Hints for important files"; size_words = 128; services = [] };
+    {
+      index = 4;
+      level_name = "BCPL runtime";
+      size_words = 512;
+      services = [ s "StackFrame" 10 ];
+    };
+    {
+      index = 5;
+      level_name = "Disk code";
+      size_words = 768;
+      services = [ s "DiskRead" 20; s "DiskWrite" 21 ];
+    };
+    { index = 6; level_name = "Disk data"; size_words = 256; services = [] };
+    {
+      index = 7;
+      level_name = "Zones";
+      size_words = 512;
+      services = [ s "Allocate" 30; s "Free" 31 ];
+    };
+    {
+      index = 8;
+      level_name = "Disk streams";
+      size_words = 1024;
+      services =
+        [
+          s "OpenFile" 40;
+          s "CloseStream" 41;
+          s "StreamGet" 42;
+          s "StreamPut" 43;
+          s "StreamReset" 44;
+          s "GetPosition" 45;
+          s "SetPosition" 46;
+          s "FileLength" 47;
+        ];
+    };
+    {
+      index = 9;
+      level_name = "Disk directories";
+      size_words = 768;
+      services = [ s "LookupFile" 50; s "CreateFile" 51; s "DeleteFile" 52 ];
+    };
+    {
+      index = 10;
+      level_name = "Keyboard streams";
+      size_words = 256;
+      services = [ s "ReadChar" 60; s "CharsPending" 61 ];
+    };
+    {
+      index = 11;
+      level_name = "Display streams";
+      size_words = 1024;
+      services = [ s "WriteChar" 70; s "WriteString" 71 ];
+    };
+    {
+      index = 12;
+      level_name = "Program loader and Junta";
+      size_words = 640;
+      services = [ s "Junta" 80; s "Exit" 81; s "LoadOverlay" 82 ];
+    };
+    { index = 13; level_name = "System free storage"; size_words = 4096; services = [] };
+  ]
+
+let count = List.length all
+
+let find i =
+  match List.find_opt (fun l -> l.index = i) all with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Level.find: no level %d" i)
+
+(* Level 1 is at the very top of memory; each further level sits below
+   the previous one. *)
+let limit i =
+  let rec above acc = function
+    | [] -> acc
+    | l :: rest -> if l.index < i then above (acc + l.size_words) rest else above acc rest
+  in
+  Memory.size - above 0 all
+
+let base i = limit i - (find i).size_words
+
+let boundary ~keep =
+  if keep < 0 || keep > count then invalid_arg "Level.boundary: keep out of 0..13"
+  else if keep = 0 then Memory.size
+  else base keep
+
+let resident_words ~keep = Memory.size - boundary ~keep
+
+let stub_slot level k = base level.index + (2 * k)
+
+let service_address name =
+  let rec search = function
+    | [] -> raise Not_found
+    | level :: rest -> (
+        match
+          List.find_index (fun s -> String.equal s.service_name name) level.services
+        with
+        | Some k -> stub_slot level k
+        | None -> search rest)
+  in
+  search all
+
+let service_by_code code =
+  List.find_map
+    (fun level ->
+      List.find_map
+        (fun s -> if s.code = code then Some (level, s) else None)
+        level.services)
+    all
+
+let service_level name =
+  match
+    List.find_opt
+      (fun level -> List.exists (fun s -> String.equal s.service_name name) level.services)
+      all
+  with
+  | Some level -> level.index
+  | None -> raise Not_found
+
+let stub_words service =
+  List.concat_map Instr.encode [ Instr.Sys service.code; Instr.Ret ]
+
+let removed_trap_code = 255

@@ -1,0 +1,69 @@
+(** The operating system's level structure (§5.2).
+
+    "The system is organized into several levels of services … the lowest
+    level, which contains the most commonly used services, is at the very
+    top of memory. Less ubiquitous services are in levels with higher
+    numbers, located lower in memory."
+
+    Each level owns a fixed region of the 64K address space and exports
+    named service procedures. A service occupies two words of its level's
+    region — a [SYS] trap to the host-implemented body (our stand-in for
+    resident BCPL code; the "microcode" is OCaml) followed by [RET] — and
+    the loader binds program references to these fixed addresses. Junta
+    reclaims the regions of the levels above a cut; what remains is
+    guaranteed resident, which is the point: "unlike more elaborate
+    mechanisms such as swapping code segments, this scheme guarantees the
+    performance of the resident system." *)
+
+type service = {
+  service_name : string;  (** The name loader fixups refer to. *)
+  code : int;  (** The trap code the stub executes. *)
+}
+
+type t = {
+  index : int;  (** 1–13. *)
+  level_name : string;
+  size_words : int;
+  services : service list;
+}
+
+val all : t list
+(** The thirteen levels of §5.2, in index order. *)
+
+val count : int
+
+val find : int -> t
+(** Raises [Invalid_argument] outside 1..13. *)
+
+val base : int -> int
+(** First address of level [i]'s region. Level 1 ends at the top of
+    memory; level [i+1] lies directly below level [i]. *)
+
+val limit : int -> int
+(** One past the last address of level [i]'s region ([base i + size]). *)
+
+val boundary : keep:int -> int
+(** The lowest address owned by levels 1..[keep] — equivalently, one past
+    the memory a program owns after [Junta keep]. [boundary ~keep:0] is
+    the top of memory. *)
+
+val resident_words : keep:int -> int
+(** Memory held by the resident system when levels 1..[keep] remain. *)
+
+val service_address : string -> int
+(** The fixed address of a service's stub. Raises [Not_found] for an
+    unknown name. *)
+
+val service_by_code : int -> (t * service) option
+(** Which level owns a trap code. *)
+
+val service_level : string -> int
+(** The level index exporting the named service. Raises [Not_found]. *)
+
+val stub_words : service -> Alto_machine.Word.t list
+(** The two instruction words of a service stub. *)
+
+val removed_trap_code : int
+(** The trap code (255) that fills reclaimed regions, so that calling
+    into a removed level produces a clean "service not resident" stop
+    instead of garbage execution. *)

@@ -1,0 +1,197 @@
+module Word = Alto_machine.Word
+module Memory = Alto_machine.Memory
+module Cpu = Alto_machine.Cpu
+module Vm = Alto_machine.Vm
+module Asm = Alto_machine.Asm
+module File = Alto_fs.File
+module Directory = Alto_fs.Directory
+
+type error =
+  | File_error of File.error
+  | Dir_error of Directory.error
+  | Bad_format of string
+  | Unknown_service of string
+  | Too_big of int
+
+let pp_error fmt = function
+  | File_error e -> File.pp_error fmt e
+  | Dir_error e -> Directory.pp_error fmt e
+  | Bad_format msg -> Format.fprintf fmt "not a code file: %s" msg
+  | Unknown_service name -> Format.fprintf fmt "fixup names unknown service %S" name
+  | Too_big words -> Format.fprintf fmt "code of %d words does not fit below the system" words
+
+let magic = 0xC0DE
+let format_version = 1
+
+let ( let* ) = Result.bind
+let file_err r = Result.map_error (fun e -> File_error e) r
+let dir_err r = Result.map_error (fun e -> Dir_error e) r
+
+(* Code file layout (words):
+     0 magic   2 code length   4 fixup count
+     1 version 3 entry offset  5 origin (the address the code was
+                                 assembled for and must be loaded at)
+     6..  fixups: [code offset; name length; packed name]...
+     then the code words. *)
+
+let encode (program : Asm.program) =
+  let fixup_words =
+    List.concat_map
+      (fun (offset, name) ->
+        (Word.of_int_exn offset :: Word.of_int_exn (String.length name)
+        :: Array.to_list (Word.words_of_string name)))
+      program.Asm.fixups
+  in
+  let header =
+    [
+      Word.of_int magic;
+      Word.of_int format_version;
+      Word.of_int_exn (Array.length program.Asm.code);
+      Word.of_int_exn (program.Asm.entry - program.Asm.origin);
+      Word.of_int_exn (List.length program.Asm.fixups);
+      Word.of_int_exn program.Asm.origin;
+    ]
+  in
+  Array.concat [ Array.of_list header; Array.of_list fixup_words; program.Asm.code ]
+
+let save_program system ~name (program : Asm.program) =
+  let fs = System.fs system in
+  let* root = dir_err (Directory.open_root fs) in
+  let* file =
+    let* existing = dir_err (Directory.lookup root name) in
+    match existing with
+    | Some e -> file_err (File.open_leader fs e.Directory.entry_file)
+    | None ->
+        let* file = file_err (File.create fs ~name) in
+        let* () = dir_err (Directory.add root ~name (File.leader_name file)) in
+        Ok file
+  in
+  let words = encode program in
+  let* () = file_err (File.truncate file ~len:0) in
+  let* () = file_err (File.write_words file ~pos:0 words) in
+  let* () = file_err (File.flush_leader file) in
+  Ok file
+
+type parsed = {
+  code : Word.t array;
+  entry_offset : int;
+  origin : int;
+  fixups : (int * string) list;
+}
+
+let parse_code words =
+  if Array.length words < 6 then Error (Bad_format "too short")
+  else if Word.to_int words.(0) <> magic then Error (Bad_format "bad magic")
+  else if Word.to_int words.(1) <> format_version then Error (Bad_format "unknown version")
+  else begin
+    let code_len = Word.to_int words.(2) in
+    let entry_offset = Word.to_int words.(3) in
+    let fixup_count = Word.to_int words.(4) in
+    let origin = Word.to_int words.(5) in
+    let rec read_fixups acc pos k =
+      if k = 0 then Ok (List.rev acc, pos)
+      else if pos + 2 > Array.length words then Error (Bad_format "fixup table truncated")
+      else begin
+        let offset = Word.to_int words.(pos) in
+        let name_len = Word.to_int words.(pos + 1) in
+        let name_words = (name_len + 1) / 2 in
+        if pos + 2 + name_words > Array.length words then
+          Error (Bad_format "fixup name truncated")
+        else
+          let name =
+            Word.string_of_words (Array.sub words (pos + 2) name_words) ~len:name_len
+          in
+          read_fixups ((offset, name) :: acc) (pos + 2 + name_words) (k - 1)
+      end
+    in
+    let* fixups, code_pos = read_fixups [] 6 fixup_count in
+    if code_pos + code_len > Array.length words then Error (Bad_format "code truncated")
+    else if entry_offset >= code_len && code_len > 0 then
+      Error (Bad_format "entry outside code")
+    else if List.exists (fun (offset, _) -> offset >= code_len) fixups then
+      Error (Bad_format "fixup outside code")
+    else Ok { code = Array.sub words code_pos code_len; entry_offset; origin; fixups }
+  end
+
+(* Place a parsed code image at its recorded origin, binding fixups. *)
+let install system parsed =
+  let code_len = Array.length parsed.code in
+  if parsed.origin < System.user_base then
+    Error (Bad_format "code assembled below the user area")
+  else if parsed.origin + code_len > System.user_boundary system then
+    Error (Too_big code_len)
+  else begin
+    Memory.write_block (System.memory system) ~pos:parsed.origin parsed.code;
+    (* Bind every reference to a system procedure's stub. *)
+    let rec bind = function
+      | [] -> Ok ()
+      | (offset, name) :: rest -> (
+          match Level.service_address name with
+          | addr ->
+              Memory.write (System.memory system) (parsed.origin + offset)
+                (Word.of_int_exn addr);
+              bind rest
+          | exception Not_found -> Error (Unknown_service name))
+    in
+    let* () = bind parsed.fixups in
+    Ok (parsed.origin + parsed.entry_offset)
+  end
+
+let load system file =
+  let total = File.byte_length file / 2 in
+  let* words = file_err (File.read_words file ~pos:0 ~len:total) in
+  let* parsed = parse_code words in
+  install system parsed
+
+let load_by_name system name =
+  let fs = System.fs system in
+  let* root = dir_err (Directory.open_root fs) in
+  let* entry = dir_err (Directory.lookup root name) in
+  match entry with
+  | None -> Error (Bad_format (Printf.sprintf "no file named %S" name))
+  | Some e ->
+      let* file = file_err (File.open_leader fs e.Directory.entry_file) in
+      load system file
+
+let disassemble parsed =
+  let n = Array.length parsed.code in
+  let fetch i = if i < n then parsed.code.(i) else Word.zero in
+  let rec go acc offset =
+    if offset >= n then List.rev acc
+    else
+      let address = parsed.origin + offset in
+      match Alto_machine.Instr.decode ~fetch ~pc:offset with
+      | Ok (instr, next) when next <= n ->
+          let line =
+            Format.asprintf "%5d: %a%s" address Alto_machine.Instr.pp instr
+              (if offset = parsed.entry_offset then "   <- entry" else "")
+          in
+          go (line :: acc) next
+      | Ok _ | Error _ ->
+          let line =
+            Printf.sprintf "%5d: .word %d" address (Word.to_int parsed.code.(offset))
+          in
+          go (line :: acc) (offset + 1)
+  in
+  go [] 0
+
+let run ?(fuel = 2_000_000) system file =
+  let* entry = load system file in
+  System.set_overlay_loader system (fun name ->
+      Result.map_error
+        (fun e -> Format.asprintf "%a" pp_error e)
+        (load_by_name system name));
+  let cpu = System.cpu system in
+  Cpu.set_pc cpu (Word.of_int entry);
+  Cpu.set_frame_pointer cpu (Word.of_int (System.user_boundary system));
+  Ok (Vm.run ~fuel cpu ~handler:(System.handler system))
+
+let run_by_name ?fuel system name =
+  let fs = System.fs system in
+  let* root = dir_err (Directory.open_root fs) in
+  let* entry = dir_err (Directory.lookup root name) in
+  match entry with
+  | None -> Error (Bad_format (Printf.sprintf "no file named %S" name))
+  | Some e ->
+      let* file = file_err (File.open_leader fs e.Directory.entry_file) in
+      run ?fuel system file

@@ -1,0 +1,1 @@
+lib/server/file_server.ml: Alto_fs Alto_machine Alto_net Array Bytes Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/server/file_server.mli: Alto_fs Alto_net Format

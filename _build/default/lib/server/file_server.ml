@@ -1,0 +1,220 @@
+module Word = Alto_machine.Word
+module Net = Alto_net.Net
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module Directory = Alto_fs.Directory
+
+(* Request opcodes (packet word 0). *)
+let op_get = 10
+let op_put = 11
+let op_list = 12
+
+(* Reply opcodes. File contents travel as file transfers, not packets. *)
+let op_ack = 20
+let op_error = 21
+
+let listing_name = ";listing"
+
+type stats = { gets : int; puts : int; lists : int; errors : int }
+
+type t = {
+  fs : Fs.t;
+  station : Net.station;
+  mutable gets : int;
+  mutable puts : int;
+  mutable lists : int;
+  mutable errors : int;
+}
+
+let create fs station = { fs; station; gets = 0; puts = 0; lists = 0; errors = 0 }
+
+let stats t = { gets = t.gets; puts = t.puts; lists = t.lists; errors = t.errors }
+
+let packet_string payload ~at =
+  if Array.length payload <= at then None
+  else
+    let len = Word.to_int payload.(at) in
+    let nwords = (len + 1) / 2 in
+    if Array.length payload < at + 1 + nwords then None
+    else Some (Word.string_of_words (Array.sub payload (at + 1) nwords) ~len)
+
+let string_packet op s =
+  Array.concat
+    [ [| Word.of_int_exn op; Word.of_int_exn (String.length s) |]; Word.words_of_string s ]
+
+let send_error t ~to_ msg =
+  t.errors <- t.errors + 1;
+  match Net.send t.station ~to_ (string_packet op_error msg) with
+  | Ok () | Error _ -> ()
+
+let with_root t ~to_ f =
+  match Directory.open_root t.fs with
+  | Error e -> send_error t ~to_ (Format.asprintf "server volume sick: %a" Directory.pp_error e)
+  | Ok root -> f root
+
+let read_whole fs entry =
+  let ( let* ) = Result.bind in
+  let* file = File.open_leader fs entry.Directory.entry_file in
+  let* bytes = File.read_bytes file ~pos:0 ~len:(File.byte_length file) in
+  Ok (Bytes.to_string bytes)
+
+let serve_get t ~to_ name =
+  with_root t ~to_ (fun root ->
+      match Directory.lookup root name with
+      | Ok (Some entry) -> (
+          match read_whole t.fs entry with
+          | Ok contents -> (
+              t.gets <- t.gets + 1;
+              match Net.send_file t.station ~to_ ~name contents with
+              | Ok () -> ()
+              | Error e -> send_error t ~to_ (Format.asprintf "%a" Net.pp_error e))
+          | Error e -> send_error t ~to_ (Format.asprintf "%s: %a" name File.pp_error e))
+      | Ok None -> send_error t ~to_ (Printf.sprintf "no file %S" name)
+      | Error e -> send_error t ~to_ (Format.asprintf "%a" Directory.pp_error e))
+
+let serve_put t ~to_ name =
+  (* The file body follows the request on the wire. *)
+  match Net.receive_file t.station with
+  | None -> send_error t ~to_ "PUT without a following file transfer"
+  | Some (sent_name, contents) ->
+      if not (String.equal sent_name name) then
+        send_error t ~to_ "PUT name does not match the transferred file"
+      else
+        with_root t ~to_ (fun root ->
+            let ( let* ) = Result.bind in
+            let stored =
+              let* file =
+                match Directory.lookup root name with
+                | Ok (Some e) ->
+                    Result.map_error
+                      (fun e -> Format.asprintf "%a" File.pp_error e)
+                      (File.open_leader t.fs e.Directory.entry_file)
+                | Ok None ->
+                    let* file =
+                      Result.map_error
+                        (fun e -> Format.asprintf "%a" File.pp_error e)
+                        (File.create t.fs ~name)
+                    in
+                    let* () =
+                      Result.map_error
+                        (fun e -> Format.asprintf "%a" Directory.pp_error e)
+                        (Directory.add root ~name (File.leader_name file))
+                    in
+                    Ok file
+                | Error e -> Error (Format.asprintf "%a" Directory.pp_error e)
+              in
+              let file_err r =
+                Result.map_error (fun e -> Format.asprintf "%a" File.pp_error e) r
+              in
+              let* () = file_err (File.truncate file ~len:0) in
+              let* () =
+                if String.length contents = 0 then Ok ()
+                else file_err (File.write_bytes file ~pos:0 contents)
+              in
+              file_err (File.flush_leader file)
+            in
+            match stored with
+            | Ok () -> (
+                t.puts <- t.puts + 1;
+                match Net.send t.station ~to_ [| Word.of_int op_ack |] with
+                | Ok () | Error _ -> ())
+            | Error msg -> send_error t ~to_ msg)
+
+let serve_list t ~to_ =
+  with_root t ~to_ (fun root ->
+      match Directory.entries root with
+      | Error e -> send_error t ~to_ (Format.asprintf "%a" Directory.pp_error e)
+      | Ok entries -> (
+          t.lists <- t.lists + 1;
+          let text =
+            String.concat "\n"
+              (List.map (fun (e : Directory.entry) -> e.Directory.entry_name) entries)
+          in
+          match Net.send_file t.station ~to_ ~name:listing_name text with
+          | Ok () -> ()
+          | Error e -> send_error t ~to_ (Format.asprintf "%a" Net.pp_error e)))
+
+let step t =
+  match Net.receive t.station with
+  | None -> false
+  | Some { Net.src; payload } ->
+      (if Array.length payload = 0 then send_error t ~to_:src "empty request"
+       else
+         let op = Word.to_int payload.(0) in
+         if op = op_get then
+           match packet_string payload ~at:1 with
+           | Some name -> serve_get t ~to_:src name
+           | None -> send_error t ~to_:src "malformed GET"
+         else if op = op_put then
+           match packet_string payload ~at:1 with
+           | Some name -> serve_put t ~to_:src name
+           | None -> send_error t ~to_:src "malformed PUT"
+         else if op = op_list then serve_list t ~to_:src
+         else send_error t ~to_:src (Printf.sprintf "unknown request %d" op));
+      true
+
+let serve_pending t =
+  let rec go n = if step t then go (n + 1) else n in
+  go 0
+
+module Client = struct
+  type error = Remote of string | Protocol of string | Net_error of Net.error
+
+  let pp_error fmt = function
+    | Remote msg -> Format.fprintf fmt "server says: %s" msg
+    | Protocol msg -> Format.fprintf fmt "protocol trouble: %s" msg
+    | Net_error e -> Net.pp_error fmt e
+
+  let net r = Result.map_error (fun e -> Net_error e) r
+
+  (* After pumping the server, the reply is either a file transfer or a
+     single status packet. *)
+  let reply station =
+    match Net.receive_file station with
+    | Some (name, contents) -> Ok (`File (name, contents))
+    | None -> (
+        match Net.receive station with
+        | None -> Error (Protocol "no reply")
+        | Some { Net.payload; _ } ->
+            if Array.length payload = 0 then Error (Protocol "empty reply")
+            else
+              let op = Word.to_int payload.(0) in
+              if op = op_ack then Ok `Ack
+              else if op = op_error then
+                match packet_string payload ~at:1 with
+                | Some msg -> Error (Remote msg)
+                | None -> Error (Protocol "malformed error packet")
+              else Error (Protocol (Printf.sprintf "unexpected reply %d" op)))
+
+  let fetch station ~server ~name ~pump =
+    let ( let* ) = Result.bind in
+    let* () = net (Net.send station ~to_:server (string_packet op_get name)) in
+    pump ();
+    match reply station with
+    | Ok (`File (got, contents)) ->
+        if String.equal got name then Ok contents
+        else Error (Protocol (Printf.sprintf "asked for %S, got %S" name got))
+    | Ok `Ack -> Error (Protocol "bare acknowledgement to a GET")
+    | Error e -> Error e
+
+  let store station ~server ~name contents ~pump =
+    let ( let* ) = Result.bind in
+    let* () = net (Net.send station ~to_:server (string_packet op_put name)) in
+    let* () = net (Net.send_file station ~to_:server ~name contents) in
+    pump ();
+    match reply station with
+    | Ok `Ack -> Ok ()
+    | Ok (`File _) -> Error (Protocol "unexpected file in reply to PUT")
+    | Error e -> Error e
+
+  let listing station ~server ~pump =
+    let ( let* ) = Result.bind in
+    let* () = net (Net.send station ~to_:server [| Word.of_int op_list |]) in
+    pump ();
+    match reply station with
+    | Ok (`File (name, contents)) when String.equal name listing_name ->
+        Ok (List.filter (fun l -> l <> "") (String.split_on_char '\n' contents))
+    | Ok (`File _) -> Error (Protocol "unexpected file in reply to LIST")
+    | Ok `Ack -> Error (Protocol "bare acknowledgement to a LIST")
+    | Error e -> Error e
+end

@@ -1,0 +1,58 @@
+(** A network file server and its client.
+
+    §5.2 mentions both halves: a file server built from the standard
+    packages over a non-standard disk, and a diskless configuration of
+    the operating system that depends "on network communications rather
+    than on local disk storage". This package supplies the protocol
+    between them: named files fetched from, stored to, and listed on a
+    machine that has a pack, by machines that may have none.
+
+    The protocol rides the network's packet and file-transfer framing.
+    Requests are single packets ([GET name], [PUT name] followed by the
+    file body, [LIST]); replies are file transfers (the content, or a
+    listing under the reserved name [";listing"]) or error packets. The
+    simulation is single-threaded, so client calls take a [pump]
+    callback that gives the server its turn — the moral equivalent of
+    waiting for the wire. *)
+
+module Net = Alto_net.Net
+module Fs = Alto_fs.Fs
+
+type t
+
+type stats = { gets : int; puts : int; lists : int; errors : int }
+
+val create : Fs.t -> Net.station -> t
+(** Serve the given volume's root directory on the given station. *)
+
+val step : t -> bool
+(** Handle one pending request; [false] when the queue is empty. *)
+
+val serve_pending : t -> int
+(** Handle everything pending; returns the number of requests served. *)
+
+val stats : t -> stats
+
+(** {2 The client side} *)
+
+module Client : sig
+  type error =
+    | Remote of string  (** The server refused, with its message. *)
+    | Protocol of string
+    | Net_error of Net.error
+
+  val pp_error : Format.formatter -> error -> unit
+
+  val fetch :
+    Net.station -> server:string -> name:string -> pump:(unit -> unit) ->
+    (string, error) result
+  (** Fetch a named file's contents. *)
+
+  val store :
+    Net.station -> server:string -> name:string -> string -> pump:(unit -> unit) ->
+    (unit, error) result
+  (** Create or overwrite a named file on the server. *)
+
+  val listing :
+    Net.station -> server:string -> pump:(unit -> unit) -> (string list, error) result
+end

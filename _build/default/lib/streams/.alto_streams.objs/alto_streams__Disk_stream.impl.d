@@ -1,0 +1,1 @@
+lib/streams/disk_stream.ml: Alto_disk Alto_fs Alto_machine Alto_zones Array Bytes Char Format Printf Stream String

@@ -1,0 +1,1 @@
+lib/streams/disk_stream.mli: Alto_fs Alto_machine Alto_zones Stream

@@ -1,0 +1,1 @@
+lib/streams/display.ml: Buffer Char List Stream String

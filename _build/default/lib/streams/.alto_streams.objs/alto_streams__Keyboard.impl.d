@@ -1,0 +1,1 @@
+lib/streams/keyboard.ml: Char Queue Stream String

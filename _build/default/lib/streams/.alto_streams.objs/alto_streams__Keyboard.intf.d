@@ -1,0 +1,1 @@
+lib/streams/keyboard.mli: Stream

@@ -1,0 +1,1 @@
+lib/streams/memory_stream.ml: Alto_machine Buffer Char Stream String

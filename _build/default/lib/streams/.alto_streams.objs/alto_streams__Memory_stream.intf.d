@@ -1,0 +1,1 @@
+lib/streams/memory_stream.mli: Alto_machine Stream

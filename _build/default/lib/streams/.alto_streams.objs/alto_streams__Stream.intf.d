@@ -1,0 +1,1 @@
+lib/streams/stream.mli:

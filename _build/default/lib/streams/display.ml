@@ -1,0 +1,37 @@
+type t = { columns : int; mutable done_lines : string list; current : Buffer.t }
+
+let create ?(columns = 80) () =
+  { columns; done_lines = []; current = Buffer.create 80 }
+
+let newline t =
+  t.done_lines <- Buffer.contents t.current :: t.done_lines;
+  Buffer.clear t.current
+
+let clear t =
+  t.done_lines <- [];
+  Buffer.clear t.current
+
+let put_char t c =
+  match c with
+  | '\n' -> newline t
+  | '\012' -> clear t
+  | c ->
+      if Buffer.length t.current >= t.columns then newline t;
+      Buffer.add_char t.current c
+
+let lines t =
+  let all = List.rev t.done_lines in
+  if Buffer.length t.current = 0 then all else all @ [ Buffer.contents t.current ]
+
+let contents t = String.concat "\n" (lines t)
+
+let stream t =
+  let name = "display" in
+  Stream.make name
+    ~put:(fun item -> put_char t (Char.chr (item land 0xff)))
+    ~reset:(fun () -> clear t)
+    ~control:(fun op _ ->
+      match op with
+      | "lines" -> List.length (lines t)
+      | "columns" -> t.columns
+      | _ -> raise (Stream.Not_supported { stream = name; operation = op }))

@@ -1,0 +1,21 @@
+type t = { buffer : char Queue.t }
+
+let create () = { buffer = Queue.create () }
+
+let feed t s = String.iter (fun c -> Queue.push c t.buffer) s
+
+let pending t = Queue.length t.buffer
+
+let stream t =
+  let name = "keyboard" in
+  Stream.make name
+    ~get:(fun () ->
+      match Queue.take_opt t.buffer with
+      | Some c -> Some (Char.code c)
+      | None -> None)
+    ~reset:(fun () -> Queue.clear t.buffer)
+    ~at_end:(fun () -> Queue.is_empty t.buffer)
+    ~control:(fun op _ ->
+      match op with
+      | "pending" -> Queue.length t.buffer
+      | _ -> raise (Stream.Not_supported { stream = name; operation = op }))

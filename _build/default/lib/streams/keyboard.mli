@@ -1,0 +1,24 @@
+(** The keyboard: a type-ahead buffer and a stream over it.
+
+    §2: the system's only other process "puts keyboard input characters
+    into a buffer"; §5.2: "The keyboard input buffer is present nearly
+    always, so that any characters typed ahead by the user when running
+    one program are saved for interpretation by the next." {!feed} plays
+    the interrupt-driven producer (a test script or an example's canned
+    user); the buffer object outlives any one consumer stream, which is
+    exactly the type-ahead property. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> string -> unit
+(** Characters arriving from the (simulated) interrupt process. *)
+
+val pending : t -> int
+
+val stream : t -> Stream.t
+(** A fresh input stream over the shared buffer. [get] consumes the next
+    type-ahead character ([None] when the buffer is dry); [reset]
+    discards pending input (the moral equivalent of flushing type-ahead);
+    [control "pending"] reports the buffer depth. *)

@@ -1,0 +1,57 @@
+module Word = Alto_machine.Word
+module Memory = Alto_machine.Memory
+
+let of_string s =
+  let pos = ref 0 in
+  Stream.make "string input"
+    ~get:(fun () ->
+      if !pos >= String.length s then None
+      else begin
+        let c = Char.code s.[!pos] in
+        incr pos;
+        Some c
+      end)
+    ~reset:(fun () -> pos := 0)
+    ~at_end:(fun () -> !pos >= String.length s)
+
+let buffer () =
+  let b = Buffer.create 64 in
+  let stream =
+    Stream.make "buffer output"
+      ~put:(fun item -> Buffer.add_char b (Char.chr (item land 0xff)))
+      ~reset:(fun () -> Buffer.clear b)
+  in
+  (stream, fun () -> Buffer.contents b)
+
+let on_region memory ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Memory.size then
+    invalid_arg "Memory_stream.on_region: region outside memory";
+  let position = ref 0 in
+  let name = "memory region" in
+  Stream.make name
+    ~get:(fun () ->
+      if !position >= len then None
+      else begin
+        let w = Word.to_int (Memory.read memory (pos + !position)) in
+        incr position;
+        Some w
+      end)
+    ~put:(fun item ->
+      if !position >= len then raise (Stream.Closed name)
+      else begin
+        Memory.write memory (pos + !position) (Word.of_int item);
+        incr position
+      end)
+    ~reset:(fun () -> position := 0)
+    ~at_end:(fun () -> !position >= len)
+    ~control:(fun op arg ->
+      match op with
+      | "position" -> !position
+      | "set-position" ->
+          if arg < 0 || arg > len then invalid_arg "set-position out of region"
+          else begin
+            position := arg;
+            arg
+          end
+      | "length" -> len
+      | _ -> raise (Stream.Not_supported { stream = name; operation = op }))

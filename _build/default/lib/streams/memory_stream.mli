@@ -1,0 +1,20 @@
+(** Streams over in-core data: strings, growable buffers, and regions of
+    the machine's memory. The memory-region stream is how programs in
+    different environments hand data structures to each other through
+    the shared 64K image. *)
+
+module Memory = Alto_machine.Memory
+
+val of_string : string -> Stream.t
+(** A byte-item input stream over a string; [reset] rewinds. *)
+
+val buffer : unit -> Stream.t * (unit -> string)
+(** A byte-item output stream collecting into a buffer, plus a function
+    reading what has been put so far; [reset] empties it. *)
+
+val on_region : Memory.t -> pos:int -> len:int -> Stream.t
+(** A word-item stream over [len] words of memory at [pos], readable and
+    writable with a shared position. Controls: ["position"],
+    ["set-position"] (argument = new position, word-relative),
+    ["length"]. [get] returns [None] past the region; [put] past the
+    region raises [Closed]. *)

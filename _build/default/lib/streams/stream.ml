@@ -1,0 +1,94 @@
+type item = int
+
+exception Not_supported of { stream : string; operation : string }
+exception Closed of string
+
+type t = {
+  stream_name : string;
+  get : unit -> item option;
+  put : item -> unit;
+  reset : unit -> unit;
+  at_end : unit -> bool;
+  close : unit -> unit;
+  control : string -> item -> item;
+}
+
+let unsupported name operation _ = raise (Not_supported { stream = name; operation })
+
+let make ?get ?put ?reset ?at_end ?close ?control stream_name =
+  {
+    stream_name;
+    get =
+      (match get with Some f -> f | None -> fun () -> unsupported stream_name "get" ());
+    put =
+      (match put with Some f -> f | None -> fun _ -> unsupported stream_name "put" ());
+    reset = Option.value reset ~default:(fun () -> ());
+    at_end = Option.value at_end ~default:(fun () -> false);
+    close = Option.value close ~default:(fun () -> ());
+    control =
+      (match control with
+      | Some f -> f
+      | None -> fun op _ -> unsupported stream_name op ());
+  }
+
+let put_string t s = String.iter (fun c -> t.put (Char.code c)) s
+
+let put_line t s =
+  put_string t s;
+  t.put (Char.code '\n')
+
+let get_string t n =
+  let buffer = Buffer.create n in
+  let rec go k =
+    if k = 0 then ()
+    else
+      match t.get () with
+      | None -> ()
+      | Some item ->
+          Buffer.add_char buffer (Char.chr (item land 0xff));
+          go (k - 1)
+  in
+  go n;
+  Buffer.contents buffer
+
+let get_line t =
+  let buffer = Buffer.create 80 in
+  let rec go started =
+    match t.get () with
+    | None -> if started then Some (Buffer.contents buffer) else None
+    | Some item ->
+        if item land 0xff = Char.code '\n' then Some (Buffer.contents buffer)
+        else begin
+          Buffer.add_char buffer (Char.chr (item land 0xff));
+          go true
+        end
+  in
+  go false
+
+let get_all t =
+  let buffer = Buffer.create 256 in
+  let rec go () =
+    match t.get () with
+    | None -> Buffer.contents buffer
+    | Some item ->
+        Buffer.add_char buffer (Char.chr (item land 0xff));
+        go ()
+  in
+  go ()
+
+let iter t f =
+  let rec go () =
+    match t.get () with
+    | None -> ()
+    | Some item ->
+        f item;
+        go ()
+  in
+  go ()
+
+let copy ~src ~dst =
+  let n = ref 0 in
+  iter src (fun item ->
+      dst.put item;
+      incr n);
+  !n

@@ -1,0 +1,1 @@
+lib/world/boot.ml: Alto_disk Alto_fs Alto_machine Array Format World

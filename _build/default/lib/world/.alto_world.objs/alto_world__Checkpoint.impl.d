@@ -1,0 +1,1 @@
+lib/world/checkpoint.ml: Alto_fs Alto_machine Result String World

@@ -1,0 +1,1 @@
+lib/world/checkpoint.mli: Alto_fs Alto_machine Format World

@@ -1,0 +1,1 @@
+lib/world/world.ml: Alto_fs Alto_machine Array Bytes Format Result String

@@ -1,0 +1,1 @@
+lib/world/world.mli: Alto_fs Alto_machine Format

@@ -1,0 +1,71 @@
+(** World swapping: [OutLoad] and [InLoad] (§4, §4.1).
+
+    "These transfers of control are achieved by defining a convention for
+    restoring the entire state of the machine from a disk file." The
+    entire state is the register file and the 64K-word memory image;
+    {!out_load} writes it to an ordinary file (about a second of
+    simulated time on a pre-sized file, matching the paper), {!in_load}
+    replaces the running world with a saved one and delivers a message of
+    up to 20 words.
+
+    The paper's [OutLoad] returns {e twice}: once with [written] true in
+    the world that called it, and once with [written] false in every
+    world later revived from the file. At this layer the calling
+    convention is explicit: the processor state saved is exactly the
+    state at the moment of the call, so whoever invokes {!out_load}
+    arranges the registers first (set the "written" flag register to
+    false, save, then set it true). The operating system's trap handlers
+    do precisely that dance, giving loaded programs the paper's exact
+    double-return semantics; see {!Alto_os.System}. *)
+
+module Word = Alto_machine.Word
+module Cpu = Alto_machine.Cpu
+module File = Alto_fs.File
+
+type error =
+  | File_error of File.error
+  | Bad_state of string  (** The file does not hold a machine state. *)
+  | Message_too_long
+
+val pp_error : Format.formatter -> error -> unit
+
+val max_message_words : int
+(** 20 — "a message (about 20 words)". *)
+
+val message_area : int
+(** The fixed memory address (16) where {!in_load} deposits the message
+    in the restored image; AC1 also points here afterwards. *)
+
+val state_file_words : int
+(** Size of a machine-state image in words; pre-size state files to
+    [2 * state_file_words] bytes to get the one-second steady-state
+    swap. *)
+
+val out_load : Cpu.t -> File.t -> (unit, error) result
+(** Write the processor's registers and whole memory to the file
+    (extending or truncating it to exactly one state image). The running
+    world continues unchanged. *)
+
+val in_load : Cpu.t -> File.t -> message:Word.t array -> (unit, error) result
+(** Replace registers and memory with the file's saved world, then
+    deposit [message] at {!message_area} (length in the word before it)
+    and point AC1 there. Execution, if resumed through the VM, continues
+    wherever the saved world stood. *)
+
+val emergency_out_load : Alto_machine.Memory.t -> File.t -> (unit, error) result
+(** The paper's "special emergency bootstrap program, containing only the
+    OutLoad procedure": saves the memory image but cannot preserve the
+    processor registers, which are stored as zeros. A world restored from
+    such a file must be entered through its debugger, not resumed. *)
+
+val peek_registers : File.t -> (Word.t array, error) result
+(** Read just the saved register file — the debugger's window into a
+    suspended world, without loading it. *)
+
+val read_saved_memory : File.t -> pos:int -> len:int -> (Word.t array, error) result
+(** Read [len] words of the saved image's memory starting at address
+    [pos] — "the debugging program may examine … the state of the faulty
+    program by reading … portions of the file". *)
+
+val write_saved_memory : File.t -> pos:int -> Word.t array -> (unit, error) result
+(** Patch the saved image's memory — the other half of debugging. *)

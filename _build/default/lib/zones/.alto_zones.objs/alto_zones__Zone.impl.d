@@ -1,0 +1,1 @@
+lib/zones/zone.ml: Alto_machine Printf

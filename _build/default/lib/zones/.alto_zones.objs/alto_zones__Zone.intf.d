@@ -1,0 +1,1 @@
+lib/zones/zone.mli: Alto_machine

@@ -1,0 +1,1 @@
+test/test_bcpl.ml: Alcotest Alto_bcpl Alto_disk Alto_fs Alto_machine Alto_os Alto_streams Alto_world Option Printf QCheck QCheck_alcotest

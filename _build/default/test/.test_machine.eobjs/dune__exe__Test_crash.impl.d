@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Alto_disk Alto_fs Alto_machine Alto_world Bytes Char List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Alto_disk Alto_machine Array Format Hashtbl List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Alto_disk Alto_fs Alto_machine Alto_net Alto_server Bytes Char List Random String

@@ -1,0 +1,1 @@
+test/test_format.ml: Alcotest Alto_disk Alto_fs Alto_machine Array Buffer Char Format List Printf QCheck QCheck_alcotest String

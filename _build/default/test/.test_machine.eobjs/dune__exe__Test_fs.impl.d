@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Alto_disk Alto_fs Alto_machine Array Bytes Char Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Alto_disk Alto_fs Alto_machine Alto_os Alto_streams Alto_world Bytes Char Gen List QCheck QCheck_alcotest Random String

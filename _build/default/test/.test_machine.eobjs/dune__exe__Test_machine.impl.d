@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Alto_machine Array Format Gen List QCheck QCheck_alcotest String

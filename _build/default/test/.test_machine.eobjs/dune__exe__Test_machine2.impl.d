@@ -1,0 +1,1 @@
+test/test_machine2.ml: Alcotest Alto_machine Alto_os Array Format List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Alto_machine Alto_net Array Char String

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Alto_disk Alto_fs Alto_machine Alto_os Alto_streams Alto_world Alto_zones Bytes Char List Printf String

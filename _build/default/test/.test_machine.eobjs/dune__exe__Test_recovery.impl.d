@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Alto_disk Alto_fs Alto_machine Array Bytes Char List Option Printf QCheck QCheck_alcotest Random Result String

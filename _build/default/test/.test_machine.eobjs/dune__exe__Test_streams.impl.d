@@ -1,0 +1,1 @@
+test/test_streams.ml: Alcotest Alto_disk Alto_fs Alto_machine Alto_streams Alto_zones Buffer Char Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest Alto_disk Alto_fs Alto_machine Alto_world Alto_zones Array Printf String

@@ -1,0 +1,1 @@
+test/test_zones.ml: Alcotest Alto_machine Alto_zones Gen List QCheck QCheck_alcotest

@@ -1,0 +1,126 @@
+(* The simulated network: packets, queues, latency, file transfer. *)
+
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+module Net = Alto_net.Net
+
+let words s = Word.words_of_string s
+
+let test_send_receive () =
+  let net = Net.create () in
+  let a = Net.attach net ~name:"alice" in
+  let b = Net.attach net ~name:"bob" in
+  (match Net.send a ~to_:"bob" (words "hi") with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %a" Net.pp_error e);
+  Alcotest.(check int) "queued" 1 (Net.pending b);
+  (match Net.receive b with
+  | Some p ->
+      Alcotest.(check string) "source" "alice" p.Net.src;
+      Alcotest.(check string) "payload" "hi"
+        (Word.string_of_words p.Net.payload ~len:2)
+  | None -> Alcotest.fail "nothing received");
+  Alcotest.(check bool) "empty" true (Net.receive b = None)
+
+let test_unknown_station () =
+  let net = Net.create () in
+  let a = Net.attach net ~name:"a" in
+  match Net.send a ~to_:"nobody" [||] with
+  | Error (Net.Unknown_station "nobody") -> ()
+  | Ok () | Error _ -> Alcotest.fail "send to nobody must fail"
+
+let test_duplicate_station () =
+  let net = Net.create () in
+  let _ = Net.attach net ~name:"x" in
+  match Net.attach net ~name:"x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate name accepted"
+
+let test_payload_limit () =
+  let net = Net.create () in
+  let a = Net.attach net ~name:"a" in
+  let _ = Net.attach net ~name:"b" in
+  match Net.send a ~to_:"b" (Array.make 257 Word.zero) with
+  | Error Net.Payload_too_long -> ()
+  | Ok () | Error _ -> Alcotest.fail "oversized payload accepted"
+
+let test_latency_charged () =
+  let clock = Sim_clock.create () in
+  let net = Net.create ~clock ~latency_us:1000 () in
+  let a = Net.attach net ~name:"a" in
+  let _ = Net.attach net ~name:"b" in
+  for _ = 1 to 5 do
+    ignore (Net.send a ~to_:"b" [| Word.one |])
+  done;
+  Alcotest.(check int) "5 packets x 1ms" 5000 (Sim_clock.now_us clock)
+
+let test_file_transfer () =
+  let net = Net.create () in
+  let a = Net.attach net ~name:"client" in
+  let b = Net.attach net ~name:"printer" in
+  let body = String.init 2000 (fun i -> Char.chr (32 + (i mod 90))) in
+  (match Net.send_file a ~to_:"printer" ~name:"Report.press" body with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send_file: %a" Net.pp_error e);
+  (match Net.receive_file b with
+  | Some (name, contents) ->
+      Alcotest.(check string) "name" "Report.press" name;
+      Alcotest.(check string) "contents" body contents
+  | None -> Alcotest.fail "file not reassembled");
+  Alcotest.(check bool) "queue drained" true (Net.receive_file b = None)
+
+let test_file_transfer_odd_length () =
+  let net = Net.create () in
+  let a = Net.attach net ~name:"a" in
+  let b = Net.attach net ~name:"b" in
+  ignore (Net.send_file a ~to_:"b" ~name:"Odd." "xyz");
+  match Net.receive_file b with
+  | Some (_, contents) -> Alcotest.(check string) "odd bytes survive" "xyz" contents
+  | None -> Alcotest.fail "file lost"
+
+let test_interleaved_files () =
+  let net = Net.create () in
+  let a = Net.attach net ~name:"a" in
+  let b = Net.attach net ~name:"b" in
+  ignore (Net.send_file a ~to_:"b" ~name:"One." "first");
+  ignore (Net.send_file a ~to_:"b" ~name:"Two." "second");
+  (match Net.receive_file b with
+  | Some (name, c) ->
+      Alcotest.(check string) "first file" "One." name;
+      Alcotest.(check string) "first body" "first" c
+  | None -> Alcotest.fail "first file lost");
+  match Net.receive_file b with
+  | Some (name, _) -> Alcotest.(check string) "second file" "Two." name
+  | None -> Alcotest.fail "second file lost"
+
+let test_incomplete_file_waits () =
+  let net = Net.create () in
+  let a = Net.attach net ~name:"a" in
+  let b = Net.attach net ~name:"b" in
+  (* Header but no trailer yet. *)
+  ignore (Net.send a ~to_:"b" (Array.append [| Word.of_int 1; Word.of_int 2 |] (words "F.")));
+  Alcotest.(check bool) "not ready" true (Net.receive_file b = None);
+  ignore (Net.send a ~to_:"b" [| Word.of_int 3 |]);
+  match Net.receive_file b with
+  | Some (name, "") -> Alcotest.(check string) "complete now" "F." name
+  | Some _ | None -> Alcotest.fail "completion not detected"
+
+let () =
+  Alcotest.run "alto_net"
+    [
+      ( "packets",
+        [
+          ("send/receive", `Quick, test_send_receive);
+          ("unknown station", `Quick, test_unknown_station);
+          ("duplicate station", `Quick, test_duplicate_station);
+          ("payload limit", `Quick, test_payload_limit);
+          ("latency charged", `Quick, test_latency_charged);
+        ] );
+      ( "files",
+        [
+          ("transfer", `Quick, test_file_transfer);
+          ("odd length", `Quick, test_file_transfer_odd_length);
+          ("interleaved", `Quick, test_interleaved_files);
+          ("incomplete waits", `Quick, test_incomplete_file_waits);
+        ] );
+    ]

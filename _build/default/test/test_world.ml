@@ -1,0 +1,289 @@
+(* World swapping: OutLoad/InLoad, checkpoints, coroutine transfer,
+   booting, and the debugger's view of a saved world. *)
+
+module Word = Alto_machine.Word
+module Memory = Alto_machine.Memory
+module Cpu = Alto_machine.Cpu
+module Sim_clock = Alto_machine.Sim_clock
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module Directory = Alto_fs.Directory
+module World = Alto_world.World
+module Boot = Alto_world.Boot
+module Checkpoint = Alto_world.Checkpoint
+
+(* Big enough for a couple of 258-page state files. *)
+let world_geometry = { Geometry.diablo_31 with Geometry.model = "test"; cylinders = 80 }
+
+let fresh () =
+  let drive = Drive.create ~pack_id:9 world_geometry in
+  let fs = Fs.format drive in
+  let root =
+    match Directory.open_root fs with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "root: %a" Directory.pp_error e
+  in
+  (drive, fs, root)
+
+let state_file fs root name =
+  match Checkpoint.state_file fs ~directory:root ~name with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "state_file: %a" Checkpoint.pp_error e
+
+let world_ok what = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "%s: %a" what World.pp_error e
+
+let test_out_in_roundtrip () =
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "World.state" in
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+  (* A distinctive world. *)
+  for i = 0 to 999 do
+    Memory.write memory (i * 64) (Word.of_int (i land 0xffff))
+  done;
+  Cpu.set_pc cpu (Word.of_int 4242);
+  Cpu.set_ac cpu 2 (Word.of_int 777);
+  world_ok "out_load" (World.out_load cpu file);
+  (* Wreck the live world completely. *)
+  Memory.fill memory ~pos:0 ~len:Memory.size (Word.of_int 0xDEAD);
+  Cpu.set_pc cpu Word.zero;
+  let message = [| Word.of_int 5; Word.of_int 6 |] in
+  world_ok "in_load" (World.in_load cpu file ~message);
+  Alcotest.(check int) "pc restored" 4242 (Word.to_int (Cpu.pc cpu));
+  Alcotest.(check int) "ac2 restored" 777 (Word.to_int (Cpu.ac cpu 2));
+  Alcotest.(check int) "memory restored" 999 (Word.to_int (Memory.read memory (999 * 64)));
+  (* The message is in the revived image, with AC1 pointing at it. *)
+  Alcotest.(check int) "ac1 points at message" World.message_area
+    (Word.to_int (Cpu.ac cpu 1));
+  Alcotest.(check int) "message length" 2
+    (Word.to_int (Memory.read memory (World.message_area - 1)));
+  Alcotest.(check int) "message word" 6
+    (Word.to_int (Memory.read memory (World.message_area + 1)))
+
+let test_swap_takes_about_a_second () =
+  (* §4.1: each routine "requires about a second". Steady state on a
+     pre-sized file, simulated time. *)
+  let drive, fs, root = fresh () in
+  let file = state_file fs root "Timed.state" in
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+  world_ok "warm-up" (World.out_load cpu file);
+  let clock = Drive.clock drive in
+  let t0 = Sim_clock.now_us clock in
+  world_ok "out_load" (World.out_load cpu file);
+  let out_us = Sim_clock.now_us clock - t0 in
+  let t1 = Sim_clock.now_us clock in
+  world_ok "in_load" (World.in_load cpu file ~message:[||]);
+  let in_us = Sim_clock.now_us clock - t1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "OutLoad ~1s (got %d ms)" (out_us / 1000))
+    true
+    (out_us > 500_000 && out_us < 2_500_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "InLoad ~1s (got %d ms)" (in_us / 1000))
+    true
+    (in_us > 500_000 && in_us < 2_500_000)
+
+let test_message_too_long () =
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "W.state" in
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+  world_ok "save" (World.out_load cpu file);
+  match World.in_load cpu file ~message:(Array.make 21 Word.zero) with
+  | Error World.Message_too_long -> ()
+  | Ok () | Error _ -> Alcotest.fail "21-word message accepted"
+
+let test_in_load_rejects_non_state () =
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "Junk.state" in
+  (match File.write_bytes file ~pos:0 (String.make 100 'j') with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %a" File.pp_error e);
+  let cpu = Cpu.create (Memory.create ()) in
+  match World.in_load cpu file ~message:[||] with
+  | Error (World.Bad_state _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "garbage accepted as a world"
+
+let test_debugger_view () =
+  (* §4: the debugger examines and alters the faulty program's state by
+     reading and writing the saved file. *)
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "Broke.state" in
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+  Memory.write memory 5000 (Word.of_int 111);
+  Cpu.set_pc cpu (Word.of_int 1234);
+  world_ok "save at breakpoint" (World.out_load cpu file);
+  (* Examine. *)
+  let regs = world_ok "peek" (World.peek_registers file) in
+  Alcotest.(check int) "saved pc" 1234 (Word.to_int regs.(0));
+  let words = world_ok "read" (World.read_saved_memory file ~pos:5000 ~len:1) in
+  Alcotest.(check int) "saved memory" 111 (Word.to_int words.(0));
+  (* Patch, then resume and observe the patch. *)
+  world_ok "patch" (World.write_saved_memory file ~pos:5000 [| Word.of_int 222 |]);
+  world_ok "resume" (World.in_load cpu file ~message:[||]);
+  Alcotest.(check int) "patched world" 222 (Word.to_int (Memory.read memory 5000))
+
+let test_emergency_out_load () =
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "Emergency.state" in
+  let memory = Memory.create () in
+  Memory.write memory 123 (Word.of_int 45);
+  (match World.emergency_out_load memory file with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "emergency: %a" World.pp_error e);
+  let regs = world_ok "peek" (World.peek_registers file) in
+  (* "this method could not preserve some of the most vital state". *)
+  Alcotest.(check bool) "registers lost" true (Array.for_all (Word.equal Word.zero) regs);
+  let words = world_ok "read" (World.read_saved_memory file ~pos:123 ~len:1) in
+  Alcotest.(check int) "memory preserved" 45 (Word.to_int words.(0))
+
+let test_coroutine_transfer () =
+  let _drive, fs, root = fresh () in
+  let file_a = state_file fs root "TaskA.state" in
+  let file_b = state_file fs root "TaskB.state" in
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+  (* World A. *)
+  Memory.write memory 100 (Word.of_int 0xAAAA);
+  Cpu.set_pc cpu (Word.of_int 111);
+  (match Checkpoint.save cpu file_a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save A: %a" Checkpoint.pp_error e);
+  (* Become world B, then transfer back to A. *)
+  Memory.write memory 100 (Word.of_int 0xBBBB);
+  Cpu.set_pc cpu (Word.of_int 222);
+  (match
+     Checkpoint.transfer cpu ~save_to:file_b ~restore_from:file_a
+       ~message:[| Word.of_int 9 |]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "transfer: %a" Checkpoint.pp_error e);
+  Alcotest.(check int) "now in world A" 0xAAAA (Word.to_int (Memory.read memory 100));
+  Alcotest.(check int) "A's pc" 111 (Word.to_int (Cpu.pc cpu));
+  (* And back to B, whose state was saved by the transfer. *)
+  (match
+     Checkpoint.transfer cpu ~save_to:file_a ~restore_from:file_b ~message:[||]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "transfer back: %a" Checkpoint.pp_error e);
+  Alcotest.(check int) "now in world B" 0xBBBB (Word.to_int (Memory.read memory 100));
+  Alcotest.(check int) "B's pc" 222 (Word.to_int (Cpu.pc cpu))
+
+let test_boot () =
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "Boot.state" in
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+  Memory.write memory 2048 (Word.of_int 0xB001);
+  Cpu.set_pc cpu (Word.of_int 3333);
+  world_ok "write boot world" (World.out_load cpu file);
+  (match Boot.install fs file with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "install: %a" Boot.pp_error e);
+  (* Press the button on a cold machine. *)
+  let cold_memory = Memory.create () in
+  let cold_cpu = Cpu.create cold_memory in
+  (match Boot.boot fs cold_cpu with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "boot: %a" Boot.pp_error e);
+  Alcotest.(check int) "booted world" 0xB001 (Word.to_int (Memory.read cold_memory 2048));
+  Alcotest.(check int) "booted pc" 3333 (Word.to_int (Cpu.pc cold_cpu))
+
+let test_boot_without_record () =
+  let _drive, fs, _root = fresh () in
+  let cpu = Cpu.create (Memory.create ()) in
+  match Boot.boot fs cpu with
+  | Error Boot.No_boot_record -> ()
+  | Ok () | Error _ -> Alcotest.fail "boot without a record must fail cleanly"
+
+let test_truncated_image_rejected () =
+  (* A world file that lost its tail (crash mid-save, then scavenged)
+     must be refused coherently, not half-restored. *)
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "Cut.state" in
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+  world_ok "save" (World.out_load cpu file);
+  (match File.truncate file ~len:(World.state_file_words / 3 * 2) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "truncate: %a" File.pp_error e);
+  Memory.write memory 7 (Word.of_int 7);
+  (match World.in_load cpu file ~message:[||] with
+  | Error (World.Bad_state _) -> ()
+  | Ok () -> Alcotest.fail "restored from a truncated image"
+  | Error e -> Alcotest.failf "wrong error: %a" World.pp_error e);
+  (* The live world was not clobbered by the refused restore. *)
+  Alcotest.(check int) "live memory intact" 7 (Word.to_int (Memory.read memory 7))
+
+let test_oversized_state_file_trimmed () =
+  (* OutLoad onto a file that used to be bigger trims it to one image. *)
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "Big.state" in
+  let extra = String.make 5000 'z' in
+  (match File.write_bytes file ~pos:(2 * World.state_file_words) extra with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "pad: %a" File.pp_error e);
+  let cpu = Cpu.create (Memory.create ()) in
+  world_ok "save" (World.out_load cpu file);
+  Alcotest.(check int) "exactly one image" (2 * World.state_file_words)
+    (File.byte_length file)
+
+let test_peek_registers_on_garbage () =
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "G.state" in
+  (match File.write_bytes file ~pos:0 (String.make 64 '!') with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %a" File.pp_error e);
+  match World.peek_registers file with
+  | Error (World.Bad_state _) -> ()
+  | Ok _ -> Alcotest.fail "peeked registers out of garbage"
+  | Error e -> Alcotest.failf "wrong error: %a" World.pp_error e
+
+let test_hints_survive_swap () =
+  (* §4: "hints that are saved and restored are usually still valid". A
+     zone heap (hints and all) placed in memory survives the round trip
+     byte for byte. *)
+  let _drive, fs, root = fresh () in
+  let file = state_file fs root "Zoned.state" in
+  let memory = Memory.create () in
+  let cpu = Cpu.create memory in
+  let zone = Alto_zones.Zone.format memory ~pos:3000 ~len:400 in
+  let block = Alto_zones.Zone.allocate zone 10 in
+  Memory.write memory block (Word.of_int 31337);
+  world_ok "save" (World.out_load cpu file);
+  Memory.fill memory ~pos:0 ~len:Memory.size Word.zero;
+  world_ok "restore" (World.in_load cpu file ~message:[||]);
+  let zone' = Alto_zones.Zone.attach memory ~pos:3000 in
+  Alcotest.(check int) "heap word survives" 31337 (Word.to_int (Memory.read memory block));
+  Alcotest.(check int) "zone structure survives" 1
+    (Alto_zones.Zone.stats zone').Alto_zones.Zone.live_blocks
+
+let () =
+  Alcotest.run "alto_world"
+    [
+      ( "world",
+        [
+          ("out/in roundtrip", `Quick, test_out_in_roundtrip);
+          ("swap takes about a second", `Quick, test_swap_takes_about_a_second);
+          ("message too long", `Quick, test_message_too_long);
+          ("rejects non-state", `Quick, test_in_load_rejects_non_state);
+          ("debugger view", `Quick, test_debugger_view);
+          ("emergency outload", `Quick, test_emergency_out_load);
+          ("hints survive a swap", `Quick, test_hints_survive_swap);
+          ("truncated image rejected", `Quick, test_truncated_image_rejected);
+          ("oversized state trimmed", `Quick, test_oversized_state_file_trimmed);
+          ("garbage registers refused", `Quick, test_peek_registers_on_garbage);
+        ] );
+      ( "control",
+        [
+          ("coroutine transfer", `Quick, test_coroutine_transfer);
+          ("boot", `Quick, test_boot);
+          ("boot without record", `Quick, test_boot_without_record);
+        ] );
+    ]
