@@ -1,13 +1,17 @@
 (* The benchmark harness.
 
    Usage:
-     dune exec bench/main.exe            -- all experiments + micro-benchmarks
-     dune exec bench/main.exe e1 e5      -- selected experiments
-     dune exec bench/main.exe micro      -- host-time micro-benchmarks only
+     dune exec bench/main.exe                 -- all experiments + micro-benchmarks
+     dune exec bench/main.exe -- e1 e5        -- selected experiments
+     dune exec bench/main.exe -- micro        -- host-time micro-benchmarks only
+     dune exec bench/main.exe -- --json F     -- additionally dump results and
+                                                the metric registry to F
 
-   E1..E10 print simulated Alto time (the claims are about the paper's
+   E1..E13 print simulated Alto time (the claims are about the paper's
    hardware); "micro" reports wall-clock cost of this implementation's
-   primitives via Bechamel. *)
+   primitives via Bechamel. With --json the same tables, plus a snapshot
+   of every alto_obs metric the run touched, land in one JSON file —
+   the artifact CI archives to track the performance trajectory. *)
 
 module Word = Alto_machine.Word
 module Memory = Alto_machine.Memory
@@ -199,25 +203,63 @@ let run_micro () =
         (name, ns) :: acc)
       results []
   in
-  List.iter
-    (fun (name, ns) -> Printf.printf "%-40s %s\n" name ns)
-    (List.sort compare rows)
+  Workloads.print_table [ 40; 18 ]
+    [ "primitive"; "host cost" ]
+    (List.map (fun (name, ns) -> [ name; ns ]) (List.sort compare rows))
 
 (* {2 Dispatch} *)
 
+module Json = Alto_obs.Json
+module Obs = Alto_obs.Obs
+
+let write_json file selected =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "altos.bench/1");
+        ("selection", Json.List (List.map (fun s -> Json.String s) selected));
+        ("experiments", Workloads.experiments_json ());
+        ("metrics", Obs.metrics_json ());
+      ]
+  in
+  match open_out file with
+  | exception Sys_error reason ->
+      Printf.eprintf "cannot write %s: %s\n" file reason;
+      exit 1
+  | oc ->
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Json.to_channel oc doc);
+      Printf.printf "\nwrote %s (%d metrics)\n" file (List.length (Obs.snapshot ()))
+
+let rec parse_args (selected, json) = function
+  | [] -> (List.rev selected, json)
+  | "--json" :: file :: rest -> parse_args (selected, Some file) rest
+  | [ "--json" ] ->
+      prerr_endline "--json requires a file name";
+      exit 1
+  | name :: rest -> parse_args (name :: selected, json) rest
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let named, json_file = parse_args ([], None) args in
   let known = List.map fst Experiments.all in
-  let selected = if args = [] then known @ [ "micro" ] else args in
+  let selected = if named = [] then known @ [ "micro" ] else named in
   List.iter
     (fun name ->
       match List.assoc_opt name Experiments.all with
-      | Some f -> f ()
+      | Some f ->
+          Workloads.begin_experiment name;
+          f ();
+          Workloads.finish_experiment ()
       | None ->
-          if String.equal name "micro" then run_micro ()
+          if String.equal name "micro" then begin
+            Workloads.begin_experiment name;
+            run_micro ();
+            Workloads.finish_experiment ()
+          end
           else begin
             Printf.eprintf "unknown experiment %S (have: %s, micro)\n" name
               (String.concat " " known);
             exit 1
           end)
-    selected
+    selected;
+  match json_file with None -> () | Some file -> write_json file selected

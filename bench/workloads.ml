@@ -8,6 +8,7 @@ module Geometry = Alto_disk.Geometry
 module Fs = Alto_fs.Fs
 module File = Alto_fs.File
 module Directory = Alto_fs.Directory
+module Json = Alto_obs.Json
 
 let ok pp = function
   | Ok x -> x
@@ -57,9 +58,81 @@ let timed clock f =
 
 let pp_us fmt us = Sim_clock.pp_duration fmt us
 
+(* {2 Structured result recording}
+
+   Every experiment already narrates itself through {!heading}, {!claim}
+   and {!print_table}; the same calls feed a machine-readable record so
+   that `--json` can dump exactly what was printed. The dispatcher
+   brackets each experiment with {!begin_experiment} /
+   {!finish_experiment}; outside a bracket the recorder is inert. *)
+
+type recorded_table = { table_header : string list; table_rows : string list list }
+
+type experiment_record = {
+  exp_name : string;
+  mutable exp_headings : string list;
+  mutable exp_claims : string list;
+  mutable exp_tables : recorded_table list;  (* Newest first. *)
+}
+
+let records : experiment_record list ref = ref []
+let current : experiment_record option ref = ref None
+
+let begin_experiment name =
+  current := Some { exp_name = name; exp_headings = []; exp_claims = []; exp_tables = [] }
+
+let finish_experiment () =
+  match !current with
+  | None -> ()
+  | Some r ->
+      records := r :: !records;
+      current := None
+
+let record_heading title =
+  match !current with
+  | None -> ()
+  | Some r -> r.exp_headings <- title :: r.exp_headings
+
+let record_claim text =
+  match !current with
+  | None -> ()
+  | Some r -> r.exp_claims <- text :: r.exp_claims
+
+let record_table header rows =
+  match !current with
+  | None -> ()
+  | Some r ->
+      r.exp_tables <- { table_header = header; table_rows = rows } :: r.exp_tables
+
+let experiments_json () =
+  let table_json t =
+    Json.Obj
+      [
+        ("header", Json.List (List.map (fun c -> Json.String c) t.table_header));
+        ( "rows",
+          Json.List
+            (List.map
+               (fun row -> Json.List (List.map (fun c -> Json.String c) row))
+               t.table_rows) );
+      ]
+  in
+  Json.List
+    (List.rev_map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.String r.exp_name);
+             ("headings", Json.List (List.rev_map (fun h -> Json.String h) r.exp_headings));
+             ("claims", Json.List (List.rev_map (fun c -> Json.String c) r.exp_claims));
+             ("tables", Json.List (List.rev_map table_json r.exp_tables));
+           ])
+       !records)
+
 (* {2 Table printing} *)
 
-let heading title = Format.printf "@.== %s ==@." title
+let heading title =
+  record_heading title;
+  Format.printf "@.== %s ==@." title
 
 let print_row widths cells =
   let line =
@@ -71,10 +144,13 @@ let print_row widths cells =
   print_endline line
 
 let print_table widths header rows =
+  record_table header rows;
   print_row widths header;
   print_row widths (List.map (fun w -> String.make w '-') widths);
   List.iter (print_row widths) rows
 
 let us_to_string us = Format.asprintf "%a" pp_us us
 
-let claim text = Format.printf "paper: %s@." text
+let claim text =
+  record_claim text;
+  Format.printf "paper: %s@." text

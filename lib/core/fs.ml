@@ -4,6 +4,13 @@ module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
 module Geometry = Alto_disk.Geometry
 module Disk_address = Alto_disk.Disk_address
+module Obs = Alto_obs.Obs
+
+let m_allocations = Obs.counter "fs.page_allocations"
+let m_frees = Obs.counter "fs.page_frees"
+let m_stale_map_hits = Obs.counter "fs.stale_map_hits"
+let m_bad_sectors_hit = Obs.counter "fs.bad_sectors_hit"
+let m_descriptor_flushes = Obs.counter "fs.descriptor_flushes"
 
 type allocation_policy = Near_previous | Scattered of Random.State.t
 
@@ -148,16 +155,22 @@ let allocate_page t ~label ~value =
         match write_first t addr (label addr) value with
         | Ok () ->
             t.counters <- { t.counters with allocations = t.counters.allocations + 1 };
+            Obs.incr m_allocations;
             Ok addr
         | Error `Not_free ->
             (* The map lied: the page was busy all along. It stays marked
                busy and we go around again — the paper's "little extra
                one-time disk activity". *)
             t.counters <- { t.counters with stale_map_hits = t.counters.stale_map_hits + 1 };
+            Obs.incr m_stale_map_hits;
+            Obs.event ~clock:(Drive.clock t.drive)
+              ~fields:[ ("addr", Obs.I (Disk_address.to_index addr)) ]
+              "fs.stale_map_hit";
             attempt ()
         | Error `Bad ->
             t.counters <-
               { t.counters with bad_sectors_hit = t.counters.bad_sectors_hit + 1 };
+            Obs.incr m_bad_sectors_hit;
             attempt ())
   in
   attempt ()
@@ -174,6 +187,7 @@ let free_page t (fn : Page.full_name) =
     | Ok () ->
         mark_free t fn.Page.addr;
         t.counters <- { t.counters with frees = t.counters.frees + 1 };
+        Obs.incr m_frees;
         Ok ()
   in
   if t.label_checking then
@@ -263,6 +277,7 @@ let descriptor_page_name t pn =
   else Page.full_name File_id.descriptor ~page:pn ~addr:t.descriptor_pages.(pn - 1)
 
 let flush t =
+  Obs.incr m_descriptor_flushes;
   let words = assemble_descriptor t in
   let pages = descriptor_data_pages t in
   let rec write pn =

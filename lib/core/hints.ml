@@ -2,8 +2,35 @@ module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
 module Drive = Alto_disk.Drive
 module Disk_address = Alto_disk.Disk_address
+module Obs = Alto_obs.Obs
 
 type rung = Direct | Leader_chain | Directory_fid | Directory_name | Scavenge
+
+let rung_key = function
+  | Direct -> "direct"
+  | Leader_chain -> "leader_chain"
+  | Directory_fid -> "directory_fid"
+  | Directory_name -> "directory_name"
+  | Scavenge -> "scavenge"
+
+(* One hit and one miss counter per rung of the recovery ladder
+   ("fs.hints.direct.hits", …): the ratio of the top rung's hits to
+   everything below it is the measure of hint freshness. *)
+let rung_hits, rung_misses =
+  let table make =
+    List.map
+      (fun r -> (r, make (Printf.sprintf "fs.hints.%s" (rung_key r))))
+      [ Direct; Leader_chain; Directory_fid; Directory_name; Scavenge ]
+  in
+  ( table (fun base -> Obs.counter (base ^ ".hits")),
+    table (fun base -> Obs.counter (base ^ ".misses")) )
+
+let count_attempt rung ~succeeded =
+  Obs.incr (List.assoc rung (if succeeded then rung_hits else rung_misses))
+
+let m_resolutions = Obs.counter "fs.hints.resolutions"
+let m_failures = Obs.counter "fs.hints.failures"
+let h_resolution_us = Obs.histogram "fs.hints.resolution_us"
 
 let pp_rung fmt rung =
   Format.pp_print_string fmt
@@ -46,15 +73,19 @@ let read_via_file fs file page =
 let read_page fs ~directory req =
   let attempts = ref [] in
   let clock = Fs.clock fs in
+  let t_start = Sim_clock.now_us clock in
   let timed rung f =
     let t0 = Sim_clock.now_us clock in
     let result = f () in
+    let succeeded = result <> None in
     attempts :=
-      { rung; elapsed_us = Sim_clock.now_us clock - t0; succeeded = result <> None }
-      :: !attempts;
+      { rung; elapsed_us = Sim_clock.now_us clock - t0; succeeded } :: !attempts;
+    count_attempt rung ~succeeded;
     result
   in
   let finish fs (label, value, fn) =
+    Obs.incr m_resolutions;
+    Obs.observe h_resolution_us (Sim_clock.now_us clock - t_start);
     Ok { fs; value; label; resolved = fn; attempts = List.rev !attempts }
   in
 
@@ -135,6 +166,8 @@ let read_page fs ~directory req =
                           succeeded = false;
                         }
                         :: !attempts;
+                      count_attempt Scavenge ~succeeded:false;
+                      Obs.incr m_failures;
                       Error { reason; failed_attempts = List.rev !attempts }
                   | Ok (fs', _report) -> (
                       let directory' =
@@ -171,9 +204,11 @@ let read_page fs ~directory req =
                           succeeded = retry <> None;
                         }
                         :: !attempts;
+                      count_attempt Scavenge ~succeeded:(retry <> None);
                       match retry with
                       | Some hit -> finish fs' hit
                       | None ->
+                          Obs.incr m_failures;
                           Error
                             {
                               reason =

@@ -2,6 +2,13 @@ module Word = Alto_machine.Word
 module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
 module Disk_address = Alto_disk.Disk_address
+module Obs = Alto_obs.Obs
+
+(* Label-check aborts: disk operations cut short because the sector's
+   label did not carry the absolute name the caller asserted. Every one
+   is a hint (or an allocation map) caught lying before it could do
+   damage — the quantity §3.3 says the check exists to bound. *)
+let m_label_check_aborts = Obs.counter "fs.label_check_aborts"
 
 type absolute = { fid : File_id.t; page : int }
 
@@ -30,7 +37,15 @@ let pp_error fmt = function
 let decode_checked_label buf =
   match Label.of_words buf with
   | Ok label -> Ok label
-  | Error msg -> Error (Bad_label msg)
+  | Error msg ->
+      Obs.incr m_label_check_aborts;
+      Error (Bad_label msg)
+
+let hint_failed e =
+  (match e with
+  | Drive.Check_mismatch _ -> Obs.incr m_label_check_aborts
+  | Drive.Bad_sector -> ());
+  Error (Hint_failed e)
 
 let read drive fn =
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
@@ -40,7 +55,7 @@ let read drive fn =
       { Drive.op_none with label = Some Drive.Check; value = Some Drive.Read }
       ~label:label_buf ~value ()
   with
-  | Error e -> Error (Hint_failed e)
+  | Error e -> hint_failed e
   | Ok () -> (
       match decode_checked_label label_buf with
       | Ok label -> Ok (label, value)
@@ -53,7 +68,7 @@ let read_label drive fn =
       { Drive.op_none with label = Some Drive.Check }
       ~label:label_buf ()
   with
-  | Error e -> Error (Hint_failed e)
+  | Error e -> hint_failed e
   | Ok () -> decode_checked_label label_buf
 
 let check_value_size value =
@@ -69,7 +84,7 @@ let write ?(check = true) drive fn value =
         { Drive.op_none with label = Some Drive.Check; value = Some Drive.Write }
         ~label:label_buf ~value ()
     with
-    | Error e -> Error (Hint_failed e)
+    | Error e -> hint_failed e
     | Ok () -> decode_checked_label label_buf
   else
     match
@@ -77,7 +92,7 @@ let write ?(check = true) drive fn value =
         { Drive.op_none with value = Some Drive.Write }
         ~value ()
     with
-    | Error e -> Error (Hint_failed e)
+    | Error e -> hint_failed e
     | Ok () ->
         (* Without the check we can only trust the caller's absolute name. *)
         Ok
@@ -92,14 +107,14 @@ let rewrite_label drive fn ~new_label ~value =
       { Drive.op_none with label = Some Drive.Check }
       ~label:label_buf ()
   with
-  | Error e -> Error (Hint_failed e)
+  | Error e -> hint_failed e
   | Ok () -> (
       match
         Drive.run drive fn.addr
           { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
           ~label:(Label.to_words new_label) ~value ()
       with
-      | Error e -> Error (Hint_failed e)
+      | Error e -> hint_failed e
       | Ok () -> Ok ())
 
 let read_raw drive addr =

@@ -1,5 +1,19 @@
 module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
+module Obs = Alto_obs.Obs
+
+(* Process-wide metrics, aggregated across every drive; per-drive
+   figures stay in [stats]. *)
+let m_operations = Obs.counter "disk.operations"
+let m_seeks = Obs.counter "disk.seeks"
+let m_seek_us = Obs.counter "disk.seek_us"
+let m_rotational_wait_us = Obs.counter "disk.rotational_wait_us"
+let m_transfer_us = Obs.counter "disk.transfer_us"
+let m_words_read = Obs.counter "disk.words_read"
+let m_words_written = Obs.counter "disk.words_written"
+let m_check_failures = Obs.counter "disk.check_failures"
+let m_bad_sector_errors = Obs.counter "disk.bad_sector_errors"
+let m_seek_distance = Obs.histogram "disk.seek_distance_cylinders"
 
 type action = Read | Check | Write
 
@@ -134,7 +148,19 @@ let charge_motion t index =
   in
   if seek_us > 0 then begin
     Sim_clock.advance_us t.clock seek_us;
-    t.stats <- { t.stats with seeks = t.stats.seeks + 1; seek_us = t.stats.seek_us + seek_us }
+    t.stats <- { t.stats with seeks = t.stats.seeks + 1; seek_us = t.stats.seek_us + seek_us };
+    Obs.incr m_seeks;
+    Obs.add m_seek_us seek_us;
+    Obs.observe m_seek_distance (abs (cylinder - t.current_cylinder));
+    Obs.event ~clock:t.clock
+      ~fields:
+        [
+          ("pack", Obs.I t.pack_id);
+          ("from", Obs.I t.current_cylinder);
+          ("to", Obs.I cylinder);
+          ("us", Obs.I seek_us);
+        ]
+      "disk.seek"
   end;
   t.current_cylinder <- cylinder;
   let rotation = t.geometry.Geometry.rotation_us in
@@ -145,8 +171,10 @@ let charge_motion t index =
   Sim_clock.advance_us t.clock wait;
   t.stats <-
     { t.stats with rotational_wait_us = t.stats.rotational_wait_us + wait };
+  Obs.add m_rotational_wait_us wait;
   Sim_clock.advance_us t.clock sector_time;
-  t.stats <- { t.stats with transfer_us = t.stats.transfer_us + sector_time }
+  t.stats <- { t.stats with transfer_us = t.stats.transfer_us + sector_time };
+  Obs.add m_transfer_us sector_time
 
 (* Perform one part's action; [Error _] aborts the rest of the sector. *)
 let perform t part action disk_words buf =
@@ -155,10 +183,12 @@ let perform t part action disk_words buf =
   | Read ->
       Array.blit disk_words 0 buf 0 n;
       t.stats <- { t.stats with words_read = t.stats.words_read + n };
+      Obs.add m_words_read n;
       Ok ()
   | Write ->
       Array.blit buf 0 disk_words 0 n;
       t.stats <- { t.stats with words_written = t.stats.words_written + n };
+      Obs.add m_words_written n;
       Ok ()
   | Check ->
       let rec scan i =
@@ -170,6 +200,15 @@ let perform t part action disk_words buf =
         else if Word.equal buf.(i) disk_words.(i) then scan (i + 1)
         else begin
           t.stats <- { t.stats with check_failures = t.stats.check_failures + 1 };
+          Obs.incr m_check_failures;
+          Obs.event ~clock:t.clock
+            ~fields:
+              [
+                ("pack", Obs.I t.pack_id);
+                ("part", Obs.S (Format.asprintf "%a" Sector.pp_part part));
+                ("offset", Obs.I i);
+              ]
+            "disk.check_failure";
           Error (Check_mismatch { part; offset = i; memory = buf.(i); disk = disk_words.(i) })
         end
       in
@@ -192,7 +231,11 @@ let run t addr op ?header ?label ?value () =
   validate_buffer Sector.Value op.value value;
   charge_motion t index;
   t.stats <- { t.stats with operations = t.stats.operations + 1 };
-  if t.bad.(index) then Error Bad_sector
+  Obs.incr m_operations;
+  if t.bad.(index) then begin
+    Obs.incr m_bad_sector_errors;
+    Error Bad_sector
+  end
   else
     let sector = t.sectors.(index) in
     let step part action buf k =
@@ -203,7 +246,10 @@ let run t addr op ?header ?label ?value () =
             part = Sector.Value
             && t.value_unreadable.(index)
             && (action = Read || action = Check)
-          then Error Bad_sector
+          then begin
+            Obs.incr m_bad_sector_errors;
+            Error Bad_sector
+          end
           else (
             let buf = Option.get buf in
             match perform t part action (Sector.part_of sector part) buf with

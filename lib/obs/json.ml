@@ -1,0 +1,95 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  if not (Float.is_finite f) then "null"
+  else
+    (* Always a valid JSON number: keep a decimal point or exponent so
+       the value cannot be mistaken for an integer downstream. *)
+    let s = Printf.sprintf "%.12g" f in
+    if String.exists (fun c -> c = '.' || c = 'e') s then s else s ^ ".0"
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | String s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+let atom_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float f -> float_to_string f
+  | String _ | List _ | Obj _ -> assert false
+
+let rec pp fmt = function
+  | (Null | Bool _ | Int _ | Float _) as a -> Format.pp_print_string fmt (atom_string a)
+  | String s ->
+      let buf = Buffer.create (String.length s + 2) in
+      escape_to buf s;
+      Format.pp_print_string fmt (Buffer.contents buf)
+  | List [] -> Format.pp_print_string fmt "[]"
+  | List xs ->
+      Format.fprintf fmt "@[<v 2>[@,%a@;<0 -2>]@]"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@,") pp)
+        xs
+  | Obj [] -> Format.pp_print_string fmt "{}"
+  | Obj fields ->
+      let pp_field fmt (k, v) =
+        let kbuf = Buffer.create (String.length k + 2) in
+        escape_to kbuf k;
+        Format.fprintf fmt "@[<hov 2>%s:@ %a@]" (Buffer.contents kbuf) pp v
+      in
+      Format.fprintf fmt "@[<v 2>{@,%a@;<0 -2>}@]"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@,") pp_field)
+        fields
+
+let to_channel oc t =
+  let fmt = Format.formatter_of_out_channel oc in
+  Format.fprintf fmt "%a@." pp t

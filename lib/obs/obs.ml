@@ -1,0 +1,236 @@
+module Sim_clock = Alto_machine.Sim_clock
+
+(* {2 Counters and histograms} *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type hist_state = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type histogram = hist_state
+
+type summary = { count : int; sum : int; min : int; max : int; mean : float }
+
+type registered = R_counter of counter | R_histogram of hist_state
+
+(* The registry proper. Insertion order is irrelevant; snapshots sort. *)
+let registry : (string, registered) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (R_counter c) -> c
+  | Some (R_histogram _) ->
+      invalid_arg (Printf.sprintf "Obs.counter: %S is registered as a histogram" name)
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add registry name (R_counter c);
+      c
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg (Printf.sprintf "Obs.add: counter %S is monotonic" c.c_name)
+  else c.c_value <- c.c_value + n
+
+let counter_value c = c.c_value
+let counter_name c = c.c_name
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (R_histogram h) -> h
+  | Some (R_counter _) ->
+      invalid_arg (Printf.sprintf "Obs.histogram: %S is registered as a counter" name)
+  | None ->
+      let h = { h_name = name; h_count = 0; h_sum = 0; h_min = 0; h_max = 0 } in
+      Hashtbl.add registry name (R_histogram h);
+      h
+
+let observe h v =
+  if h.h_count = 0 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
+let summary h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    mean = (if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count);
+  }
+
+let histogram_name h = h.h_name
+
+(* {2 Event trace: a ring buffer plus sinks} *)
+
+type field_value = I of int | S of string | B of bool
+
+type event = {
+  seq : int;
+  ts_us : int;
+  name : string;
+  fields : (string * field_value) list;
+}
+
+type sink_id = int
+
+type trace_state = {
+  mutable ring : event option array;
+  mutable head : int;  (* Next write position. *)
+  mutable stored : int;
+  mutable next_seq : int;
+  mutable sinks : (sink_id * (event -> unit)) list;
+  mutable next_sink : int;
+}
+
+let tr =
+  { ring = Array.make 1024 None; head = 0; stored = 0; next_seq = 0; sinks = []; next_sink = 0 }
+
+let trace_capacity () = Array.length tr.ring
+
+let trace () =
+  let cap = Array.length tr.ring in
+  let oldest = (tr.head - tr.stored + cap) mod cap in
+  List.init tr.stored (fun i ->
+      match tr.ring.((oldest + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let set_trace_capacity n =
+  if n <= 0 then invalid_arg "Obs.set_trace_capacity: capacity must be positive"
+  else begin
+    let keep = trace () in
+    let keep = List.filteri (fun i _ -> i >= List.length keep - n) keep in
+    let ring = Array.make n None in
+    List.iteri (fun i e -> ring.(i) <- Some e) keep;
+    tr.ring <- ring;
+    tr.stored <- List.length keep;
+    tr.head <- tr.stored mod n
+  end
+
+let clear_trace () =
+  Array.fill tr.ring 0 (Array.length tr.ring) None;
+  tr.head <- 0;
+  tr.stored <- 0
+
+let add_sink f =
+  let id = tr.next_sink in
+  tr.next_sink <- id + 1;
+  tr.sinks <- (id, f) :: tr.sinks;
+  id
+
+let remove_sink id = tr.sinks <- List.filter (fun (i, _) -> i <> id) tr.sinks
+
+let event ?clock ?(fields = []) name =
+  let ts_us = match clock with Some c -> Sim_clock.now_us c | None -> 0 in
+  let e = { seq = tr.next_seq; ts_us; name; fields } in
+  tr.next_seq <- tr.next_seq + 1;
+  let cap = Array.length tr.ring in
+  tr.ring.(tr.head) <- Some e;
+  tr.head <- (tr.head + 1) mod cap;
+  if tr.stored < cap then tr.stored <- tr.stored + 1;
+  (* Feed the taps; a sink that raises is dropped rather than allowed to
+     take the instrumented subsystem down with it. *)
+  List.iter
+    (fun (id, f) -> try f e with _ -> remove_sink id)
+    tr.sinks
+
+(* {2 Spans} *)
+
+let time clock name f =
+  let h = histogram name in
+  let t0 = Sim_clock.now_us clock in
+  event ~clock (name ^ ".begin");
+  let close () =
+    let elapsed = Sim_clock.now_us clock - t0 in
+    observe h elapsed;
+    event ~clock ~fields:[ ("elapsed_us", I elapsed) ] (name ^ ".end")
+  in
+  match f () with
+  | x ->
+      close ();
+      x
+  | exception exn ->
+      close ();
+      raise exn
+
+(* {2 The registry} *)
+
+type metric = Counter of int | Histogram of summary
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name r acc ->
+      let m =
+        match r with
+        | R_counter c -> Counter c.c_value
+        | R_histogram h -> Histogram (summary h)
+      in
+      (name, m) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find name =
+  match Hashtbl.find_opt registry name with
+  | None -> None
+  | Some (R_counter c) -> Some (Counter c.c_value)
+  | Some (R_histogram h) -> Some (Histogram (summary h))
+
+let reset () =
+  Hashtbl.iter
+    (fun _ r ->
+      match r with
+      | R_counter c -> c.c_value <- 0
+      | R_histogram h ->
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_min <- 0;
+          h.h_max <- 0)
+    registry;
+  clear_trace ();
+  tr.next_seq <- 0
+
+let summary_json s =
+  Json.Obj
+    [
+      ("type", Json.String "histogram");
+      ("count", Json.Int s.count);
+      ("sum", Json.Int s.sum);
+      ("min", Json.Int s.min);
+      ("max", Json.Int s.max);
+      ("mean", Json.Float s.mean);
+    ]
+
+let metrics_json () =
+  Json.Obj
+    (List.map
+       (fun (name, m) ->
+         ( name,
+           match m with
+           | Counter v -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int v) ]
+           | Histogram s -> summary_json s ))
+       (snapshot ()))
+
+let pp_summary fmt s =
+  Format.fprintf fmt "count %d, sum %d, min %d, max %d, mean %.1f" s.count s.sum
+    s.min s.max s.mean
+
+let pp_metrics fmt () =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter v -> Format.fprintf fmt "%-36s %d@." name v
+      | Histogram s -> Format.fprintf fmt "%-36s %a@." name pp_summary s)
+    (snapshot ())

@@ -1,0 +1,134 @@
+(** The observability layer.
+
+    One process-wide registry of named metrics, a bounded event trace,
+    and span timers driven by {!Alto_machine.Sim_clock} — the substrate
+    behind every performance claim this repository makes. The hot layers
+    (disk, file system, scavenger, zones, world swap, loader) record
+    into it unconditionally; recording is a few machine instructions, so
+    nothing needs a "metrics on/off" switch.
+
+    Two metric kinds exist:
+
+    - {b counters} — monotonically increasing integers ("disk.seeks").
+      {!reset} rewinds them to zero; nothing else decreases one.
+    - {b histograms} — streams of observed integer values
+      ("scavenger.duration_us"), summarized as count/sum/min/max/mean.
+      Peaks (e.g. zone occupancy) are read off a histogram's [max].
+
+    Names are dotted paths, ["<subsystem>.<metric>"], lower-case. A name
+    registers on first use and keeps its kind forever; registering the
+    same name with the other kind raises [Invalid_argument].
+
+    The event trace is a ring buffer holding the most recent
+    {!trace_capacity} events; {!add_sink} taps the stream as it flows
+    (for live debugging or custom aggregation) regardless of ring size.
+
+    Everything here is deliberately global: the simulation is a
+    single-user machine, and the registry plays the role of the
+    machine's one pocket of instrumentation RAM. Tests that need
+    isolation call {!reset} first. *)
+
+module Sim_clock = Alto_machine.Sim_clock
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** The counter registered under this name, creating it at zero on first
+    use. Raises [Invalid_argument] if the name is already a histogram. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** [add c n] requires [n >= 0]; counters are monotonic. *)
+
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+(** {1 Histograms} *)
+
+type histogram
+
+type summary = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when [count = 0]. *)
+  max : int;  (** 0 when [count = 0]. *)
+  mean : float;  (** 0.0 when [count = 0]. *)
+}
+
+val histogram : string -> histogram
+(** The histogram registered under this name, creating it empty on first
+    use. Raises [Invalid_argument] if the name is already a counter. *)
+
+val observe : histogram -> int -> unit
+val summary : histogram -> summary
+val histogram_name : histogram -> string
+
+(** {1 Spans}
+
+    A span charges the elapsed {e simulated} time of a computation to a
+    histogram, and brackets it with [<name>.begin] / [<name>.end] trace
+    events. The wrapped exception-free result is returned unchanged; if
+    the computation raises, the span is still closed and observed. *)
+
+val time : Sim_clock.t -> string -> (unit -> 'a) -> 'a
+(** [time clock name f] runs [f ()] and observes the simulated
+    microseconds it took into the histogram [name]. *)
+
+(** {1 Event trace} *)
+
+type field_value = I of int | S of string | B of bool
+
+type event = {
+  seq : int;  (** Global sequence number, increasing from 0. *)
+  ts_us : int;  (** Simulated time, or 0 when no clock was supplied. *)
+  name : string;
+  fields : (string * field_value) list;
+}
+
+val event : ?clock:Sim_clock.t -> ?fields:(string * field_value) list -> string -> unit
+(** Record one event: append to the ring (evicting the oldest when
+    full) and feed every sink. *)
+
+val trace : unit -> event list
+(** The retained events, oldest first. *)
+
+val trace_capacity : unit -> int
+
+val set_trace_capacity : int -> unit
+(** Resize the ring, keeping the newest events that fit. The default
+    capacity is 1024. Raises [Invalid_argument] when the capacity is
+    not positive. *)
+
+val clear_trace : unit -> unit
+
+type sink_id
+
+val add_sink : (event -> unit) -> sink_id
+(** Sinks see every event at record time, including events the ring has
+    since evicted. A sink that raises is removed. *)
+
+val remove_sink : sink_id -> unit
+
+(** {1 The registry} *)
+
+type metric = Counter of int | Histogram of summary
+
+val snapshot : unit -> (string * metric) list
+(** Every registered metric, sorted by name. *)
+
+val find : string -> metric option
+
+val reset : unit -> unit
+(** Zero every counter, empty every histogram, clear the trace and reset
+    the event sequence. Registrations and sinks survive. *)
+
+val metrics_json : unit -> Json.t
+(** The snapshot as one JSON object keyed by metric name:
+    [{"disk.seeks": {"type": "counter", "value": 12}, …}]; histograms
+    carry their full summary. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+val pp_metrics : Format.formatter -> unit -> unit
+(** A human-readable dump of the whole registry, one metric per line. *)

@@ -5,6 +5,12 @@ module Vm = Alto_machine.Vm
 module Asm = Alto_machine.Asm
 module File = Alto_fs.File
 module Directory = Alto_fs.Directory
+module Obs = Alto_obs.Obs
+
+let m_programs_saved = Obs.counter "loader.programs_saved"
+let m_programs_loaded = Obs.counter "loader.programs_loaded"
+let m_programs_run = Obs.counter "loader.programs_run"
+let h_code_words = Obs.histogram "loader.code_words"
 
 type error =
   | File_error of File.error
@@ -67,6 +73,10 @@ let save_program system ~name (program : Asm.program) =
         Ok file
   in
   let words = encode program in
+  Obs.incr m_programs_saved;
+  Obs.observe h_code_words (Array.length program.Asm.code);
+  let clock = Alto_fs.Fs.clock fs in
+  Obs.time clock "loader.save_us" @@ fun () ->
   let* () = file_err (File.truncate file ~len:0) in
   let* () = file_err (File.write_words file ~pos:0 words) in
   let* () = file_err (File.flush_leader file) in
@@ -138,10 +148,14 @@ let install system parsed =
   end
 
 let load system file =
+  let clock = Alto_fs.Fs.clock (System.fs system) in
+  Obs.time clock "loader.load_us" @@ fun () ->
   let total = File.byte_length file / 2 in
   let* words = file_err (File.read_words file ~pos:0 ~len:total) in
   let* parsed = parse_code words in
-  install system parsed
+  let* entry = install system parsed in
+  Obs.incr m_programs_loaded;
+  Ok entry
 
 let load_by_name system name =
   let fs = System.fs system in
@@ -176,6 +190,7 @@ let disassemble parsed =
   go [] 0
 
 let run ?(fuel = 2_000_000) system file =
+  Obs.incr m_programs_run;
   let* entry = load system file in
   System.set_overlay_loader system (fun name ->
       Result.map_error

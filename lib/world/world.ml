@@ -2,6 +2,15 @@ module Word = Alto_machine.Word
 module Memory = Alto_machine.Memory
 module Cpu = Alto_machine.Cpu
 module File = Alto_fs.File
+module Fs = Alto_fs.Fs
+module Obs = Alto_obs.Obs
+
+let m_outloads = Obs.counter "world.outloads"
+let m_inloads = Obs.counter "world.inloads"
+let m_emergency_outloads = Obs.counter "world.emergency_outloads"
+let h_image_words = Obs.histogram "world.image_words"
+
+let file_clock file = Fs.clock (File.fs file)
 
 type error = File_error of File.error | Bad_state of string | Message_too_long
 
@@ -54,10 +63,19 @@ let write_image file image =
   let* () = file_err (File.write_bytes file ~pos:0 data) in
   file_err (File.flush_leader file)
 
-let out_load cpu file = write_image file (image_of ~registers:(Cpu.registers cpu) (Cpu.memory cpu))
+let timed_write_image ~span file image =
+  Obs.observe h_image_words (Array.length image);
+  Obs.time (file_clock file) span (fun () -> write_image file image)
+
+let out_load cpu file =
+  Obs.incr m_outloads;
+  timed_write_image ~span:"world.outload_us" file
+    (image_of ~registers:(Cpu.registers cpu) (Cpu.memory cpu))
 
 let emergency_out_load memory file =
-  write_image file (image_of ~registers:(Array.make Cpu.register_count Word.zero) memory)
+  Obs.incr m_emergency_outloads;
+  timed_write_image ~span:"world.outload_us" file
+    (image_of ~registers:(Array.make Cpu.register_count Word.zero) memory)
 
 let read_header file =
   let* bytes = file_err (File.read_bytes file ~pos:0 ~len:(2 * header_words)) in
@@ -79,7 +97,9 @@ let peek_registers file =
 
 let in_load cpu file ~message =
   if Array.length message > max_message_words then Error Message_too_long
-  else
+  else begin
+    Obs.incr m_inloads;
+    Obs.time (file_clock file) "world.inload_us" @@ fun () ->
     let* _header = read_header file in
     let* bytes =
       file_err (File.read_bytes file ~pos:(2 * memory_offset) ~len:(2 * Memory.size))
@@ -98,6 +118,7 @@ let in_load cpu file ~message =
       Cpu.set_ac cpu 1 (Word.of_int message_area);
       Ok ()
     end
+  end
 
 let read_saved_memory file ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Memory.size then

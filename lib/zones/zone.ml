@@ -1,5 +1,17 @@
 module Word = Alto_machine.Word
 module Memory = Alto_machine.Memory
+module Obs = Alto_obs.Obs
+
+let m_allocates = Obs.counter "zone.allocates"
+let m_releases = Obs.counter "zone.releases"
+let m_splits = Obs.counter "zone.splits"
+let m_coalesces = Obs.counter "zone.coalesces"
+let m_out_of_space = Obs.counter "zone.out_of_space"
+let h_request_words = Obs.histogram "zone.request_words"
+
+(* Occupancy observed after every allocate; the histogram's [max] is the
+   peak number of simultaneously live blocks across all zones. *)
+let h_live_blocks = Obs.histogram "zone.live_blocks"
 
 exception Out_of_space of { zone : string; requested : int }
 exception Corrupt of string
@@ -73,7 +85,13 @@ let allocate z n =
   if n < 1 then invalid_arg "Zone.allocate: size must be >= 1";
   let need = n + block_overhead_words in
   let rec search prev cur =
-    if cur = nil then raise (Out_of_space { zone = z.name; requested = n })
+    if cur = nil then begin
+      Obs.incr m_out_of_space;
+      Obs.event
+        ~fields:[ ("zone", Obs.S z.name); ("requested", Obs.I n) ]
+        "zone.out_of_space";
+      raise (Out_of_space { zone = z.name; requested = n })
+    end
     else begin
       validate_free_block z cur;
       let size = rd z cur in
@@ -88,10 +106,14 @@ let allocate z n =
           wr z rest (size - need);
           wr z (rest + 1) next;
           wr z cur need;
-          link rest
+          link rest;
+          Obs.incr m_splits
         end
         else link next;
         set_live_count z (live_count z + 1);
+        Obs.incr m_allocates;
+        Obs.observe h_request_words n;
+        Obs.observe h_live_blocks (live_count z);
         cur + block_overhead_words
       end
       else search cur next
@@ -127,14 +149,19 @@ let release z user_addr =
   if prev = nil then set_head z a else wr z (prev + 1) a;
   if next <> nil && block_end z a = next then begin
     wr z a (size + rd z next);
-    wr z (a + 1) (rd z (next + 1))
+    wr z (a + 1) (rd z (next + 1));
+    Obs.incr m_coalesces
   end;
   if prev <> nil && block_end z prev = a then begin
     wr z prev (rd z prev + rd z a);
-    wr z (prev + 1) (rd z (a + 1))
+    wr z (prev + 1) (rd z (a + 1));
+    Obs.incr m_coalesces
   end;
   if live_count z = 0 then corrupt z "release with no live blocks"
-  else set_live_count z (live_count z - 1)
+  else begin
+    set_live_count z (live_count z - 1);
+    Obs.incr m_releases
+  end
 
 type stats = {
   region_words : int;

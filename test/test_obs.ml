@@ -1,0 +1,251 @@
+(* The observability layer: registry semantics, histogram summaries,
+   trace ring wraparound, sinks, JSON emission — and an integration
+   check that the disk layer really charges its motion to the global
+   metrics. *)
+
+module Obs = Alto_obs.Obs
+module Json = Alto_obs.Json
+module Word = Alto_machine.Word
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Sector = Alto_disk.Sector
+module Disk_address = Alto_disk.Disk_address
+
+(* Every test starts from a clean slate; the registry is process-wide. *)
+let fresh () =
+  Obs.reset ();
+  Obs.set_trace_capacity 1024
+
+(* {2 Counters} *)
+
+let test_counter_basics () =
+  fresh ();
+  let c = Obs.counter "test.birds" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.counter_value c);
+  Obs.incr c;
+  Obs.add c 4;
+  Alcotest.(check int) "accumulates" 5 (Obs.counter_value c);
+  Alcotest.(check string) "name" "test.birds" (Obs.counter_name c)
+
+let test_counter_registry_is_shared () =
+  fresh ();
+  let a = Obs.counter "test.shared" in
+  Obs.add a 3;
+  let b = Obs.counter "test.shared" in
+  Obs.incr b;
+  Alcotest.(check int) "same underlying cell" 4 (Obs.counter_value a)
+
+let test_counter_monotonic () =
+  fresh ();
+  let c = Obs.counter "test.mono" in
+  match Obs.add c (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative add accepted"
+
+let test_kind_mismatch_rejected () =
+  fresh ();
+  let (_ : Obs.counter) = Obs.counter "test.kind" in
+  (match Obs.histogram "test.kind" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "histogram registered over a counter");
+  let (_ : Obs.histogram) = Obs.histogram "test.kind2" in
+  match Obs.counter "test.kind2" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "counter registered over a histogram"
+
+(* {2 Histograms} *)
+
+let test_histogram_summary () =
+  fresh ();
+  let h = Obs.histogram "test.sizes" in
+  let empty = Obs.summary h in
+  Alcotest.(check int) "empty count" 0 empty.Obs.count;
+  Alcotest.(check int) "empty min" 0 empty.Obs.min;
+  List.iter (Obs.observe h) [ 10; -2; 7; 10; 0 ];
+  let s = Obs.summary h in
+  Alcotest.(check int) "count" 5 s.Obs.count;
+  Alcotest.(check int) "sum" 25 s.Obs.sum;
+  Alcotest.(check int) "min" (-2) s.Obs.min;
+  Alcotest.(check int) "max" 10 s.Obs.max;
+  Alcotest.(check (float 0.001)) "mean" 5.0 s.Obs.mean
+
+(* {2 Snapshot and reset} *)
+
+let test_snapshot_and_reset () =
+  fresh ();
+  Obs.add (Obs.counter "test.a") 7;
+  Obs.observe (Obs.histogram "test.b") 3;
+  (match Obs.find "test.a" with
+  | Some (Obs.Counter 7) -> ()
+  | _ -> Alcotest.fail "find test.a");
+  let names = List.map fst (Obs.snapshot ()) in
+  Alcotest.(check bool) "snapshot sorted" true (List.sort compare names = names);
+  Obs.reset ();
+  (match Obs.find "test.a" with
+  | Some (Obs.Counter 0) -> ()
+  | _ -> Alcotest.fail "reset keeps registration, zeroes value");
+  match Obs.find "test.b" with
+  | Some (Obs.Histogram s) -> Alcotest.(check int) "histogram emptied" 0 s.Obs.count
+  | _ -> Alcotest.fail "reset keeps histogram"
+
+(* {2 Trace ring} *)
+
+let test_trace_wraparound () =
+  fresh ();
+  Obs.set_trace_capacity 4;
+  for i = 0 to 9 do
+    Obs.event ~fields:[ ("i", Obs.I i) ] "test.tick"
+  done;
+  let events = Obs.trace () in
+  Alcotest.(check int) "ring keeps capacity" 4 (List.length events);
+  let is = List.map (fun e -> match e.Obs.fields with [ (_, Obs.I i) ] -> i | _ -> -1) events in
+  Alcotest.(check (list int)) "newest four, oldest first" [ 6; 7; 8; 9 ] is;
+  let seqs = List.map (fun e -> e.Obs.seq) events in
+  Alcotest.(check (list int)) "sequence numbers survive eviction" [ 6; 7; 8; 9 ] seqs
+
+let test_trace_resize_keeps_newest () =
+  fresh ();
+  Obs.set_trace_capacity 8;
+  for i = 0 to 5 do
+    Obs.event ~fields:[ ("i", Obs.I i) ] "test.tick"
+  done;
+  Obs.set_trace_capacity 3;
+  let is =
+    List.map
+      (fun e -> match e.Obs.fields with [ (_, Obs.I i) ] -> i | _ -> -1)
+      (Obs.trace ())
+  in
+  Alcotest.(check (list int)) "shrink keeps newest" [ 3; 4; 5 ] is;
+  (* And the ring still accepts events after the resize. *)
+  Obs.event ~fields:[ ("i", Obs.I 6) ] "test.tick";
+  Alcotest.(check int) "still bounded" 3 (List.length (Obs.trace ()))
+
+let test_sinks () =
+  fresh ();
+  let seen = ref [] in
+  let id = Obs.add_sink (fun e -> seen := e.Obs.name :: !seen) in
+  Obs.event "test.one";
+  Obs.event "test.two";
+  Obs.remove_sink id;
+  Obs.event "test.three";
+  Alcotest.(check (list string)) "sink saw its window" [ "test.two"; "test.one" ] !seen
+
+(* {2 Spans} *)
+
+let test_span_times_sim_clock () =
+  fresh ();
+  let clock = Alto_machine.Sim_clock.create () in
+  let x =
+    Obs.time clock "test.span_us" (fun () ->
+        Alto_machine.Sim_clock.advance_us clock 123;
+        "done")
+  in
+  Alcotest.(check string) "result passes through" "done" x;
+  (match Obs.find "test.span_us" with
+  | Some (Obs.Histogram s) ->
+      Alcotest.(check int) "one observation" 1 s.Obs.count;
+      Alcotest.(check int) "elapsed simulated time" 123 s.Obs.sum
+  | _ -> Alcotest.fail "span histogram missing");
+  let names = List.map (fun e -> e.Obs.name) (Obs.trace ()) in
+  Alcotest.(check (list string))
+    "begin/end events" [ "test.span_us.begin"; "test.span_us.end" ] names
+
+(* {2 JSON} *)
+
+let test_json_rendering () =
+  let doc =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.String "say \"hi\"\n");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.Float 1.5 ]);
+      ]
+  in
+  Alcotest.(check string)
+    "compact form" "{\"a\":1,\"b\":\"say \\\"hi\\\"\\n\",\"c\":[true,null,1.5]}"
+    (Json.to_string doc);
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "whole floats keep a point" "2.0"
+    (Json.to_string (Json.Float 2.0))
+
+let test_metrics_json () =
+  fresh ();
+  Obs.add (Obs.counter "test.j") 2;
+  let s = Json.to_string (Obs.metrics_json ()) in
+  Alcotest.(check bool) "counter serialized" true
+    (let sub = "\"test.j\":{\"type\":\"counter\",\"value\":2}" in
+     let rec find i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
+(* {2 Integration: the disk layer feeds the registry} *)
+
+let test_drive_run_charges_motion () =
+  fresh ();
+  let drive = Drive.create ~pack_id:1 Geometry.diablo_31 in
+  let value = Array.make Sector.value_words Word.zero in
+  let read index =
+    match
+      Drive.run drive (Disk_address.of_index index)
+        { Drive.op_none with Drive.value = Some Drive.Read }
+        ~value ()
+    with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "read failed"
+  in
+  let counter_of name =
+    match Obs.find name with
+    | Some (Obs.Counter v) -> v
+    | _ -> Alcotest.fail ("no counter " ^ name)
+  in
+  (* Sector 0, cylinder 0: no seek. *)
+  read 0;
+  Alcotest.(check int) "no seek on cylinder 0" 0 (counter_of "disk.seeks");
+  (* A distant cylinder: exactly one seek, with simulated time charged. *)
+  let sectors_per_cylinder = Drive.sector_count drive / Geometry.diablo_31.Geometry.cylinders in
+  read (100 * sectors_per_cylinder);
+  Alcotest.(check int) "one seek to cylinder 100" 1 (counter_of "disk.seeks");
+  Alcotest.(check bool) "seek time charged" true (counter_of "disk.seek_us" > 0);
+  (* Re-reading sector 0 must wait for the platter to come round again. *)
+  read 0;
+  Alcotest.(check bool) "rotational wait charged" true
+    (counter_of "disk.rotational_wait_us" > 0);
+  Alcotest.(check int) "three operations" 3 (counter_of "disk.operations");
+  Alcotest.(check int) "words read" (3 * Sector.value_words)
+    (counter_of "disk.words_read");
+  (* The seek left its trace events behind. *)
+  let seeks =
+    List.filter (fun e -> String.equal e.Obs.name "disk.seek") (Obs.trace ())
+  in
+  Alcotest.(check int) "seek events traced" 2 (List.length seeks)
+
+let () =
+  Alcotest.run "alto obs"
+    [
+      ( "registry",
+        [
+          ("counter basics", `Quick, test_counter_basics);
+          ("counter registry shared", `Quick, test_counter_registry_is_shared);
+          ("counter monotonic", `Quick, test_counter_monotonic);
+          ("kind mismatch rejected", `Quick, test_kind_mismatch_rejected);
+          ("histogram summary", `Quick, test_histogram_summary);
+          ("snapshot and reset", `Quick, test_snapshot_and_reset);
+        ] );
+      ( "trace",
+        [
+          ("ring wraparound", `Quick, test_trace_wraparound);
+          ("resize keeps newest", `Quick, test_trace_resize_keeps_newest);
+          ("sinks", `Quick, test_sinks);
+          ("span times the sim clock", `Quick, test_span_times_sim_clock);
+        ] );
+      ( "json",
+        [
+          ("rendering", `Quick, test_json_rendering);
+          ("metrics json", `Quick, test_metrics_json);
+        ] );
+      ( "integration",
+        [ ("drive charges motion", `Quick, test_drive_run_charges_motion) ] );
+    ]
