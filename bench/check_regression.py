@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a freshly generated bench.json against the committed baseline
+and fails (exit 1) when a watched metric moved more than THRESHOLD in
+the bad direction. The simulator is deterministic — same seed, same
+workload, same simulated microseconds — so on an unchanged tree every
+watched metric matches the baseline exactly; the 15% allowance is
+headroom for intentional code changes, not for noise.
+
+Usage: check_regression.py BASELINE.json FRESH.json
+
+When a change legitimately moves a metric past the threshold, regenerate
+the baseline (dune exec bench/main.exe -- e1 e4 e14 --json BENCH_PR2.json)
+and commit it alongside the change, with the movement called out in the
+PR description.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.15  # relative movement allowed in the bad direction
+NOISE_FLOOR = 10  # baselines smaller than this are too grainy to gate on
+
+# Counters where growth means we got slower or chattier.
+UP_IS_BAD = [
+    "disk.operations",
+    "disk.seeks",
+    "disk.seek_us",
+    "disk.rotational_wait_us",
+    "disk.transfer_us",
+    "disk.retries",
+]
+
+# Counters where shrinkage means an optimisation stopped working.
+DOWN_IS_BAD = [
+    "fs.hints.direct.hits",
+]
+
+# Histograms gated on their mean.
+MEAN_UP_IS_BAD = [
+    "scavenger.duration_us",
+    "fs.hints.resolution_us",
+    "disk.retry_latency_us",
+]
+
+# Metrics that must not move at all: a retry ladder running dry is data
+# loss, not a performance question.
+EXACT = [
+    "disk.retry_exhausted",
+]
+
+
+def counter(metrics, name):
+    m = metrics.get(name)
+    if m is None or m.get("type") != "counter":
+        return None
+    return m["value"]
+
+
+def mean(metrics, name):
+    m = metrics.get(name)
+    if m is None or m.get("type") != "histogram":
+        return None
+    return m["mean"]
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    if base.get("selection") != fresh.get("selection"):
+        sys.exit(
+            "selection mismatch: baseline ran %s, fresh ran %s"
+            % (base.get("selection"), fresh.get("selection"))
+        )
+
+    bm, fm = base["metrics"], fresh["metrics"]
+    failures, notes = [], []
+
+    def compare(name, b, f, up_is_bad):
+        if b is None or f is None:
+            notes.append("%-28s skipped (missing on one side)" % name)
+            return
+        if b < NOISE_FLOOR:
+            notes.append("%-28s skipped (baseline %s below noise floor)" % (name, b))
+            return
+        rel = (f - b) / b
+        bad = rel > THRESHOLD if up_is_bad else rel < -THRESHOLD
+        verdict = "REGRESSION" if bad else "ok"
+        notes.append("%-28s %14s -> %14s  %+7.2f%%  %s" % (name, b, f, 100 * rel, verdict))
+        if bad:
+            failures.append(name)
+
+    for name in UP_IS_BAD:
+        compare(name, counter(bm, name), counter(fm, name), up_is_bad=True)
+    for name in DOWN_IS_BAD:
+        compare(name, counter(bm, name), counter(fm, name), up_is_bad=False)
+    for name in MEAN_UP_IS_BAD:
+        compare(name, mean(bm, name), mean(fm, name), up_is_bad=True)
+
+    for name in EXACT:
+        b, f = counter(bm, name), counter(fm, name)
+        verdict = "ok" if b == f else "REGRESSION"
+        notes.append("%-28s %14s -> %14s  (exact)   %s" % (name, b, f, verdict))
+        if b != f:
+            failures.append(name)
+
+    # Sanity: the soak experiment must actually have exercised the ladder,
+    # otherwise every retry metric above is gating on silence.
+    if not counter(fm, "disk.retries"):
+        failures.append("disk.retries")
+        notes.append("disk.retries is zero — the fault model never fired")
+
+    print("bench regression gate: %s vs %s" % (sys.argv[1], sys.argv[2]))
+    for n in notes:
+        print("  " + n)
+    if failures:
+        print("FAIL: %d watched metric(s) regressed: %s" % (len(failures), ", ".join(failures)))
+        sys.exit(1)
+    print("PASS: no watched metric moved more than %d%% in the bad direction" % int(THRESHOLD * 100))
+
+
+if __name__ == "__main__":
+    main()

@@ -70,21 +70,70 @@ type recorded_table = { table_header : string list; table_rows : string list lis
 
 type experiment_record = {
   exp_name : string;
+  exp_baseline : (string * Alto_obs.Obs.metric) list;
+      (* The registry at [begin_experiment] — subtracted at the end so
+         each experiment reports only the metric movement it caused. *)
   mutable exp_headings : string list;
   mutable exp_claims : string list;
   mutable exp_tables : recorded_table list;  (* Newest first. *)
+  mutable exp_deltas : (string * Alto_obs.Obs.metric) list;
 }
 
 let records : experiment_record list ref = ref []
 let current : experiment_record option ref = ref None
 
 let begin_experiment name =
-  current := Some { exp_name = name; exp_headings = []; exp_claims = []; exp_tables = [] }
+  current :=
+    Some
+      {
+        exp_name = name;
+        exp_baseline = Alto_obs.Obs.snapshot ();
+        exp_headings = [];
+        exp_claims = [];
+        exp_tables = [];
+        exp_deltas = [];
+      }
+
+(* What each metric did during the experiment. Counters subtract;
+   histograms subtract count and sum and recompute the window's mean
+   (min/max stay cumulative — the registry doesn't keep per-window
+   extremes, so we conservatively report the lifetime ones). *)
+let metric_deltas baseline now =
+  let module Obs = Alto_obs.Obs in
+  List.filter_map
+    (fun (name, metric) ->
+      let before = List.assoc_opt name baseline in
+      match (metric, before) with
+      | Obs.Counter v, None -> if v > 0 then Some (name, Obs.Counter v) else None
+      | Obs.Counter v, Some (Obs.Counter b) ->
+          if v > b then Some (name, Obs.Counter (v - b)) else None
+      | Obs.Histogram s, None ->
+          if s.Obs.count > 0 then Some (name, Obs.Histogram s) else None
+      | Obs.Histogram s, Some (Obs.Histogram b) ->
+          let count = s.Obs.count - b.Obs.count in
+          if count <= 0 then None
+          else
+            let sum = s.Obs.sum - b.Obs.sum in
+            Some
+              ( name,
+                Obs.Histogram
+                  {
+                    Obs.count;
+                    sum;
+                    min = s.Obs.min;
+                    max = s.Obs.max;
+                    mean = float_of_int sum /. float_of_int count;
+                  } )
+      | Obs.Counter _, Some (Obs.Histogram _)
+      | Obs.Histogram _, Some (Obs.Counter _) ->
+          None)
+    now
 
 let finish_experiment () =
   match !current with
   | None -> ()
   | Some r ->
+      r.exp_deltas <- metric_deltas r.exp_baseline (Alto_obs.Obs.snapshot ());
       records := r :: !records;
       current := None
 
@@ -116,6 +165,19 @@ let experiments_json () =
                t.table_rows) );
       ]
   in
+  let delta_json (name, metric) =
+    let module Obs = Alto_obs.Obs in
+    match metric with
+    | Obs.Counter v -> (name, Json.Int v)
+    | Obs.Histogram s ->
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int s.Obs.count);
+              ("sum", Json.Int s.Obs.sum);
+              ("mean", Json.Float s.Obs.mean);
+            ] )
+  in
   Json.List
     (List.rev_map
        (fun r ->
@@ -125,6 +187,7 @@ let experiments_json () =
              ("headings", Json.List (List.rev_map (fun h -> Json.String h) r.exp_headings));
              ("claims", Json.List (List.rev_map (fun c -> Json.String c) r.exp_claims));
              ("tables", Json.List (List.rev_map table_json r.exp_tables));
+             ("metrics_delta", Json.Obj (List.map delta_json r.exp_deltas));
            ])
        !records)
 

@@ -2,6 +2,7 @@ module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
 module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
+module Reliable = Alto_disk.Reliable
 module Disk_address = Alto_disk.Disk_address
 
 type report = {
@@ -32,21 +33,21 @@ let read_sector drive index =
   let label = Array.make Sector.label_words Word.zero in
   let value = Array.make Sector.value_words Word.zero in
   match
-    Drive.run drive (Disk_address.of_index index)
+    Reliable.run drive (Disk_address.of_index index)
       { Drive.op_none with label = Some Drive.Read; value = Some Drive.Read }
       ~label ~value ()
   with
   | Ok () -> Some (label, value)
-  | Error (Drive.Bad_sector | Drive.Check_mismatch _) -> None
+  | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) -> None
 
 let write_sector drive index ~label ~value =
   match
-    Drive.run drive (Disk_address.of_index index)
+    Reliable.run drive (Disk_address.of_index index)
       { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
       ~label ~value ()
   with
   | Ok () -> true
-  | Error (Drive.Bad_sector | Drive.Check_mismatch _) -> false
+  | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) -> false
 
 let compact fs =
   let drive = Fs.drive fs in

@@ -2,6 +2,7 @@ module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
 module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
+module Reliable = Alto_disk.Reliable
 module Geometry = Alto_disk.Geometry
 module Disk_address = Alto_disk.Disk_address
 module Obs = Alto_obs.Obs
@@ -11,6 +12,8 @@ let m_frees = Obs.counter "fs.page_frees"
 let m_stale_map_hits = Obs.counter "fs.stale_map_hits"
 let m_bad_sectors_hit = Obs.counter "fs.bad_sectors_hit"
 let m_descriptor_flushes = Obs.counter "fs.descriptor_flushes"
+let m_quarantined = Obs.counter "fs.sectors_quarantined"
+let m_quarantine_overflow = Obs.counter "fs.quarantine_overflow"
 
 type allocation_policy = Near_previous | Scattered of Random.State.t
 
@@ -42,6 +45,9 @@ type t = {
   mutable label_checking : bool;
   mutable descriptor_pages : Disk_address.t array;  (** Data pages, pn 1.. *)
   mutable counters : counters;
+  mutable bad_table : int list;
+      (** Quarantined sector indexes, oldest first — the persistent
+          bad-sector table, flushed with the descriptor. *)
 }
 
 let boot_address = Disk_address.of_index 0
@@ -50,14 +56,19 @@ let descriptor_leader_address = Disk_address.of_index 1
 (* Descriptor content layout (word offsets within the file's data):
      0      magic            10      (end of shape)
      1      format version   11-13   root directory file id
-     2-10   disk shape       14      root directory leader address
+     2-10   disk shape       14     root directory leader address
      15-16  next serial (hi/lo)
      17     allocation-map word count W
-     18     reserved
-     19..   allocation map, 16 sectors per word, MSB first *)
+     18     bad-sector table entry count B (0 on packs written before
+            the table existed — the word was reserved-as-zero)
+     19..   allocation map, 16 sectors per word, MSB first
+     19+W.. bad-sector table: B quarantined disk addresses, in room
+            reserved for [max_bad_sectors] of them *)
 let desc_magic = 0xA170
 let desc_version = 1
 let map_offset = 19
+
+let max_bad_sectors = 64
 
 let drive t = t.drive
 let geometry t = t.shape
@@ -87,7 +98,32 @@ let free_count t =
 
 let is_free_in_map t addr = not t.busy.(Disk_address.to_index addr)
 let mark_busy t addr = t.busy.(Disk_address.to_index addr) <- true
-let mark_free t addr = t.busy.(Disk_address.to_index addr) <- false
+
+let quarantined t addr = List.mem (Disk_address.to_index addr) t.bad_table
+
+let mark_free t addr =
+  (* A quarantined sector never rejoins the free pool. *)
+  let i = Disk_address.to_index addr in
+  if not (List.mem i t.bad_table) then t.busy.(i) <- false
+
+let quarantine t addr =
+  let i = Disk_address.to_index addr in
+  t.busy.(i) <- true;
+  if not (List.mem i t.bad_table) then begin
+    if List.length t.bad_table >= max_bad_sectors then
+      (* The table is full; the sector stays busy in the map for this
+         mount but won't survive a remount. Rare enough to just count. *)
+      Obs.incr m_quarantine_overflow
+    else begin
+      t.bad_table <- t.bad_table @ [ i ];
+      Obs.incr m_quarantined;
+      Obs.event ~clock:(Drive.clock t.drive)
+        ~fields:[ ("addr", Obs.I i) ]
+        "fs.sector_quarantined"
+    end
+  end
+
+let bad_sector_table t = List.map Disk_address.of_index t.bad_table
 
 (* {2 Allocation} *)
 
@@ -124,28 +160,31 @@ let unreserve t addr = mark_free t addr
 
 let write_first t addr label value =
   let write_op () =
-    Drive.run t.drive addr
+    Reliable.run t.drive addr
       { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
       ~label:(Label.to_words label) ~value ()
   in
   if t.label_checking then
     match
-      Drive.run t.drive addr
+      Reliable.run t.drive addr
         { Drive.op_none with label = Some Drive.Check }
         ~label:(Label.check_free ()) ()
     with
     | Error (Drive.Check_mismatch _) -> Error `Not_free
-    | Error Drive.Bad_sector -> Error `Bad
+    | Error (Drive.Bad_sector | Drive.Transient _) ->
+        (* A transient here means the retry ladder already ran dry. *)
+        Error `Bad
     | Ok () -> (
         match write_op () with
         | Ok () -> Ok ()
         | Error Drive.Bad_sector -> Error `Bad
-        | Error (Drive.Check_mismatch _) -> assert false (* no checks in op *))
+        | Error (Drive.Check_mismatch _ | Drive.Transient _) ->
+            assert false (* write-only ops: no checks, no soft reads *))
   else
     match write_op () with
     | Ok () -> Ok ()
     | Error Drive.Bad_sector -> Error `Bad
-    | Error (Drive.Check_mismatch _) -> assert false
+    | Error (Drive.Check_mismatch _ | Drive.Transient _) -> assert false
 
 let allocate_page t ~label ~value =
   let rec attempt () =
@@ -171,13 +210,15 @@ let allocate_page t ~label ~value =
             t.counters <-
               { t.counters with bad_sectors_hit = t.counters.bad_sectors_hit + 1 };
             Obs.incr m_bad_sectors_hit;
+            (* Record the dud so no future mount hands it out again. *)
+            quarantine t addr;
             attempt ())
   in
   attempt ()
 
 let free_page t (fn : Page.full_name) =
   let write_free () =
-    Drive.run t.drive fn.Page.addr
+    Reliable.run t.drive fn.Page.addr
       { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
       ~label:(Label.free_words ()) ~value:(Label.free_value ()) ()
   in
@@ -192,7 +233,7 @@ let free_page t (fn : Page.full_name) =
   in
   if t.label_checking then
     match
-      Drive.run t.drive fn.Page.addr
+      Reliable.run t.drive fn.Page.addr
         { Drive.op_none with label = Some Drive.Check }
         ~label:(Label.check_name fn.Page.abs.Page.fid ~page:fn.Page.abs.Page.page)
         ()
@@ -205,7 +246,7 @@ let free_page t (fn : Page.full_name) =
 
 let map_word_count t = (sector_count t + 15) / 16
 
-let descriptor_content_words t = map_offset + map_word_count t
+let descriptor_content_words t = map_offset + map_word_count t + max_bad_sectors
 
 let descriptor_data_pages t =
   (descriptor_content_words t + Sector.value_words - 1) / Sector.value_words
@@ -228,6 +269,7 @@ let assemble_descriptor t =
   words.(16) <- Word.of_int t.next_serial;
   let map_words = map_word_count t in
   words.(17) <- Word.of_int_exn map_words;
+  words.(18) <- Word.of_int_exn (List.length t.bad_table);
   for j = 0 to map_words - 1 do
     let w = ref 0 in
     for k = 0 to 15 do
@@ -236,6 +278,11 @@ let assemble_descriptor t =
     done;
     words.(map_offset + j) <- Word.of_int !w
   done;
+  List.iteri
+    (fun j i ->
+      words.(map_offset + map_words + j) <-
+        Disk_address.to_word (Disk_address.of_index i))
+    t.bad_table;
   words
 
 let parse_descriptor t words =
@@ -264,6 +311,21 @@ let parse_descriptor t words =
             let i = (j * 16) + k in
             if i < sector_count t then t.busy.(i) <- w land (1 lsl (15 - k)) <> 0
           done
+        done;
+        (* The bad-sector table. Clamp the count against what's actually
+           present so packs written before the table existed (word 18
+           reserved-as-zero, no entries appended) parse cleanly. *)
+        let declared = Word.to_int words.(18) in
+        let available = max 0 (Array.length words - (map_offset + map_words)) in
+        let count = min declared (min available max_bad_sectors) in
+        t.bad_table <- [];
+        for j = count - 1 downto 0 do
+          let addr = Disk_address.of_word words.(map_offset + map_words + j) in
+          let i = Disk_address.to_index addr in
+          if i < sector_count t then begin
+            t.busy.(i) <- true;
+            t.bad_table <- i :: t.bad_table
+          end
         done;
         Ok ()
       end
@@ -337,6 +399,7 @@ let make_handle drive =
     label_checking = true;
     descriptor_pages = [||];
     counters = zero_counters;
+    bad_table = [];
   }
 
 let create_unmounted drive =

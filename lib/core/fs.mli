@@ -107,6 +107,26 @@ val mark_busy : t -> Disk_address.t -> unit
     rebuild the map from labels. *)
 
 val mark_free : t -> Disk_address.t -> unit
+(** Map-only freeing. A quarantined sector is left busy: the bad-sector
+    table overrides the map so the allocator can never hand it out. *)
+
+(** {2 The bad-sector table}
+
+    Sectors whose retry ladder ran dry ({!Alto_disk.Reliable}) are
+    quarantined: permanently marked busy in the map and recorded in a
+    table that travels with the descriptor, so the verdict survives
+    remounts. The table holds at most 64 entries; overflow is counted
+    ([fs.quarantine_overflow]) and the extra sectors stay busy only for
+    the current mount. *)
+
+val quarantine : t -> Disk_address.t -> unit
+(** Mark the sector busy forever and append it to the persistent
+    bad-sector table (idempotent; flushed with the descriptor). *)
+
+val quarantined : t -> Disk_address.t -> bool
+
+val bad_sector_table : t -> Disk_address.t list
+(** The quarantined sectors, oldest first. *)
 
 val flush : t -> (unit, error) result
 (** Write map, serial counter, shape and root name back into the

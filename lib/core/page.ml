@@ -1,6 +1,7 @@
 module Word = Alto_machine.Word
 module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
+module Reliable = Alto_disk.Reliable
 module Disk_address = Alto_disk.Disk_address
 module Obs = Alto_obs.Obs
 
@@ -44,14 +45,18 @@ let decode_checked_label buf =
 let hint_failed e =
   (match e with
   | Drive.Check_mismatch _ -> Obs.incr m_label_check_aborts
-  | Drive.Bad_sector -> ());
+  | Drive.Bad_sector -> ()
+  | Drive.Transient _ ->
+      (* The reliable layer already retried; what reaches here is a
+         retry-exhausted sector, i.e. a hard failure. *)
+      ());
   Error (Hint_failed e)
 
 let read drive fn =
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
   let value = Array.make Sector.value_words Word.zero in
   match
-    Drive.run drive fn.addr
+    Reliable.run drive fn.addr
       { Drive.op_none with label = Some Drive.Check; value = Some Drive.Read }
       ~label:label_buf ~value ()
   with
@@ -64,7 +69,7 @@ let read drive fn =
 let read_label drive fn =
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
   match
-    Drive.run drive fn.addr
+    Reliable.run drive fn.addr
       { Drive.op_none with label = Some Drive.Check }
       ~label:label_buf ()
   with
@@ -80,7 +85,7 @@ let write ?(check = true) drive fn value =
   if check then
     let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
     match
-      Drive.run drive fn.addr
+      Reliable.run drive fn.addr
         { Drive.op_none with label = Some Drive.Check; value = Some Drive.Write }
         ~label:label_buf ~value ()
     with
@@ -88,7 +93,7 @@ let write ?(check = true) drive fn value =
     | Ok () -> decode_checked_label label_buf
   else
     match
-      Drive.run drive fn.addr
+      Reliable.run drive fn.addr
         { Drive.op_none with value = Some Drive.Write }
         ~value ()
     with
@@ -103,14 +108,14 @@ let rewrite_label drive fn ~new_label ~value =
   check_value_size value;
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
   match
-    Drive.run drive fn.addr
+    Reliable.run drive fn.addr
       { Drive.op_none with label = Some Drive.Check }
       ~label:label_buf ()
   with
   | Error e -> hint_failed e
   | Ok () -> (
       match
-        Drive.run drive fn.addr
+        Reliable.run drive fn.addr
           { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
           ~label:(Label.to_words new_label) ~value ()
       with
@@ -121,7 +126,7 @@ let read_raw drive addr =
   let header = Array.make Sector.header_words Word.zero in
   let label = Array.make Sector.label_words Word.zero in
   match
-    Drive.run drive addr
+    Reliable.run drive addr
       { Drive.op_none with header = Some Drive.Read; label = Some Drive.Read }
       ~header ~label ()
   with

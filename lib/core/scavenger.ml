@@ -2,6 +2,7 @@ module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
 module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
+module Reliable = Alto_disk.Reliable
 module Disk_address = Alto_disk.Disk_address
 module Obs = Alto_obs.Obs
 
@@ -18,6 +19,7 @@ let m_relocated_pages = Obs.counter "scavenger.relocated_pages"
 let m_entries_fixed = Obs.counter "scavenger.entries_fixed"
 let m_entries_removed = Obs.counter "scavenger.entries_removed"
 let m_roots_rebuilt = Obs.counter "scavenger.roots_rebuilt"
+let m_marginal_relocated = Obs.counter "scavenger.marginal_relocated"
 
 (* The span histogram "scavenger.duration_us" is owned by the
    [Obs.time] wrapper in {!scavenge}. *)
@@ -37,6 +39,7 @@ type report = {
   pages_lost : int;
   duplicate_pages : int;
   relocated_pages : int;
+  marginal_relocated : int;
   pages_marked_bad : int;
   root_rebuilt : bool;
   duration_us : int;
@@ -48,11 +51,14 @@ let pp_report fmt r =
      files %d (dirs %d), orphans adopted %d@,\
      links repaired %d, labels reclaimed %d, bad sectors %d@,\
      entries fixed %d, removed %d; incomplete files %d, pages lost %d@,\
-     duplicates %d, relocated %d%s%s@]"
+     duplicates %d, relocated %d%s%s%s@]"
     r.sectors_scanned Sim_clock.pp_duration r.duration_us r.files_found
     r.directories_found r.orphans_adopted r.links_repaired r.labels_reclaimed
     r.bad_sectors r.entries_fixed r.entries_removed r.incomplete_files
     r.pages_lost r.duplicate_pages r.relocated_pages
+    (if r.marginal_relocated > 0 then
+       Printf.sprintf ", %d marginal pages rescued" r.marginal_relocated
+     else "")
     (if r.pages_marked_bad > 0 then
        Printf.sprintf ", %d pages marked bad" r.pages_marked_bad
      else "")
@@ -70,6 +76,7 @@ type state = {
   mutable links_repaired : int;
   mutable labels_reclaimed : int;
   mutable relocated_pages : int;
+  mutable marginal_relocated : int;
   mutable entries_fixed : int;
   mutable entries_removed : int;
   mutable orphans_adopted : int;
@@ -78,20 +85,23 @@ type state = {
 let write_free st index =
   let addr = Disk_address.of_index index in
   match
-    Drive.run st.drive addr
+    Reliable.run st.drive addr
       { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
       ~label:(Label.free_words ()) ~value:(Label.free_value ()) ()
   with
   | Ok () -> true
-  | Error (Drive.Bad_sector | Drive.Check_mismatch _) -> false
+  | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) -> false
 
 (* Copy one page's sector to a fresh location, out of the descriptor's
-   reserved range. *)
+   reserved range (or off a marginal surface). The read runs under the
+   salvage policy: this is the last copy of somebody's data, so the
+   scavenger tries much harder than the ordinary ladder before giving
+   the page up. *)
 let move_page st ~fid ~pn ~src ~dst (label : Label.t) =
   let value = Array.make Sector.value_words Word.zero in
   let src_addr = Disk_address.of_index src and dst_addr = Disk_address.of_index dst in
   match
-    Drive.run st.drive src_addr
+    Reliable.run ~policy:Reliable.salvage_policy st.drive src_addr
       { Drive.op_none with value = Some Drive.Read }
       ~value ()
   with
@@ -100,7 +110,7 @@ let move_page st ~fid ~pn ~src ~dst (label : Label.t) =
       ignore fid;
       ignore pn;
       match
-        Drive.run st.drive dst_addr
+        Reliable.run st.drive dst_addr
           { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
           ~label:(Label.to_words label) ~value ()
       with
@@ -109,22 +119,34 @@ let move_page st ~fid ~pn ~src ~dst (label : Label.t) =
           st.relocated_pages <- st.relocated_pages + 1;
           true)
 
-(* Rewrite a page's label with corrected links (reads the value first,
-   then the two-operation check-and-rewrite). *)
+(* Rewrite a page's label with corrected links (reads the value first —
+   the write-continuation rule means a label write must carry the value
+   along — then writes both back). The read runs under the salvage
+   policy: the page being re-chained may sit on a marginal sector, and a
+   failed repair here strands the rest of the file behind a dangling
+   link. *)
 let repair_label st ~fid ~pn ~addr_index ~length ~next ~prev =
   let addr = Disk_address.of_index addr_index in
-  let fn = Page.full_name fid ~page:pn ~addr in
-  match Page.read st.drive fn with
+  let value = Array.make Sector.value_words Word.zero in
+  match
+    Reliable.run ~policy:Reliable.salvage_policy st.drive addr
+      { Drive.op_none with label = Some Drive.Check; value = Some Drive.Read }
+      ~label:(Label.check_name fid ~page:pn) ~value ()
+  with
   | Error _ -> false
-  | Ok (_, value) -> (
+  | Ok () -> (
       let new_label = Label.make ~fid ~page:pn ~length ~next ~prev in
-      match Page.rewrite_label st.drive fn ~new_label ~value with
+      match
+        Reliable.run st.drive addr
+          { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
+          ~label:(Label.to_words new_label) ~value ()
+      with
       | Ok () ->
           st.links_repaired <- st.links_repaired + 1;
           true
       | Error _ -> false)
 
-let scavenge_run ~verify_values drive =
+let scavenge_run ~verify_values ~suspect_retries drive =
   let clock = Drive.clock drive in
   let started = Sim_clock.now_us clock in
   let sweep = Sweep.run drive in
@@ -138,6 +160,7 @@ let scavenge_run ~verify_values drive =
       links_repaired = 0;
       labels_reclaimed = 0;
       relocated_pages = 0;
+      marginal_relocated = 0;
       entries_fixed = 0;
       entries_removed = 0;
       orphans_adopted = 0;
@@ -168,12 +191,17 @@ let scavenge_run ~verify_values drive =
     | Sweep.Free_sector | Sweep.Marked_bad | Sweep.Bad_media | Sweep.Garbage _ -> ()
   done;
 
-  (* 1b. Optional value verification: read every live page's data. A
-     sector whose label works but whose data surface is gone gets the
-     bad marker written into its label — §3.5's "marked in the label
-     with a special value so that they will never be used again" — and
-     its page drops out of its file. *)
+  (* 1b. Optional value verification: read every live page's data under
+     the salvage retry policy. A sector whose label works but whose data
+     surface is gone gets the bad marker written into its label — §3.5's
+     "marked in the label with a special value so that they will never
+     be used again" — and its page drops out of its file. A sector that
+     reads back only after [suspect_retries] or more retries is
+     *marginal*: still readable today, unlikely to be tomorrow. Its page
+     survives, but the sector joins the suspect list and its data is
+     copied off to a fresh sector in step 4. *)
   let quarantined : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let suspects : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   if verify_values then begin
     let probe = Array.make Alto_disk.Sector.value_words Word.zero in
     (* Probe in disk-address order so the pass streams like the sweep. *)
@@ -187,16 +215,18 @@ let scavenge_run ~verify_values drive =
     List.iter
       (fun (i, pn, pages) ->
         match
-          Drive.run st.drive (Disk_address.of_index i)
+          Reliable.run_counted ~policy:Reliable.salvage_policy st.drive
+            (Disk_address.of_index i)
             { Drive.op_none with Drive.value = Some Drive.Read }
             ~value:probe ()
         with
-        | Ok () -> ()
-        | Error (Drive.Bad_sector | Drive.Check_mismatch _) ->
+        | Ok (), retries ->
+            if retries >= suspect_retries then Hashtbl.replace suspects i ()
+        | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _), _ ->
             Hashtbl.remove pages pn;
             (* Write the marker; the data surface accepts writes blind. *)
             (match
-               Drive.run st.drive (Disk_address.of_index i)
+               Reliable.run st.drive (Disk_address.of_index i)
                  { Drive.op_none with
                    Drive.label = Some Drive.Write;
                    value = Some Drive.Write
@@ -257,7 +287,10 @@ let scavenge_run ~verify_values drive =
     final;
 
   (* 4. Evacuate live pages from the reserved range (page 0, the boot
-     page, stays where it is). *)
+     page, stays where it is) — and off suspect sectors, while their
+     data can still be read. An evacuated suspect gets the bad marker in
+     its old label and joins the quarantine list; if no room or the copy
+     fails, the page stays put and keeps limping. *)
   let next_target = ref 0 in
   let pick_target () =
     while
@@ -280,14 +313,38 @@ let scavenge_run ~verify_values drive =
     (fun fid pages ->
       Array.iteri
         (fun pn (i, label) ->
-          if reserved i then
+          let suspect = Hashtbl.mem suspects i in
+          if reserved i || suspect then
             match pick_target () with
             | Some dst when move_page st ~fid ~pn ~src:i ~dst label ->
-                pages.(pn) <- (dst, label)
+                pages.(pn) <- (dst, label);
+                if suspect then begin
+                  st.marginal_relocated <- st.marginal_relocated + 1;
+                  (* Retire the old copy: bad marker in the label so the
+                     sector reads as quarantined ever after, never as a
+                     duplicate of the page that just moved. *)
+                  (match
+                     Reliable.run st.drive (Disk_address.of_index i)
+                       { Drive.op_none with
+                         Drive.label = Some Drive.Write;
+                         value = Some Drive.Write
+                       }
+                       ~label:(Label.bad_words ()) ~value:(Label.free_value ())
+                       ()
+                   with
+                  | Ok () | Error _ -> ());
+                  Hashtbl.replace quarantined i ()
+                end
             | Some _ | None ->
-                (* No room or the move failed: the page is lost. *)
-                st.pages_lost <- st.pages_lost + 1;
-                pages.(pn) <- (i, label))
+                if suspect then
+                  (* Could not rescue it; the page stays on the marginal
+                     sector and keeps its data for now. *)
+                  pages.(pn) <- (i, label)
+                else begin
+                  (* No room or the move failed: the page is lost. *)
+                  st.pages_lost <- st.pages_lost + 1;
+                  pages.(pn) <- (i, label)
+                end)
         pages)
     final;
 
@@ -312,10 +369,20 @@ let scavenge_run ~verify_values drive =
     end
   done;
 
-  (* 6. Install the rebuilt allocation map. *)
+  (* 6. Install the rebuilt allocation map, and record every sector
+     known bad — marked in the label, unreadable media, or quarantined
+     during this run — in the volume's persistent bad-sector table so
+     the verdict survives remounts. *)
   for i = 0 to n - 1 do
     let addr = Disk_address.of_index i in
-    if busy.(i) then Fs.mark_busy fs addr else Fs.mark_free fs addr
+    if busy.(i) then Fs.mark_busy fs addr else Fs.mark_free fs addr;
+    let known_bad =
+      match sweep.Sweep.classes.(i) with
+      | Sweep.Marked_bad | Sweep.Bad_media -> true
+      | Sweep.Live _ | Sweep.Free_sector | Sweep.Garbage _ ->
+          Hashtbl.mem quarantined i
+    in
+    if known_bad then Fs.quarantine fs addr
   done;
 
   (* 7. Repair links (and force the last page's next link to NIL). *)
@@ -500,6 +567,7 @@ let scavenge_run ~verify_values drive =
               pages_lost = st.pages_lost;
               duplicate_pages = st.duplicate_pages;
               relocated_pages = st.relocated_pages;
+              marginal_relocated = st.marginal_relocated;
               pages_marked_bad = Hashtbl.length quarantined;
               root_rebuilt = !root_rebuilt;
               duration_us = Sim_clock.now_us clock - started;
@@ -518,15 +586,18 @@ let record_report r =
   Obs.add m_pages_lost r.pages_lost;
   Obs.add m_pages_quarantined r.pages_marked_bad;
   Obs.add m_relocated_pages r.relocated_pages;
+  Obs.add m_marginal_relocated r.marginal_relocated;
   Obs.add m_entries_fixed r.entries_fixed;
   Obs.add m_entries_removed r.entries_removed;
   if r.root_rebuilt then Obs.incr m_roots_rebuilt
 
-let scavenge ?(verify_values = false) drive =
+let scavenge ?(verify_values = false) ?(suspect_retries = 2) drive =
+  if suspect_retries < 1 then invalid_arg "Scavenger: suspect_retries below 1";
   let clock = Drive.clock drive in
   Obs.incr m_runs;
   let result =
-    Obs.time clock "scavenger.duration_us" (fun () -> scavenge_run ~verify_values drive)
+    Obs.time clock "scavenger.duration_us" (fun () ->
+        scavenge_run ~verify_values ~suspect_retries drive)
   in
   (match result with
   | Ok (_, report) ->

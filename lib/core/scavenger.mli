@@ -50,6 +50,10 @@ type report = {
   pages_lost : int;  (** Live-looking pages freed as unreachable. *)
   duplicate_pages : int;  (** Two sectors claiming one absolute name. *)
   relocated_pages : int;
+  marginal_relocated : int;
+      (** Pages copied off marginal sectors — sectors whose data came
+          back only after several retries during value verification. The
+          old sector is quarantined; the data lives on elsewhere. *)
   pages_marked_bad : int;
       (** Live-looking pages whose data surface would not read back
           during value verification; their labels now carry the
@@ -60,9 +64,17 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
-val scavenge : ?verify_values:bool -> Drive.t -> (Fs.t * report, string) result
+val scavenge :
+  ?verify_values:bool -> ?suspect_retries:int -> Drive.t -> (Fs.t * report, string) result
 (** The only fatal error is a disk so broken that a fresh descriptor
     cannot be written. [verify_values] (default off — it roughly doubles
-    the disk time) additionally reads every live page's data and stamps
-    the bad-page marker into the label of any sector whose surface has
-    failed, so "they will never be used again" (§3.5). *)
+    the disk time) additionally reads every live page's data, under
+    {!Alto_disk.Reliable.salvage_policy}, and stamps the bad-page marker
+    into the label of any sector whose surface has failed, so "they will
+    never be used again" (§3.5). A page that reads back only after
+    [suspect_retries] or more retries (default 2) sits on a marginal
+    sector: its data is copied to a fresh sector, links re-chained, and
+    the old sector quarantined. Every sector known bad at the end of the
+    run is recorded in the rebuilt volume's persistent bad-sector table
+    ({!Fs.bad_sector_table}). Raises [Invalid_argument] if
+    [suspect_retries < 1]. *)

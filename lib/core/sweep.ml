@@ -40,6 +40,10 @@ let run drive =
     let addr = Disk_address.of_index i in
     match Page.read_raw drive addr with
     | Error Drive.Bad_sector -> classes.(i) <- Bad_media
+    | Error (Drive.Transient _) ->
+        (* read_raw goes through the reliable layer, so a transient here
+           means retries were exhausted: treat as failing media. *)
+        classes.(i) <- Bad_media
     | Error (Drive.Check_mismatch _) ->
         (* read_raw performs no checks. *)
         assert false

@@ -13,6 +13,9 @@ let m_words_read = Obs.counter "disk.words_read"
 let m_words_written = Obs.counter "disk.words_written"
 let m_check_failures = Obs.counter "disk.check_failures"
 let m_bad_sector_errors = Obs.counter "disk.bad_sector_errors"
+let m_soft_errors = Obs.counter "disk.soft_errors"
+let m_degraded_sectors = Obs.counter "disk.degraded_sectors"
+let m_restores = Obs.counter "disk.restores"
 let m_seek_distance = Obs.histogram "disk.seek_distance_cylinders"
 
 type action = Read | Check | Write
@@ -33,12 +36,16 @@ type error =
       memory : Word.t;
       disk : Word.t;
     }
+  | Transient of Sector.part
 
 let pp_error fmt = function
   | Bad_sector -> Format.pp_print_string fmt "bad sector"
   | Check_mismatch { part; offset; memory; disk } ->
       Format.fprintf fmt "check mismatch in %a word %d: memory %a, disk %a"
         Sector.pp_part part offset Word.pp memory Word.pp disk
+  | Transient part ->
+      Format.fprintf fmt "transient error reading %a (retry may succeed)"
+        Sector.pp_part part
 
 type stats = {
   operations : int;
@@ -49,6 +56,7 @@ type stats = {
   words_read : int;
   words_written : int;
   check_failures : int;
+  soft_errors : int;
 }
 
 let zero_stats =
@@ -61,9 +69,38 @@ let zero_stats =
     words_read = 0;
     words_written = 0;
     check_failures = 0;
+    soft_errors = 0;
   }
 
 exception Power_failure
+
+(* SplitMix64, so the soft-error stream is identical on every OCaml
+   version (the stdlib's [Random] algorithm changed between 4.x and 5.x,
+   and the CI regression gate compares retry counts across both). *)
+type prng = { mutable sm_state : int64 }
+
+let prng_of_seed seed = { sm_state = Int64.of_int seed }
+
+let prng_next p =
+  p.sm_state <- Int64.add p.sm_state 0x9E3779B97F4A7C15L;
+  let z = p.sm_state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A float in [0, 1) from the top 53 bits. *)
+let prng_float p =
+  Int64.to_float (Int64.shift_right_logical (prng_next p) 11) /. 9007199254740992.0
+
+(* A sector whose surface is going: its own soft-error rate climbs with
+   every failure until, after [m_degrade_after] of them, the sector
+   degrades into a permanent {!Bad_sector}. *)
+type marginal = {
+  mutable m_rate : float;
+  m_growth : float;
+  m_degrade_after : int;
+  mutable m_failures : int;
+}
 
 type t = {
   geometry : Geometry.t;
@@ -75,6 +112,9 @@ type t = {
   mutable stats : stats;
   mutable power_budget : int option;
   value_unreadable : bool array;
+  mutable soft_rng : prng;
+  mutable soft_rate : float;
+  marginals : (int, marginal) Hashtbl.t;
 }
 
 let format_header t index =
@@ -99,6 +139,9 @@ let create ?clock ~pack_id geometry =
       stats = zero_stats;
       power_budget = None;
       value_unreadable = Array.make n false;
+      soft_rng = prng_of_seed pack_id;
+      soft_rate = 0.;
+      marginals = Hashtbl.create 8;
     }
   in
   for i = 0 to n - 1 do
@@ -219,6 +262,48 @@ let set_power_budget t budget =
     invalid_arg "Drive.set_power_budget: negative budget"
   else t.power_budget <- budget
 
+(* One soft-error draw per part access that reads the surface. Returns
+   true when this access fails transiently; a marginal sector's failure
+   also feeds its degradation. *)
+let soft_error_trips t index part =
+  (* Marginal decay is a data-surface disease (like value_unreadable):
+     it afflicts only the Value part, so the sector's label stays
+     sweepable while its data grows ever harder to read. The base rate
+     models electrical noise and hits every part. *)
+  let marginal =
+    if part = Sector.Value then Hashtbl.find_opt t.marginals index else None
+  in
+  let rate =
+    t.soft_rate +. (match marginal with Some m -> m.m_rate | None -> 0.)
+  in
+  rate > 0.
+  && prng_float t.soft_rng < rate
+  && begin
+       t.stats <- { t.stats with soft_errors = t.stats.soft_errors + 1 };
+       Obs.incr m_soft_errors;
+       Obs.event ~clock:t.clock
+         ~fields:
+           [
+             ("pack", Obs.I t.pack_id);
+             ("addr", Obs.I index);
+             ("part", Obs.S (Format.asprintf "%a" Sector.pp_part part));
+           ]
+         "disk.soft_error";
+       (match marginal with
+       | None -> ()
+       | Some m ->
+           m.m_failures <- m.m_failures + 1;
+           m.m_rate <- Float.min 1.0 (m.m_rate *. m.m_growth);
+           if m.m_failures >= m.m_degrade_after && not t.bad.(index) then begin
+             t.bad.(index) <- true;
+             Obs.incr m_degraded_sectors;
+             Obs.event ~clock:t.clock
+               ~fields:[ ("pack", Obs.I t.pack_id); ("addr", Obs.I index) ]
+               "disk.sector_degraded"
+           end);
+       true
+     end
+
 let run t addr op ?header ?label ?value () =
   (match t.power_budget with
   | Some 0 -> raise Power_failure
@@ -250,6 +335,14 @@ let run t addr op ?header ?label ?value () =
             Obs.incr m_bad_sector_errors;
             Error Bad_sector
           end
+          else if
+            (action = Read || action = Check) && soft_error_trips t index part
+          then
+            (* The controller's checksum caught a misread before any data
+               moved: the buffers are untouched and a retry may well
+               succeed. Degradation may just have made the sector
+               permanently bad, in which case the retry reports that. *)
+            Error (Transient part)
           else (
             let buf = Option.get buf in
             match perform t part action (Sector.part_of sector part) buf with
@@ -289,3 +382,48 @@ let set_value_unreadable t addr flag =
 let is_value_unreadable t addr =
   let index = check_address t addr in
   t.value_unreadable.(index)
+
+(* {2 The transient-fault model} *)
+
+let set_soft_errors t ~seed ~rate =
+  if rate < 0. || rate > 1. then
+    invalid_arg "Drive.set_soft_errors: rate out of [0,1]"
+  else begin
+    t.soft_rng <- prng_of_seed seed;
+    t.soft_rate <- rate
+  end
+
+let soft_error_rate t = t.soft_rate
+
+let set_marginal t addr ~rate ~growth ~degrade_after =
+  let index = check_address t addr in
+  if rate < 0. || rate > 1. then invalid_arg "Drive.set_marginal: rate out of [0,1]"
+  else if growth < 1.0 then invalid_arg "Drive.set_marginal: growth below 1"
+  else if degrade_after < 1 then invalid_arg "Drive.set_marginal: degrade_after below 1"
+  else
+    Hashtbl.replace t.marginals index
+      { m_rate = rate; m_growth = growth; m_degrade_after = degrade_after; m_failures = 0 }
+
+let is_marginal t addr = Hashtbl.mem t.marginals (check_address t addr)
+
+let soft_failures t addr =
+  match Hashtbl.find_opt t.marginals (check_address t addr) with
+  | None -> 0
+  | Some m -> m.m_failures
+
+let restore t =
+  let seek_us =
+    Geometry.seek_time_us t.geometry ~from_cylinder:t.current_cylinder
+      ~to_cylinder:0
+  in
+  if seek_us > 0 then begin
+    Sim_clock.advance_us t.clock seek_us;
+    t.stats <-
+      { t.stats with seeks = t.stats.seeks + 1; seek_us = t.stats.seek_us + seek_us };
+    Obs.incr m_seeks;
+    Obs.add m_seek_us seek_us;
+    Obs.observe m_seek_distance t.current_cylinder
+  end;
+  t.current_cylinder <- 0;
+  Obs.incr m_restores;
+  Obs.event ~clock:t.clock ~fields:[ ("pack", Obs.I t.pack_id) ] "disk.restore"

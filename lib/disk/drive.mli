@@ -44,6 +44,12 @@ type error =
     }
       (** A check action found a non-wildcard memory word differing from
           the disk. Parts after the failing one were not performed. *)
+  | Transient of Sector.part
+      (** A soft error: the controller's checksum caught a misread of
+          this part before any data moved. The buffers are untouched, no
+          earlier part was undone, and a retry of the same operation may
+          succeed — {!Reliable.run} is the layer that performs those
+          retries. Only read and check actions can fail this way. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -56,6 +62,7 @@ type stats = {
   words_read : int;
   words_written : int;
   check_failures : int;
+  soft_errors : int;
 }
 
 val create : ?clock:Alto_machine.Sim_clock.t -> pack_id:int -> Geometry.t -> t
@@ -89,6 +96,44 @@ val run :
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val restore : t -> unit
+(** Recalibrate: seek back to cylinder 0, charging the seek time. The
+    retry layer escalates to this when immediate retries keep failing —
+    the real controller's cure for a head that has drifted off track. *)
+
+(** {2 The transient-fault model}
+
+    Soft errors are the everyday failures the paper's recovery discipline
+    exists for: a read that fails once and succeeds on retry. The model
+    has two dials — a pack-wide base rate, and per-sector {e marginal}
+    profiles whose rate climbs with every failure until the sector
+    degrades into a permanent {!Bad_sector}. All draws come from a
+    seeded, version-stable PRNG inside the drive, so a workload replayed
+    with the same seed sees the identical error sequence on any OCaml
+    version. *)
+
+val set_soft_errors : t -> seed:int -> rate:float -> unit
+(** Reseed the drive's soft-error stream and set the base probability
+    that any single read/check part access fails transiently. [rate]
+    0.0 (the default) disables base soft errors without disturbing
+    marginal sectors. Raises [Invalid_argument] unless [0 <= rate <= 1]. *)
+
+val soft_error_rate : t -> float
+
+val set_marginal :
+  t -> Disk_address.t -> rate:float -> growth:float -> degrade_after:int -> unit
+(** Declare one sector marginal: its data surface is wearing out, so
+    {e value} reads fail with its own [rate] (added to the base rate)
+    while header and label accesses see only the base rate; each failure
+    multiplies the rate by [growth] (≥ 1), and after [degrade_after]
+    failures the sector turns permanently bad. *)
+
+val is_marginal : t -> Disk_address.t -> bool
+
+val soft_failures : t -> Disk_address.t -> int
+(** How many soft errors this sector's marginal profile has recorded;
+    0 for non-marginal sectors. *)
 
 exception Power_failure
 (** Raised by {!run} when an injected power budget runs out — the

@@ -24,6 +24,28 @@ val make_value_unreadable : Drive.t -> Disk_address.t -> unit
     and writes still work. The scavenger's value-verification pass finds
     such sectors and marks them bad in the label. *)
 
+val set_soft_errors : Drive.t -> seed:int -> rate:float -> unit
+(** Turn on the drive's transient-error mode: every read/check part
+    access fails with probability [rate], deterministically in [seed]
+    (see {!Drive.set_soft_errors}). {!Reliable.run} absorbs these. *)
+
+val clear_soft_errors : Drive.t -> unit
+(** Base rate back to zero (marginal sectors keep their own rates). *)
+
+val make_marginal :
+  ?rate:float ->
+  ?growth:float ->
+  ?degrade_after:int ->
+  Drive.t ->
+  Disk_address.t ->
+  unit
+(** A sector on its way out: value reads soft-fail at [rate] (default
+    0.5), the rate multiplying by [growth] (default 1.25) on each
+    failure, until [degrade_after] failures (default 16) turn it
+    permanently bad. Label and header accesses stay clean (compare
+    {!make_value_unreadable}), so the scavenger can still identify the
+    page while its data decays. *)
+
 val decay :
   Random.State.t -> Drive.t -> fraction:float -> Disk_address.t list
 (** [decay rng drive ~fraction] corrupts the labels of roughly [fraction]

@@ -1,0 +1,64 @@
+(** Reliable transfers: bounded retry over {!Drive.run}.
+
+    §1 promises "recovery from crashes and resistance to misuse"; the
+    real Alto OS delivered the disk half of that promise by retrying
+    transient Diablo errors before declaring them hard. This layer is
+    that discipline, made explicit as an escalation ladder:
+
+    + run the operation;
+    + on a {!Drive.Transient} error, retry in place (the sector comes
+      around again one revolution later);
+    + after [restore_after] failed retries, {!Drive.restore} — seek back
+      to cylinder 0 to recalibrate — before each further attempt;
+    + after [max_retries] retries, give up and report the last error:
+      it is now {e hard}, and escalation belongs to the caller (the
+      hint ladder, or the scavenger's quarantine-and-copy-out).
+
+    Deterministic errors ({!Drive.Bad_sector}, {!Drive.Check_mismatch})
+    are never retried: a retry would cost a revolution and change
+    nothing. Retrying a transiently failed operation is always safe —
+    the drive guarantees no data moved on the failing attempt, completed
+    check parts re-match, and completed writes are idempotent.
+
+    Every retry is instrumented: [disk.retries], [disk.retry_recovered],
+    [disk.retry_exhausted] counters and the [disk.retry_latency_us]
+    histogram (simulated time from first failure to final outcome). *)
+
+module Word = Alto_machine.Word
+
+type policy = { max_retries : int; restore_after : int }
+
+val default_policy : policy
+(** 3 retries, restore before the 3rd — the everyday file-system
+    policy. *)
+
+val salvage_policy : policy
+(** 12 retries, restore from the 4th on — the scavenger's
+    last-chance policy for copying pages off marginal sectors. *)
+
+val run :
+  ?policy:policy ->
+  Drive.t ->
+  Disk_address.t ->
+  Drive.op ->
+  ?header:Word.t array ->
+  ?label:Word.t array ->
+  ?value:Word.t array ->
+  unit ->
+  (unit, Drive.error) result
+(** Exactly {!Drive.run}'s contract, with transient errors absorbed up
+    to the policy's budget. An [Error (Transient _)] from this layer
+    means the budget ran out — treat it as hard. *)
+
+val run_counted :
+  ?policy:policy ->
+  Drive.t ->
+  Disk_address.t ->
+  Drive.op ->
+  ?header:Word.t array ->
+  ?label:Word.t array ->
+  ?value:Word.t array ->
+  unit ->
+  (unit, Drive.error) result * int
+(** {!run}, also reporting how many retries this operation consumed —
+    the scavenger's evidence that a sector is marginal. *)

@@ -255,6 +255,38 @@ let cmd_dump system name =
               | Ok parsed ->
                   List.iter (fun line -> say system "%s" line) (Loader.disassemble parsed))))
 
+(* Show the tail of the observability event trace — the flight recorder
+   for "what just happened", soft errors and retries included. *)
+let cmd_trace system n =
+  let module Obs = Alto_obs.Obs in
+  let events = Obs.trace () in
+  let total = List.length events in
+  let tail = if total <= n then events else
+    (* Drop all but the last n. *)
+    List.filteri (fun i _ -> i >= total - n) events
+  in
+  if tail = [] then say system "trace: no events recorded"
+  else
+    List.iter
+      (fun (e : Obs.event) ->
+        let fields =
+          String.concat " "
+            (List.map
+               (fun (k, v) ->
+                 let v =
+                   match v with
+                   | Obs.I i -> string_of_int i
+                   | Obs.S s -> s
+                   | Obs.B b -> string_of_bool b
+                 in
+                 Printf.sprintf "%s=%s" k v)
+               e.Obs.fields)
+        in
+        if fields = "" then
+          say system "%8dus %s" e.Obs.ts_us e.Obs.name
+        else say system "%8dus %s %s" e.Obs.ts_us e.Obs.name fields)
+      tail
+
 let cmd_run system name =
   match Loader.run_by_name system name with
   | Error e -> say system "run: %a" Loader.pp_error e
@@ -323,6 +355,17 @@ let execute system line =
       System.counter_junta system;
       say system "all levels restored";
       `Continue
+  | [ "trace" ] ->
+      cmd_trace system 20;
+      `Continue
+  | [ "trace"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+          cmd_trace system n;
+          `Continue
+      | Some _ | None ->
+          say system "trace: expected a positive event count";
+          `Continue)
   | [ "run"; name ] ->
       cmd_run system name;
       `Continue

@@ -207,7 +207,7 @@ let service_disk_transfer t cpu ~write =
       if write then { Drive.op_none with Drive.value = Some Drive.Write }
       else { Drive.op_none with Drive.value = Some Drive.Read }
     in
-    match Drive.run t.drive addr op ~value () with
+    match Alto_disk.Reliable.run t.drive addr op ~value () with
     | Ok () ->
         if not write then Memory.write_block t.memory ~pos:buffer value;
         ok cpu

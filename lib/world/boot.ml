@@ -2,6 +2,7 @@ module Word = Alto_machine.Word
 module Cpu = Alto_machine.Cpu
 module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
+module Reliable = Alto_disk.Reliable
 module Disk_address = Alto_disk.Disk_address
 module Fs = Alto_fs.Fs
 module File = Alto_fs.File
@@ -39,21 +40,23 @@ let install fs file =
       ~page:0 ~length:10 ~next:Disk_address.nil ~prev:Disk_address.nil
   in
   match
-    Drive.run (Fs.drive fs) Fs.boot_address
+    Reliable.run (Fs.drive fs) Fs.boot_address
       { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
       ~label:(Alto_fs.Label.to_words label) ~value ()
   with
   | Ok () -> Ok ()
-  | Error (Drive.Bad_sector | Drive.Check_mismatch _) -> Error No_boot_record
+  | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
+      Error No_boot_record
 
 let boot_file fs =
   let value = Array.make Sector.value_words Word.zero in
   match
-    Drive.run (Fs.drive fs) Fs.boot_address
+    Reliable.run (Fs.drive fs) Fs.boot_address
       { Drive.op_none with value = Some Drive.Read }
       ~value ()
   with
-  | Error (Drive.Bad_sector | Drive.Check_mismatch _) -> Error No_boot_record
+  | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
+      Error No_boot_record
   | Ok () ->
       if Word.to_int value.(0) <> record_magic then Error No_boot_record
       else (

@@ -549,6 +549,20 @@ let test_executive_scavenge_command () =
   Alcotest.(check bool) "scavenge reported" true (contains "scanned");
   Alcotest.(check bool) "file survived and reads" true (contains "data")
 
+let test_executive_trace_command () =
+  let system = boot () in
+  (* [scavenge] is guaranteed to leave events in the trace ring; [put]
+     exercises the disk counters too. *)
+  feed_commands system
+    [ "put T.txt traced"; "scavenge"; "trace 5"; "trace zero"; "quit" ];
+  ignore (Executive.run system);
+  let contains needle = contains_sub (screen system) needle in
+  Alcotest.(check bool) "events shown with timestamps" true (contains "us ");
+  Alcotest.(check bool) "scavenger report event surfaced" true
+    (contains "scavenger.");
+  Alcotest.(check bool) "bad count rejected" true
+    (contains "trace: expected a positive event count")
+
 let () =
   Alcotest.run "alto_os"
     [
@@ -589,5 +603,6 @@ let () =
           ("assemble command", `Quick, test_executive_assemble_command);
           ("dump command", `Quick, test_executive_dump_command);
           ("scavenge command", `Quick, test_executive_scavenge_command);
+          ("trace command", `Quick, test_executive_trace_command);
         ] );
     ]
