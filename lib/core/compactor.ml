@@ -3,6 +3,7 @@ module Sim_clock = Alto_machine.Sim_clock
 module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
 module Reliable = Alto_disk.Reliable
+module Sched = Alto_disk.Sched
 module Disk_address = Alto_disk.Disk_address
 
 type report = {
@@ -183,29 +184,72 @@ let compact fs =
   done;
 
   (* Straggler links: unmoved pages whose stored links no longer match
-     the final layout. *)
-  Hashtbl.iter
-    (fun id src ->
-      match occupant.(src) with
-      | None -> ()
-      | Some (_, old_label) ->
-          let wanted = final_label id old_label in
-          let current_matches =
-            match read_sector drive src with
-            | None -> true
-            | Some (stored, _) -> (
-                match Label.of_words stored with
-                | Ok l -> Label.equal l wanted
-                | Error _ -> false)
+     the final layout. One elevator batch re-reads every candidate; a
+     second rewrites just the mismatches, carrying along the value each
+     read brought back (the write-continuation rule means a label write
+     must rewrite the value too). An unreadable sector has nothing worth
+     rewriting and is skipped, as before. *)
+  let stragglers =
+    Array.of_list
+      (Hashtbl.fold
+         (fun id src acc ->
+           match occupant.(src) with
+           | None -> acc
+           | Some (_, old_label) -> (src, final_label id old_label) :: acc)
+         cur [])
+  in
+  let straggler_labels =
+    Array.init (Array.length stragglers) (fun _ ->
+        Array.make Sector.label_words Word.zero)
+  in
+  let straggler_values =
+    Array.init (Array.length stragglers) (fun _ ->
+        Array.make Sector.value_words Word.zero)
+  in
+  let straggler_reads =
+    Sched.run_batch drive
+      (Array.mapi
+         (fun j (src, _) ->
+           Sched.request ~label:straggler_labels.(j) ~value:straggler_values.(j)
+             (Disk_address.of_index src)
+             { Drive.op_none with
+               Drive.label = Some Drive.Read;
+               value = Some Drive.Read
+             })
+         stragglers)
+  in
+  let rewrites = ref [] in
+  Array.iteri
+    (fun j outcome ->
+      let src, wanted = stragglers.(j) in
+      match outcome.Sched.result with
+      | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
+          ()
+      | Ok () ->
+          let matches =
+            match Label.of_words straggler_labels.(j) with
+            | Ok l -> Label.equal l wanted
+            | Error _ -> false
           in
-          if not current_matches then begin
-            match read_sector drive src with
-            | None -> ()
-            | Some (_, value) ->
-                if write_sector drive src ~label:(Label.to_words wanted) ~value then
-                  incr links_rewritten
-          end)
-    cur;
+          if not matches then
+            rewrites := (src, wanted, straggler_values.(j)) :: !rewrites)
+    straggler_reads;
+  Array.iter
+    (fun outcome ->
+      match outcome.Sched.result with
+      | Ok () -> incr links_rewritten
+      | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
+          ())
+    (Sched.run_batch drive
+       (Array.map
+          (fun (src, wanted, value) ->
+            Sched.request ~label:(Label.to_words wanted) ~value
+              (Disk_address.of_index src)
+              { Drive.op_none with
+                Drive.label = Some Drive.Write;
+                value = Some Drive.Write
+              })
+          (Array.of_list !rewrites)));
 
   (* Free everything that is neither reserved, bad, nor a final page. *)
   let sectors_freed = ref 0 in
@@ -215,20 +259,36 @@ let compact fs =
     final_occupied.(i) <- true
   done;
   Hashtbl.iter (fun _ i -> final_occupied.(i) <- true) cur;
-  for i = 0 to n - 1 do
+  let to_free = ref [] in
+  for i = n - 1 downto 0 do
     if not (final_occupied.(i) || bad.(i)) then begin
       let already_free =
         match sweep.Sweep.classes.(i) with
         | Sweep.Free_sector -> occupant.(i) = None && incoming.(i) = None
         | Sweep.Live _ | Sweep.Marked_bad | Sweep.Bad_media | Sweep.Garbage _ -> false
       in
-      if not already_free then
-        if
-          write_sector drive i ~label:(Label.free_words ())
-            ~value:(Label.free_value ())
-        then incr sectors_freed
+      if not already_free then to_free := i :: !to_free
     end
   done;
+  (* One batch of frees; writes never mutate their buffers, so every
+     request shares the two free patterns. *)
+  let free_label = Label.free_words () and free_value = Label.free_value () in
+  Array.iter
+    (fun outcome ->
+      match outcome.Sched.result with
+      | Ok () -> incr sectors_freed
+      | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
+          ())
+    (Sched.run_batch drive
+       (Array.map
+          (fun i ->
+            Sched.request ~label:free_label ~value:free_value
+              (Disk_address.of_index i)
+              { Drive.op_none with
+                Drive.label = Some Drive.Write;
+                value = Some Drive.Write
+              })
+          (Array.of_list !to_free)));
 
   (* Rebuild the allocation map in the handle. *)
   for i = 0 to n - 1 do
@@ -255,7 +315,7 @@ let compact fs =
           in
           if consecutive then incr files_consecutive;
           let fn = Page.full_name fid ~page:0 ~addr:(Disk_address.of_index leader_index) in
-          match Page.read drive fn with
+          match Page.read ~cache:(Fs.label_cache fs) drive fn with
           | Error _ -> ()
           | Ok (_, value) -> (
               match Leader.of_value value with
@@ -271,7 +331,10 @@ let compact fs =
                       (Leader.with_last leader ~last_page:last ~last_addr)
                       consecutive
                   in
-                  (match Page.write drive fn (Leader.to_value leader) with
+                  (match
+                     Page.write ~cache:(Fs.label_cache fs) drive fn
+                       (Leader.to_value leader)
+                   with
                   | Ok _ -> incr leaders_updated
                   | Error _ -> ()))))
     ordered_files;

@@ -1,5 +1,7 @@
 module Word = Alto_machine.Word
 module Sector = Alto_disk.Sector
+module Drive = Alto_disk.Drive
+module Sched = Alto_disk.Sched
 module Disk_address = Alto_disk.Disk_address
 
 type t = {
@@ -80,6 +82,7 @@ let cache_links t pn (label : Label.t) =
 (* {2 Resolving page numbers to full names} *)
 
 let drive t = Fs.drive t.fs
+let cache t = Fs.label_cache t.fs
 
 (* Walk the link chain from the highest trusted hint at or below
    [target]. A stale in-chain hint triggers one restart from the leader
@@ -96,7 +99,7 @@ let chase t ~target =
       if k = target then Ok addr
       else
         let fn = Page.full_name t.fid ~page:k ~addr in
-        match Page.read_label (drive t) fn with
+        match Page.read_label ~cache:(cache t) (drive t) fn with
         | Ok label -> (
             cache_links t k label;
             match label.Label.next with
@@ -146,6 +149,46 @@ let with_page t pn f =
       | Error (Page.Bad_label msg) -> Error (Structure msg)
       | Error (Page.Hint_failed _) -> Error Hint_failed)
 
+(* {2 Batched transfers}
+
+   When the addresses of a whole run of pages are already known in core —
+   from hints, extended by consecutive-allocation arithmetic where the
+   leader vouches for it ("a program … is free to assume that a file is
+   consecutive", §3.6) — the run can go to the disk as one elevator
+   batch instead of page-at-a-time. Every batched request still checks
+   the label against the page's absolute name, so a wrong guess costs
+   one refuted request, repaired through the ordinary hint-ladder path. *)
+
+let batch_threshold = 4
+
+let known_addresses t ~first ~last =
+  let sectors = Drive.sector_count (drive t) in
+  let addrs = Array.make (last - first + 1) Disk_address.nil in
+  let all_known = ref true in
+  let consecutive = t.leader.Leader.maybe_consecutive in
+  for pn = first to last do
+    let a = hint t pn in
+    let a =
+      if not (Disk_address.is_nil a) then a
+      else if consecutive then
+        (* Extrapolate from the nearest hinted page below; page 0 (the
+           leader) is always hinted, so the scan terminates. *)
+        let rec from k =
+          if k < 0 then Disk_address.nil
+          else
+            let h = hint t k in
+            if Disk_address.is_nil h then from (k - 1)
+            else
+              let i = Disk_address.to_index h + (pn - k) in
+              if i < sectors then Disk_address.of_index i else Disk_address.nil
+        in
+        from (pn - 1)
+      else Disk_address.nil
+    in
+    if Disk_address.is_nil a then all_known := false else addrs.(pn - first) <- a
+  done;
+  if !all_known then Some addrs else None
+
 (* {2 Opening and creating} *)
 
 let now t = Fs.now_seconds t.fs
@@ -155,7 +198,7 @@ let open_leader fs (fn : Page.full_name) =
   if fn.Page.abs.Page.page <> 0 then
     invalid_arg "File.open_leader: not the name of a leader page";
   let* label, value =
-    match Page.read (Fs.drive fs) fn with
+    match Page.read ~cache:(Fs.label_cache fs) (Fs.drive fs) fn with
     | Ok x -> Ok x
     | Error (Page.Hint_failed _) -> Error Hint_failed
     | Error (Page.Bad_label msg) -> Error (Structure msg)
@@ -181,7 +224,7 @@ let open_leader fs (fn : Page.full_name) =
   let confirm_last pn addr =
     if pn < 1 || Disk_address.is_nil addr then None
     else
-      match Page.read_label (drive t) (Page.full_name t.fid ~page:pn ~addr) with
+      match Page.read_label ~cache:(cache t) (drive t) (Page.full_name t.fid ~page:pn ~addr) with
       | Ok label when Disk_address.is_nil label.Label.next ->
           Some (pn, label.Label.length)
       | Ok _ | Error _ -> None
@@ -194,7 +237,7 @@ let open_leader fs (fn : Page.full_name) =
     | None ->
         (* Chain walk from the leader to the end. *)
         let rec walk pn addr =
-          match Page.read_label (drive t) (Page.full_name t.fid ~page:pn ~addr) with
+          match Page.read_label ~cache:(cache t) (drive t) (Page.full_name t.fid ~page:pn ~addr) with
           | Error (Page.Hint_failed _) -> Error Hint_failed
           | Error (Page.Bad_label msg) -> Error (Structure msg)
           | Ok label -> (
@@ -244,7 +287,7 @@ let create_with_fid fs fid ~name =
   in
   let* () =
     match
-      Page.rewrite_label (Fs.drive fs)
+      Page.rewrite_label ~cache:(Fs.label_cache fs) (Fs.drive fs)
         (Page.full_name fid ~page:0 ~addr:leader_addr)
         ~new_label:leader_label ~value:(Leader.to_value leader)
     with
@@ -280,7 +323,7 @@ let read_page t pn =
   if pn < 1 then invalid_arg "File.read_page: data pages are numbered from 1"
   else
     let ( let* ) = Result.bind in
-    let* label, value = with_page t pn (fun fn -> Page.read (drive t) fn) in
+    let* label, value = with_page t pn (fun fn -> Page.read ~cache:(cache t) (drive t) fn) in
     cache_links t pn label;
     if pn = t.last_page then t.last_length <- label.Label.length;
     Ok (value, label.Label.length)
@@ -299,27 +342,77 @@ let touch_written t =
 let touch_read t =
   t.leader <- Leader.with_times t.leader ~read_s:(now t) ()
 
+(* One elevator pass of label-checked value reads for pages
+   [first .. first + n - 1] at [addrs]; a refuted or failed request
+   falls back to the ordinary one-page path for that page alone. *)
+let read_pages_batched t ~first addrs =
+  let n = Array.length addrs in
+  let values = Array.init n (fun _ -> Array.make Sector.value_words Word.zero) in
+  let labels = Array.init n (fun i -> Label.check_name t.fid ~page:(first + i)) in
+  let requests =
+    Array.init n (fun i ->
+        Sched.request ~label:labels.(i) ~value:values.(i) addrs.(i)
+          { Drive.op_none with label = Some Drive.Check; value = Some Drive.Read })
+  in
+  let outcomes = Sched.run_batch (drive t) requests in
+  let ( let* ) = Result.bind in
+  let rec collect i acc =
+    if i >= n then Ok (Array.of_list (List.rev acc))
+    else
+      let pn = first + i in
+      let fallback () =
+        let* v, plen = read_page t pn in
+        collect (i + 1) ((v, plen) :: acc)
+      in
+      match outcomes.(i).Sched.result with
+      | Error _ -> fallback ()
+      | Ok () -> (
+          match Label.of_words labels.(i) with
+          | Error _ -> fallback ()
+          | Ok label ->
+              Label_cache.note_verified (cache t) addrs.(i) labels.(i);
+              set_hint t pn addrs.(i);
+              cache_links t pn label;
+              if pn = t.last_page then t.last_length <- label.Label.length;
+              collect (i + 1) ((values.(i), label.Label.length) :: acc))
+  in
+  collect 0 []
+
 let read_bytes t ~pos ~len =
   if pos < 0 || len < 0 then invalid_arg "File.read_bytes: negative position or length";
   let total = byte_length t in
   let n = max 0 (min len (total - pos)) in
   let dst = Bytes.create n in
   let ( let* ) = Result.bind in
-  let rec loop pn page_off dst_off =
-    if dst_off >= n then Ok dst
-    else
-      let* value, plen = read_page t pn in
-      let here = min (plen - page_off) (n - dst_off) in
-      if here <= 0 then
-        Error (Structure (Printf.sprintf "page %d shorter than the file length implies" pn))
-      else begin
-        bytes_of_page value ~page_off ~len:here ~dst ~dst_off;
-        loop (pn + 1) 0 (dst_off + here)
-      end
-  in
   if n = 0 then Ok dst
   else begin
-    let result = loop (1 + (pos / Sector.bytes_per_page)) (pos mod Sector.bytes_per_page) 0 in
+    let first = 1 + (pos / Sector.bytes_per_page) in
+    let last = 1 + ((pos + n - 1) / Sector.bytes_per_page) in
+    let* prefetched =
+      if last - first + 1 >= batch_threshold then
+        match known_addresses t ~first ~last with
+        | Some addrs -> Result.map Option.some (read_pages_batched t ~first addrs)
+        | None -> Ok None
+      else Ok None
+    in
+    let page pn =
+      match prefetched with
+      | Some pages -> Ok pages.(pn - first)
+      | None -> read_page t pn
+    in
+    let rec loop pn page_off dst_off =
+      if dst_off >= n then Ok dst
+      else
+        let* value, plen = page pn in
+        let here = min (plen - page_off) (n - dst_off) in
+        if here <= 0 then
+          Error (Structure (Printf.sprintf "page %d shorter than the file length implies" pn))
+        else begin
+          bytes_of_page value ~page_off ~len:here ~dst ~dst_off;
+          loop (pn + 1) 0 (dst_off + here)
+        end
+    in
+    let result = loop first (pos mod Sector.bytes_per_page) 0 in
     if Result.is_ok result then touch_read t;
     result
   end
@@ -343,13 +436,13 @@ let update_leader_last t =
 let rewrite_page t pn ~length ~next value =
   with_page t pn (fun fn ->
       let ( let* ) = Result.bind in
-      let* old = Page.read_label (drive t) fn in
+      let* old = Page.read_label ~cache:(cache t) (drive t) fn in
       let new_label =
         Label.make ~fid:t.fid ~page:pn ~length
           ~next:(Option.value next ~default:old.Label.next)
           ~prev:old.Label.prev
       in
-      Page.rewrite_label (drive t) fn ~new_label ~value)
+      Page.rewrite_label ~cache:(cache t) (drive t) fn ~new_label ~value)
 
 let append_fresh_page t value ~len =
   let ( let* ) = Result.bind in
@@ -369,6 +462,35 @@ let append_fresh_page t value ~len =
     t.leader <- Leader.with_consecutive t.leader false;
   Ok (addr, pn)
 
+(* One elevator pass of label-checked full-page value writes; a refuted
+   or failed request falls back to the one-page path for that page. *)
+let write_pages_batched t ~first addrs values =
+  let n = Array.length addrs in
+  let labels = Array.init n (fun i -> Label.check_name t.fid ~page:(first + i)) in
+  let requests =
+    Array.init n (fun i ->
+        Sched.request ~label:labels.(i) ~value:values.(i) addrs.(i)
+          { Drive.op_none with label = Some Drive.Check; value = Some Drive.Write })
+  in
+  let outcomes = Sched.run_batch (drive t) requests in
+  let ( let* ) = Result.bind in
+  let rec finish i =
+    if i >= n then Ok ()
+    else
+      match outcomes.(i).Sched.result with
+      | Ok () ->
+          Label_cache.note_verified (cache t) addrs.(i) labels.(i);
+          set_hint t (first + i) addrs.(i);
+          finish (i + 1)
+      | Error _ ->
+          let* (_ : Label.t) =
+            with_page t (first + i) (fun fn ->
+                Page.write ~cache:(cache t) (drive t) fn values.(i))
+          in
+          finish (i + 1)
+  in
+  finish 0
+
 let write_bytes t ~pos s =
   let total = byte_length t in
   if pos < 0 || pos > total then
@@ -378,6 +500,40 @@ let write_bytes t ~pos s =
   (* [cached] avoids re-reading a page we just wrote when the loop
      immediately appends its successor. *)
   let cached = ref None in
+  (* A long run of whole-page overwrites of existing pages — the shape
+     of a world swap's outload — goes to the disk as one elevator batch
+     before the page-at-a-time loop takes over for the remainder. *)
+  let batched_prefix () =
+    if pos mod Sector.bytes_per_page <> 0 then Ok (1 + (pos / Sector.bytes_per_page), 0)
+    else begin
+      let start_pn = 1 + (pos / Sector.bytes_per_page) in
+      let rec extent pn s_off =
+        if
+          len - s_off >= Sector.bytes_per_page
+          && (pn < t.last_page
+             || (pn = t.last_page && t.last_length = Sector.bytes_per_page))
+        then extent (pn + 1) (s_off + Sector.bytes_per_page)
+        else pn
+      in
+      let stop = extent start_pn 0 in
+      let count = stop - start_pn in
+      if count < batch_threshold then Ok (start_pn, 0)
+      else
+        match known_addresses t ~first:start_pn ~last:(stop - 1) with
+        | None -> Ok (start_pn, 0)
+        | Some addrs ->
+            let values =
+              Array.init count (fun i ->
+                  let v = Array.make Sector.value_words Word.zero in
+                  patch_page v ~page_off:0 s ~s_off:(i * Sector.bytes_per_page)
+                    ~len:Sector.bytes_per_page;
+                  v)
+            in
+            let* () = write_pages_batched t ~first:start_pn addrs values in
+            cached := Some (stop - 1, values.(count - 1));
+            Ok (stop, count * Sector.bytes_per_page)
+    end
+  in
   let rec put pn page_off s_off =
     if s_off >= len then Ok ()
     else
@@ -393,7 +549,7 @@ let write_bytes t ~pos s =
            swap stream 64K words at full track speed. *)
         let value = Array.make Sector.value_words Word.zero in
         patch_page value ~page_off:0 s ~s_off ~len:here;
-        let* (_ : Label.t) = with_page t pn (fun fn -> Page.write (drive t) fn value) in
+        let* (_ : Label.t) = with_page t pn (fun fn -> Page.write ~cache:(cache t) (drive t) fn value) in
         cached := Some (pn, value);
         put (pn + 1) 0 (s_off + here)
       end
@@ -403,7 +559,7 @@ let write_bytes t ~pos s =
         let* () =
           if pn < t.last_page then
             Result.map (fun (_ : Label.t) -> ())
-              (with_page t pn (fun fn -> Page.write (drive t) fn value))
+              (with_page t pn (fun fn -> Page.write ~cache:(cache t) (drive t) fn value))
           else begin
             let new_plen = max plen (page_off + here) in
             if new_plen <> plen then begin
@@ -413,7 +569,7 @@ let write_bytes t ~pos s =
             end
             else
               Result.map (fun (_ : Label.t) -> ())
-                (with_page t pn (fun fn -> Page.write (drive t) fn value))
+                (with_page t pn (fun fn -> Page.write ~cache:(cache t) (drive t) fn value))
           end
         in
         cached := Some (pn, value);
@@ -431,7 +587,7 @@ let write_bytes t ~pos s =
           match !cached with
           | Some (p, v) when p = old_last -> Ok v
           | Some _ | None ->
-              let* _, v = with_page t old_last (fun fn -> Page.read (drive t) fn) in
+              let* _, v = with_page t old_last (fun fn -> Page.read ~cache:(cache t) (drive t) fn) in
               Ok v
         in
         let* () =
@@ -444,7 +600,9 @@ let write_bytes t ~pos s =
         put (pn' + 1) 0 (s_off + here)
       end
   in
-  let* () = put (1 + (pos / Sector.bytes_per_page)) (pos mod Sector.bytes_per_page) 0 in
+  let* start_pn, start_s_off = batched_prefix () in
+  let page_off = if start_s_off = 0 then pos mod Sector.bytes_per_page else 0 in
+  let* () = put start_pn page_off start_s_off in
   touch_written t;
   update_leader_last t;
   Ok ()
@@ -474,12 +632,12 @@ let truncate t ~len =
   let* () =
     with_page t new_last (fun fn ->
         let ( let* ) = Result.bind in
-        let* old = Page.read_label (drive t) fn in
+        let* old = Page.read_label ~cache:(cache t) (drive t) fn in
         let new_label =
           Label.make ~fid:t.fid ~page:new_last ~length:new_plen
             ~next:Disk_address.nil ~prev:old.Label.prev
         in
-        Page.rewrite_label (drive t) fn ~new_label ~value)
+        Page.rewrite_label ~cache:(cache t) (drive t) fn ~new_label ~value)
   in
   t.last_page <- new_last;
   t.last_length <- new_plen;
@@ -532,4 +690,4 @@ let flush_leader t =
   update_leader_last t;
   Result.map
     (fun (_ : Label.t) -> ())
-    (with_page t 0 (fun fn -> Page.write (drive t) fn (Leader.to_value t.leader)))
+    (with_page t 0 (fun fn -> Page.write ~cache:(cache t) (drive t) fn (Leader.to_value t.leader)))

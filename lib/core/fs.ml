@@ -48,6 +48,7 @@ type t = {
   mutable bad_table : int list;
       (** Quarantined sector indexes, oldest first — the persistent
           bad-sector table, flushed with the descriptor. *)
+  cache : Label_cache.t;  (** Verified labels, shared by every layer above. *)
 }
 
 let boot_address = Disk_address.of_index 0
@@ -71,6 +72,7 @@ let map_offset = 19
 let max_bad_sectors = 64
 
 let drive t = t.drive
+let label_cache t = t.cache
 let geometry t = t.shape
 let clock t = Drive.clock t.drive
 let now_seconds t = int_of_float (Sim_clock.now_seconds (clock t))
@@ -109,6 +111,9 @@ let mark_free t addr =
 let quarantine t addr =
   let i = Disk_address.to_index addr in
   t.busy.(i) <- true;
+  (* Eager, though generation checking would catch it lazily: a
+     quarantined sector's label must never be served from core. *)
+  Label_cache.invalidate t.cache addr;
   if not (List.mem i t.bad_table) then begin
     if List.length t.bad_table >= max_bad_sectors then
       (* The table is full; the sector stays busy in the map for this
@@ -349,7 +354,7 @@ let flush t =
       let offset = (pn - 1) * Sector.value_words in
       let len = min Sector.value_words (Array.length words - offset) in
       Array.blit words offset value 0 len;
-      match Page.write t.drive (descriptor_page_name t pn) value with
+      match Page.write ~cache:t.cache t.drive (descriptor_page_name t pn) value with
       | Error e -> Error (Page_error e)
       | Ok _ -> write (pn + 1)
   in
@@ -383,13 +388,17 @@ let place_descriptor_file t =
     Leader.make ~created_s:(now_seconds t) ~name:"DiskDescriptor."
       ~last_page:pages ~last_addr:(addr pages) ~maybe_consecutive:true ()
   in
-  match Page.write t.drive (descriptor_page_name t 0) (Leader.to_value leader) with
+  match
+    Page.write ~cache:t.cache t.drive (descriptor_page_name t 0)
+      (Leader.to_value leader)
+  with
   | Error e -> Error (Page_error e)
   | Ok _ -> flush t
 
 let make_handle drive =
   {
     drive;
+    cache = Label_cache.create drive;
     shape = Drive.geometry drive;
     busy = Array.make (Drive.sector_count drive) false;
     next_serial = File_id.first_user_serial;
@@ -473,7 +482,7 @@ let mount drive =
   let* leader_label, leader_value =
     Result.map_error
       (fun e -> Format.asprintf "descriptor leader unreadable: %a" Page.pp_error e)
-      (Page.read drive (descriptor_page_name t 0))
+      (Page.read ~cache:t.cache drive (descriptor_page_name t 0))
   in
   let* leader = Leader.of_value leader_value in
   let pages = leader.Leader.last_page in
@@ -483,7 +492,7 @@ let mount drive =
       match Page.next_name fn label with
       | None -> Error "descriptor file ends early"
       | Some next_fn -> (
-          match Page.read drive next_fn with
+          match Page.read ~cache:t.cache drive next_fn with
           | Error e ->
               Error (Format.asprintf "descriptor page %d unreadable: %a" pn Page.pp_error e)
           | Ok (next_label, value) ->

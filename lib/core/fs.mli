@@ -58,6 +58,13 @@ val mount : Drive.t -> (t, string) result
     drive — yields [Error]; the caller's recovery is {!Scavenger}. *)
 
 val drive : t -> Drive.t
+
+val label_cache : t -> Label_cache.t
+(** The volume's verified-label cache: one per handle, primed and
+    consulted by every {!Page} access made on the volume's behalf.
+    {!quarantine} evicts eagerly; everything else relies on the drive's
+    generation counters. *)
+
 val geometry : t -> Geometry.t
 val clock : t -> Alto_machine.Sim_clock.t
 val now_seconds : t -> int

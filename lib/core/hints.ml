@@ -66,7 +66,7 @@ let read_via_file fs file page =
   match File.page_name file page with
   | Error _ -> None
   | Ok fn -> (
-      match Page.read (Fs.drive fs) fn with
+      match Page.read ~cache:(Fs.label_cache fs) (Fs.drive fs) fn with
       | Ok (label, value) -> Some (label, value, fn)
       | Error (Page.Hint_failed _ | Page.Bad_label _) -> None)
 
@@ -94,7 +94,7 @@ let read_page fs ~directory req =
     match (req.req_fid, req.req_page_hint) with
     | Some fid, Some addr -> (
         let fn = Page.full_name fid ~page:req.req_page ~addr in
-        match Page.read (Fs.drive fs) fn with
+        match Page.read ~cache:(Fs.label_cache fs) (Fs.drive fs) fn with
         | Ok (label, value) -> Some (label, value, fn)
         | Error (Page.Hint_failed _ | Page.Bad_label _) -> None)
     | _, (Some _ | None) -> None

@@ -1,0 +1,62 @@
+(** A small LRU cache of recently {e verified} labels.
+
+    §3.6's hint ladder spends most of its budget re-reading labels it
+    checked moments ago: a chain walk reads every link, opening a file
+    confirms the leader's last-page hint, and [fs.hints.*.misses] (PR 1)
+    showed the same sectors verified over and over. This cache remembers
+    the label image a successful check or read just verified, so the
+    next label-only access costs nothing.
+
+    Safety is the whole design. An entry is valid only while the drive's
+    {!Alto_disk.Drive.label_generation} for its sector still equals the
+    generation captured at verification time; the drive bumps that
+    counter on every label write (in-band or poke), on the sector being
+    marked bad or degrading, and on every transient trip — the retry
+    evidence {!Alto_disk.Reliable} acts on. A quarantined or suspect
+    sector therefore can never be satisfied from a stale entry: the act
+    that made it suspect also killed the entry. {!lookup} detects dead
+    entries lazily and counts them as [fs.label_cache.invalidations].
+
+    The cache is consulted and primed by {!Page}; one instance hangs off
+    each {!Fs.t} handle. Counters: [fs.label_cache.{hits,misses,
+    invalidations}]. *)
+
+module Word = Alto_machine.Word
+module Drive = Alto_disk.Drive
+module Disk_address = Alto_disk.Disk_address
+
+type t
+
+val create : ?capacity:int -> Drive.t -> t
+(** An empty cache over one drive; [capacity] (default 128) entries,
+    evicting least-recently-used. Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val drive : t -> Drive.t
+
+val lookup : t -> Disk_address.t -> Word.t array option
+(** The verified label image for this sector, or [None] on a miss. A
+    stored entry whose generation has moved is removed, counted as an
+    invalidation, and reported as a miss. The returned array is a copy —
+    mutating it (as a check's wildcard fill does) cannot corrupt the
+    cache. *)
+
+val note_verified : t -> Disk_address.t -> Word.t array -> unit
+(** Remember a label image the caller has {e just} verified against the
+    disk (a successful check, read-back, or completed label write). The
+    generation is captured at call time, so any concurrent staleness
+    evidence recorded during the verifying operation itself — a
+    transient trip absorbed by a retry, say — is already folded in. *)
+
+val invalidate : t -> Disk_address.t -> unit
+(** Drop one sector's entry, counting an invalidation if present.
+    Generation checking makes this redundant for anything the drive can
+    see; it exists for layers above the drive (e.g. {!Fs.quarantine})
+    that want the entry gone eagerly. *)
+
+val clear : t -> unit
+(** Drop everything — the cure when the world underneath may have been
+    swapped wholesale (an inload restoring a saved world's disk state
+    relative to which every in-core entry is unvouched-for). *)
+
+val length : t -> int

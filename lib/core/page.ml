@@ -52,7 +52,40 @@ let hint_failed e =
       ());
   Error (Hint_failed e)
 
-let read drive fn =
+(* Remember a label image the operation that just completed verified. *)
+let note cache addr words =
+  match cache with
+  | None -> ()
+  | Some c -> Label_cache.note_verified c addr words
+
+(* Replay the controller's check action against a cached label image:
+   zero memory words learn the cached word, non-zero words must match.
+   Mutates [pattern] exactly as the disk check would, and reports the
+   first mismatch the same way — so a caller cannot tell a cached
+   verdict from a disk verdict except by the microseconds it didn't
+   spend. *)
+let cached_check pattern cached =
+  let n = Array.length pattern in
+  let rec scan i =
+    if i >= n then Ok ()
+    else if Word.equal pattern.(i) Word.zero then begin
+      pattern.(i) <- cached.(i);
+      scan (i + 1)
+    end
+    else if Word.equal pattern.(i) cached.(i) then scan (i + 1)
+    else
+      Error
+        (Drive.Check_mismatch
+           {
+             part = Sector.Label;
+             offset = i;
+             memory = pattern.(i);
+             disk = cached.(i);
+           })
+  in
+  scan 0
+
+let read ?cache drive fn =
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
   let value = Array.make Sector.value_words Word.zero in
   match
@@ -62,25 +95,36 @@ let read drive fn =
   with
   | Error e -> hint_failed e
   | Ok () -> (
+      note cache fn.addr label_buf;
       match decode_checked_label label_buf with
       | Ok label -> Ok (label, value)
       | Error e -> Error e)
 
-let read_label drive fn =
+let read_label ?cache drive fn =
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
-  match
-    Reliable.run drive fn.addr
-      { Drive.op_none with label = Some Drive.Check }
-      ~label:label_buf ()
-  with
-  | Error e -> hint_failed e
-  | Ok () -> decode_checked_label label_buf
+  match Option.bind cache (fun c -> Label_cache.lookup c fn.addr) with
+  | Some cached -> (
+      (* A label-only access answered from core: the one disk operation
+         this function exists to issue is skipped entirely. *)
+      match cached_check label_buf cached with
+      | Error e -> hint_failed e
+      | Ok () -> decode_checked_label label_buf)
+  | None -> (
+      match
+        Reliable.run drive fn.addr
+          { Drive.op_none with label = Some Drive.Check }
+          ~label:label_buf ()
+      with
+      | Error e -> hint_failed e
+      | Ok () ->
+          note cache fn.addr label_buf;
+          decode_checked_label label_buf)
 
 let check_value_size value =
   if Array.length value <> Sector.value_words then
     invalid_arg "Page: value must be 256 words"
 
-let write ?(check = true) drive fn value =
+let write ?(check = true) ?cache drive fn value =
   check_value_size value;
   if check then
     let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
@@ -90,7 +134,9 @@ let write ?(check = true) drive fn value =
         ~label:label_buf ~value ()
     with
     | Error e -> hint_failed e
-    | Ok () -> decode_checked_label label_buf
+    | Ok () ->
+        note cache fn.addr label_buf;
+        decode_checked_label label_buf
   else
     match
       Reliable.run drive fn.addr
@@ -104,23 +150,32 @@ let write ?(check = true) drive fn value =
           (Label.make ~fid:fn.abs.fid ~page:fn.abs.page ~length:0
              ~next:Disk_address.nil ~prev:Disk_address.nil)
 
-let rewrite_label drive fn ~new_label ~value =
+let rewrite_label ?cache drive fn ~new_label ~value =
   check_value_size value;
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
-  match
-    Reliable.run drive fn.addr
-      { Drive.op_none with label = Some Drive.Check }
-      ~label:label_buf ()
-  with
+  let checked =
+    match Option.bind cache (fun c -> Label_cache.lookup c fn.addr) with
+    | Some cached -> cached_check label_buf cached
+    | None ->
+        Reliable.run drive fn.addr
+          { Drive.op_none with label = Some Drive.Check }
+          ~label:label_buf ()
+  in
+  match checked with
   | Error e -> hint_failed e
   | Ok () -> (
+      let new_words = Label.to_words new_label in
       match
         Reliable.run drive fn.addr
           { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
-          ~label:(Label.to_words new_label) ~value ()
+          ~label:new_words ~value ()
       with
       | Error e -> hint_failed e
-      | Ok () -> Ok ())
+      | Ok () ->
+          (* The write is its own verification; the generation captured
+             now postdates the write's bump, so the entry is live. *)
+          note cache fn.addr new_words;
+          Ok ())
 
 let read_raw drive addr =
   let header = Array.make Sector.header_words Word.zero in

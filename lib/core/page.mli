@@ -35,28 +35,48 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-val read : Drive.t -> full_name -> (Label.t * Word.t array, error) result
+val read :
+  ?cache:Label_cache.t -> Drive.t -> full_name -> (Label.t * Word.t array, error) result
 (** One disk operation: check the label against the absolute name, read
     the value. The returned label is complete (length and links), learned
-    through the check's wildcards. *)
+    through the check's wildcards. The value transfer means the label
+    check rides free, so [cache] is only {e primed} here, never
+    consulted — a hit could not save an operation. *)
 
-val read_label : Drive.t -> full_name -> (Label.t, error) result
-(** As {!read} but without transferring the value. *)
+val read_label : ?cache:Label_cache.t -> Drive.t -> full_name -> (Label.t, error) result
+(** As {!read} but without transferring the value. With [cache], a valid
+    cached image answers without any disk operation at all — including
+    reproducing a {!Drive.Check_mismatch} verdict when the cached label
+    refutes the caller's absolute name; this is where the hint ladder's
+    chain walks get cheap. *)
 
-val write : ?check:bool -> Drive.t -> full_name -> Word.t array -> (Label.t, error) result
+val write :
+  ?check:bool ->
+  ?cache:Label_cache.t ->
+  Drive.t ->
+  full_name ->
+  Word.t array ->
+  (Label.t, error) result
 (** One disk operation: check the label (unless [check:false] — the
     ablation mode of experiment E3), write the 256-word value. Does not
     change the label, so the page keeps its length; use {!rewrite_label}
-    to change L or the links. Raises [Invalid_argument] on a wrong-sized
-    value. *)
+    to change L or the links. A checked write primes [cache] (the value
+    write leaves the label untouched, so the entry stays live). Raises
+    [Invalid_argument] on a wrong-sized value. *)
 
 val rewrite_label :
-  Drive.t -> full_name -> new_label:Label.t -> value:Word.t array -> (unit, error) result
+  ?cache:Label_cache.t ->
+  Drive.t ->
+  full_name ->
+  new_label:Label.t ->
+  value:Word.t array ->
+  (unit, error) result
 (** Two disk operations, §3.3's third label-write occasion: first check
     the old label (and read the current value into [value]'s zeroed
     buffer if desired), then write the new label and value. Costs about a
     revolution — the price the paper quotes for changing a file's
-    length. *)
+    length. A valid [cache] entry stands in for the first operation,
+    halving that price; the new label is cached after the write. *)
 
 val read_raw :
   Drive.t -> Disk_address.t -> (Word.t array * Word.t array, Drive.error) result

@@ -3,6 +3,7 @@ module Sim_clock = Alto_machine.Sim_clock
 module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
 module Reliable = Alto_disk.Reliable
+module Sched = Alto_disk.Sched
 module Disk_address = Alto_disk.Disk_address
 module Obs = Alto_obs.Obs
 
@@ -81,16 +82,6 @@ type state = {
   mutable entries_removed : int;
   mutable orphans_adopted : int;
 }
-
-let write_free st index =
-  let addr = Disk_address.of_index index in
-  match
-    Reliable.run st.drive addr
-      { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
-      ~label:(Label.free_words ()) ~value:(Label.free_value ()) ()
-  with
-  | Ok () -> true
-  | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) -> false
 
 (* Copy one page's sector to a fresh location, out of the descriptor's
    reserved range (or off a marginal surface). The read runs under the
@@ -203,26 +194,36 @@ let scavenge_run ~verify_values ~suspect_retries drive =
   let quarantined : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let suspects : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   if verify_values then begin
+    (* One elevator batch over every live page. The probe buffer is
+       shared: the pass only cares whether each read succeeded and how
+       hard the retry ladder worked, never what the data was. *)
     let probe = Array.make Alto_disk.Sector.value_words Word.zero in
-    (* Probe in disk-address order so the pass streams like the sweep. *)
     let live =
       Hashtbl.fold
         (fun _fid (pages : file_pages) acc ->
           Hashtbl.fold (fun pn (i, _) acc -> (i, pn, pages) :: acc) pages acc)
         files []
     in
-    let live = List.sort (fun (a, _, _) (b, _, _) -> compare a b) live in
-    List.iter
-      (fun (i, pn, pages) ->
-        match
-          Reliable.run_counted ~policy:Reliable.salvage_policy st.drive
-            (Disk_address.of_index i)
-            { Drive.op_none with Drive.value = Some Drive.Read }
-            ~value:probe ()
-        with
-        | Ok (), retries ->
-            if retries >= suspect_retries then Hashtbl.replace suspects i ()
-        | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _), _ ->
+    let live = Array.of_list live in
+    Array.sort (fun (a, _, _) (b, _, _) -> compare a b) live;
+    let requests =
+      Array.map
+        (fun (i, _, _) ->
+          Sched.request ~value:probe (Disk_address.of_index i)
+            { Drive.op_none with Drive.value = Some Drive.Read })
+        live
+    in
+    let outcomes =
+      Sched.run_batch ~policy:Reliable.salvage_policy st.drive requests
+    in
+    Array.iteri
+      (fun j outcome ->
+        let i, pn, pages = live.(j) in
+        match outcome.Sched.result with
+        | Ok () ->
+            if outcome.Sched.retries >= suspect_retries then
+              Hashtbl.replace suspects i ()
+        | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
             Hashtbl.remove pages pn;
             (* Write the marker; the data surface accepts writes blind. *)
             (match
@@ -236,7 +237,7 @@ let scavenge_run ~verify_values ~suspect_retries drive =
             | Ok () | Error _ -> ());
             Hashtbl.replace quarantined i ();
             st.pages_lost <- st.pages_lost + 1)
-      live
+      outcomes
   end;
 
   (* 2. Per-file contiguity: keep the longest prefix 0..k; everything
@@ -348,26 +349,46 @@ let scavenge_run ~verify_values ~suspect_retries drive =
         pages)
     final;
 
-  (* 5. Free every non-busy sector that is not already free. *)
-  for i = 0 to n - 1 do
-    if not busy.(i) then begin
-      (match sweep.Sweep.classes.(i) with
+  (* 5. Free every non-busy sector that is not already free — one
+     elevator batch of label+value writes. Writes never mutate their
+     buffers, so every request shares the two free patterns. *)
+  let free_label = Label.free_words () and free_value = Label.free_value () in
+  let to_free = ref [] in
+  for i = n - 1 downto 0 do
+    if not busy.(i) then
+      match sweep.Sweep.classes.(i) with
       | Sweep.Free_sector -> ()
-      | Sweep.Garbage _ ->
-          if write_free st i then st.labels_reclaimed <- st.labels_reclaimed + 1
-          else begin
-            busy.(i) <- true;
-            incr bad_sectors
-          end
-      | Sweep.Live _ ->
-          if not (write_free st i) then begin
-            busy.(i) <- true;
-            incr bad_sectors
-          end
-      | Sweep.Marked_bad | Sweep.Bad_media -> assert false);
-      ()
-    end
+      | Sweep.Garbage _ | Sweep.Live _ -> to_free := i :: !to_free
+      | Sweep.Marked_bad | Sweep.Bad_media -> assert false
   done;
+  let to_free = Array.of_list !to_free in
+  let free_outcomes =
+    Sched.run_batch st.drive
+      (Array.map
+         (fun i ->
+           Sched.request ~label:free_label ~value:free_value
+             (Disk_address.of_index i)
+             { Drive.op_none with
+               Drive.label = Some Drive.Write;
+               value = Some Drive.Write
+             })
+         to_free)
+  in
+  Array.iteri
+    (fun j outcome ->
+      let i = to_free.(j) in
+      match outcome.Sched.result with
+      | Ok () -> (
+          match sweep.Sweep.classes.(i) with
+          | Sweep.Garbage _ ->
+              st.labels_reclaimed <- st.labels_reclaimed + 1
+          | Sweep.Live _ | Sweep.Free_sector | Sweep.Marked_bad
+          | Sweep.Bad_media ->
+              ())
+      | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
+          busy.(i) <- true;
+          incr bad_sectors)
+    free_outcomes;
 
   (* 6. Install the rebuilt allocation map, and record every sector
      known bad — marked in the label, unreadable media, or quarantined
@@ -411,20 +432,42 @@ let scavenge_run ~verify_values ~suspect_retries drive =
     final;
 
   (* 8. Read every leader page: the leader name is the file's survival
-     kit, so the scavenger verifies each one is legible (and this pass is
-     a large share of the minute the paper quotes — one scattered read
-     per file). *)
+     kit, so the scavenger verifies each one is legible. This pass is a
+     large share of the minute the paper quotes — one scattered read per
+     file — so the whole set goes through the elevator as one batch. *)
   let nameless_files = ref 0 in
-  Hashtbl.iter
-    (fun fid pages ->
-      let fn = Page.full_name fid ~page:0 ~addr:(Disk_address.of_index (fst pages.(0))) in
-      match Page.read drive fn with
-      | Error _ -> incr nameless_files
-      | Ok (_, value) -> (
-          match Leader.of_value value with
+  let leaders =
+    Array.of_list
+      (Hashtbl.fold (fun fid pages acc -> (fid, fst pages.(0)) :: acc) final [])
+  in
+  let leader_values =
+    Array.init (Array.length leaders) (fun _ ->
+        Array.make Sector.value_words Word.zero)
+  in
+  let leader_outcomes =
+    Sched.run_batch drive
+      (Array.mapi
+         (fun j (fid, i) ->
+           Sched.request
+             ~label:(Label.check_name fid ~page:0)
+             ~value:leader_values.(j)
+             (Disk_address.of_index i)
+             { Drive.op_none with
+               Drive.label = Some Drive.Check;
+               value = Some Drive.Read
+             })
+         leaders)
+  in
+  Array.iteri
+    (fun j outcome ->
+      match outcome.Sched.result with
+      | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
+          incr nameless_files
+      | Ok () -> (
+          match Leader.of_value leader_values.(j) with
           | Ok _ -> ()
           | Error _ -> incr nameless_files))
-    final;
+    leader_outcomes;
 
   (* 9. Serial counter: beyond every serial seen. *)
   let max_serial =

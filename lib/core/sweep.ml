@@ -1,6 +1,8 @@
 module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
+module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
+module Sched = Alto_disk.Sched
 module Disk_address = Alto_disk.Disk_address
 
 type sector_class =
@@ -36,20 +38,32 @@ let run drive =
   let n = Drive.sector_count drive in
   let classes = Array.make n Free_sector in
   let headers_ok = Array.make n true in
+  (* The whole pack in one elevator batch: header and label of every
+     sector, each through the retry ladder, issued cylinder by cylinder
+     from wherever the heads happen to be. *)
+  let headers = Array.init n (fun _ -> Array.make Sector.header_words Word.zero) in
+  let labels = Array.init n (fun _ -> Array.make Sector.label_words Word.zero) in
+  let requests =
+    Array.init n (fun i ->
+        Sched.request ~header:headers.(i) ~label:labels.(i)
+          (Disk_address.of_index i)
+          { Drive.op_none with header = Some Drive.Read; label = Some Drive.Read })
+  in
+  let outcomes = Sched.run_batch drive requests in
   for i = 0 to n - 1 do
-    let addr = Disk_address.of_index i in
-    match Page.read_raw drive addr with
+    match outcomes.(i).Sched.result with
     | Error Drive.Bad_sector -> classes.(i) <- Bad_media
     | Error (Drive.Transient _) ->
-        (* read_raw goes through the reliable layer, so a transient here
+        (* The batch goes through the reliable layer, so a transient here
            means retries were exhausted: treat as failing media. *)
         classes.(i) <- Bad_media
     | Error (Drive.Check_mismatch _) ->
-        (* read_raw performs no checks. *)
+        (* The sweep performs no checks. *)
         assert false
-    | Ok (header, label) ->
+    | Ok () ->
         let cls, header_ok =
-          classify_sector header label ~pack_id:(Drive.pack_id drive) ~index:i
+          classify_sector headers.(i) labels.(i) ~pack_id:(Drive.pack_id drive)
+            ~index:i
         in
         classes.(i) <- cls;
         headers_ok.(i) <- header_ok

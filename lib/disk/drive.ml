@@ -115,6 +115,13 @@ type t = {
   mutable soft_rng : prng;
   mutable soft_rate : float;
   marginals : (int, marginal) Hashtbl.t;
+  (* Per-sector label generation: bumped by anything that could make a
+     previously verified copy of the label stale — a label write (in-band
+     or poke), the sector turning bad, or any soft-error trip (retry
+     evidence: the surface is suspect, cached knowledge about it is
+     not). The label cache upstairs validates its entries against this
+     counter, so invalidation needs no callback plumbing. *)
+  label_gen : int array;
 }
 
 let format_header t index =
@@ -142,6 +149,7 @@ let create ?clock ~pack_id geometry =
       soft_rng = prng_of_seed pack_id;
       soft_rate = 0.;
       marginals = Hashtbl.create 8;
+      label_gen = Array.make n 0;
     }
   in
   for i = 0 to n - 1 do
@@ -280,6 +288,7 @@ let soft_error_trips t index part =
   && prng_float t.soft_rng < rate
   && begin
        t.stats <- { t.stats with soft_errors = t.stats.soft_errors + 1 };
+       t.label_gen.(index) <- t.label_gen.(index) + 1;
        Obs.incr m_soft_errors;
        Obs.event ~clock:t.clock
          ~fields:
@@ -345,6 +354,8 @@ let run t addr op ?header ?label ?value () =
             Error (Transient part)
           else (
             let buf = Option.get buf in
+            if part = Sector.Label && action = Write then
+              t.label_gen.(index) <- t.label_gen.(index) + 1;
             match perform t part action (Sector.part_of sector part) buf with
             | Ok () -> k ()
             | Error e -> Error e)
@@ -355,6 +366,8 @@ let run t addr op ?header ?label ?value () =
 
 let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats
+let current_cylinder t = t.current_cylinder
+let label_generation t addr = t.label_gen.(check_address t addr)
 
 let peek t addr =
   let index = check_address t addr in
@@ -365,10 +378,14 @@ let poke t addr part words =
   let target = Sector.part_of t.sectors.(index) part in
   if Array.length words <> Array.length target then
     invalid_arg "Drive.poke: wrong part size"
-  else Array.blit words 0 target 0 (Array.length target)
+  else begin
+    if part = Sector.Label then t.label_gen.(index) <- t.label_gen.(index) + 1;
+    Array.blit words 0 target 0 (Array.length target)
+  end
 
 let set_bad t addr flag =
   let index = check_address t addr in
+  if flag then t.label_gen.(index) <- t.label_gen.(index) + 1;
   t.bad.(index) <- flag
 
 let is_bad t addr =

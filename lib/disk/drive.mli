@@ -97,6 +97,20 @@ val run :
 val stats : t -> stats
 val reset_stats : t -> unit
 
+val current_cylinder : t -> int
+(** Where the heads are right now — the anchor from which {!Sched}
+    starts its elevator pass. *)
+
+val label_generation : t -> Disk_address.t -> int
+(** A per-sector counter that advances whenever the sector's label may
+    have changed underneath a cached copy: any label write (in-band
+    {!run} or out-of-band {!poke}), the sector being marked bad, a
+    marginal sector degrading, and every transient trip (retry evidence —
+    if the surface just misread, cached knowledge about it is suspect).
+    {!Label_cache} entries store the generation at verify time and are
+    dead the moment it moves. Raises [Invalid_argument] on an address
+    beyond the pack. *)
+
 val restore : t -> unit
 (** Recalibrate: seek back to cylinder 0, charging the seek time. The
     retry layer escalates to this when immediate retries keep failing —

@@ -1,0 +1,69 @@
+module Word = Alto_machine.Word
+module Obs = Alto_obs.Obs
+
+(* Process-wide scheduler metrics; per-batch figures are visible to
+   callers through [Drive.stats] deltas. *)
+let m_batches = Obs.counter "disk.sched.batches"
+let m_requests = Obs.counter "disk.sched.requests"
+let m_cylinder_runs = Obs.counter "disk.sched.cylinder_runs"
+
+type request = {
+  addr : Disk_address.t;
+  op : Drive.op;
+  header : Word.t array option;
+  label : Word.t array option;
+  value : Word.t array option;
+}
+
+let request ?header ?label ?value addr op = { addr; op; header; label; value }
+
+type outcome = { result : (unit, Drive.error) result; retries : int }
+
+(* C-SCAN: visit cylinders in ascending order starting from wherever the
+   heads are, wrapping past the last cylinder back to the lowest — every
+   request set costs at most one pass over the pack. Within a cylinder,
+   requests stream track by track in rotational order: a head switch is
+   free, and a full track read this way never waits, because the next
+   track's first sector follows the previous track's last one angularly.
+   (Sorting by slot across heads instead would park a whole revolution
+   at every duplicate slot on a dense cylinder.) The original index is
+   the final key so duplicate addresses keep a deterministic order. *)
+let schedule geometry ~start requests =
+  let cylinders = geometry.Geometry.cylinders in
+  let n = Array.length requests in
+  let order =
+    Array.init n (fun i ->
+        let cylinder, head, sector = Disk_address.chs geometry requests.(i).addr in
+        ((cylinder - start + cylinders) mod cylinders, head, sector, i))
+  in
+  Array.sort compare order;
+  order
+
+let run_batch ?policy ?on_done drive requests =
+  let n = Array.length requests in
+  let outcomes = Array.make n { result = Ok (); retries = 0 } in
+  if n > 0 then begin
+    Obs.incr m_batches;
+    Obs.add m_requests n;
+    let order =
+      schedule (Drive.geometry drive) ~start:(Drive.current_cylinder drive)
+        requests
+    in
+    let previous_run = ref (-1) in
+    Array.iter
+      (fun (run, _, _, i) ->
+        if run <> !previous_run then begin
+          previous_run := run;
+          Obs.incr m_cylinder_runs
+        end;
+        let r = requests.(i) in
+        let result, retries =
+          Reliable.run_counted ?policy drive r.addr r.op ?header:r.header
+            ?label:r.label ?value:r.value ()
+        in
+        let outcome = { result; retries } in
+        outcomes.(i) <- outcome;
+        match on_done with None -> () | Some f -> f i outcome)
+      order
+  end;
+  outcomes

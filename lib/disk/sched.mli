@@ -1,0 +1,54 @@
+(** Cylinder-batched transfers: an elevator queue over {!Reliable}.
+
+    A caller that knows a whole set of sectors it wants — the scavenger
+    sweeping the pack, the compactor freeing evacuated sectors, a level-4
+    world transfer streaming 257 pages — gains nothing from issuing them
+    in logical order: every jump between cylinders is a seek, and
+    [disk.seeks] shows those passes are seek-dominated. This module
+    accepts the whole set at once, orders it with a C-SCAN elevator pass
+    (cylinders ascending from the current head position, wrapping once),
+    streams each cylinder track by track in rotational order, and returns
+    the outcomes in the {e caller's} order. Consecutive sectors on one
+    cylinder cost one seek instead of N.
+
+    Batching changes only the order of operations, never their content;
+    each request still goes through {!Reliable.run_counted}, so the retry
+    ladder, quarantine evidence and every [disk.*] counter behave exactly
+    as they do on the naive path. *)
+
+module Word = Alto_machine.Word
+
+type request
+
+val request :
+  ?header:Word.t array ->
+  ?label:Word.t array ->
+  ?value:Word.t array ->
+  Disk_address.t ->
+  Drive.op ->
+  request
+(** One sector operation with its buffers — the same contract as
+    {!Drive.run}, reified. The address must not be nil. *)
+
+type outcome = {
+  result : (unit, Drive.error) result;
+  retries : int;  (** Retries {!Reliable} spent on this request. *)
+}
+
+val run_batch :
+  ?policy:Reliable.policy ->
+  ?on_done:(int -> outcome -> unit) ->
+  Drive.t ->
+  request array ->
+  outcome array
+(** Issue every request in one elevator pass. [outcomes.(i)] belongs to
+    [requests.(i)] regardless of the order the disk saw them in.
+
+    [on_done i outcome] fires immediately after request [i] completes,
+    {e before} the next request is issued — the window in which a caller
+    sharing one buffer across requests must consume it. Requests whose
+    buffers are distinct can ignore the callback and read the outcome
+    array afterwards.
+
+    Raises [Invalid_argument] (via {!Drive.run}) on nil or out-of-range
+    addresses, missing buffers, or write-continuation violations. *)

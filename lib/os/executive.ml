@@ -287,6 +287,28 @@ let cmd_trace system n =
         else say system "%8dus %s %s" e.Obs.ts_us e.Obs.name fields)
       tail
 
+(* Show the disk fast path at a glance: the verified-label cache and the
+   elevator scheduler, plus how many labels the volume currently holds. *)
+let cmd_cache system =
+  let module Obs = Alto_obs.Obs in
+  let value name =
+    match Obs.find name with
+    | Some (Obs.Counter n) -> n
+    | Some (Obs.Histogram _) | None -> 0
+  in
+  List.iter
+    (fun name -> say system "%-30s %d" name (value name))
+    [
+      "fs.label_cache.hits";
+      "fs.label_cache.misses";
+      "fs.label_cache.invalidations";
+      "disk.sched.batches";
+      "disk.sched.requests";
+      "disk.sched.cylinder_runs";
+    ];
+  say system "%-30s %d" "cached labels"
+    (Alto_fs.Label_cache.length (Fs.label_cache (System.fs system)))
+
 let cmd_run system name =
   match Loader.run_by_name system name with
   | Error e -> say system "run: %a" Loader.pp_error e
@@ -354,6 +376,9 @@ let execute system line =
   | [ "counterjunta" ] ->
       System.counter_junta system;
       say system "all levels restored";
+      `Continue
+  | [ "cache" ] ->
+      cmd_cache system;
       `Continue
   | [ "trace" ] ->
       cmd_trace system 20;

@@ -11,7 +11,8 @@
 
     Built-in commands: [ls], [type f], [put f text…], [delete f],
     [rename old new], [copy src dst], [dump codefile], [scavenge], [compact], [levels], [junta n],
-    [counterjunta], [run prog], [compile src dst] (the BCPL compiler,
+    [counterjunta], [cache] (label-cache and elevator-scheduler
+    statistics), [trace [n]], [run prog], [compile src dst] (the BCPL compiler,
     from a source file on the pack to a code file on the pack),
     [assemble src dst] (likewise for assembler source), and
     [quit]. A bare name that matches a catalogued code file is run,

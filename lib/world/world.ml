@@ -116,6 +116,10 @@ let in_load cpu file ~message =
       Memory.fill memory ~pos:message_area ~len:max_message_words Word.zero;
       Memory.write_block memory ~pos:message_area message;
       Cpu.set_ac cpu 1 (Word.of_int message_area);
+      (* The revived world inherits the machine, not the old world's
+         in-core state: drop every verified label, as a real inload drops
+         the whole address space. *)
+      Alto_fs.Label_cache.clear (Fs.label_cache (File.fs file));
       Ok ()
     end
   end
