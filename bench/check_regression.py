@@ -11,7 +11,7 @@ headroom for intentional code changes, not for noise.
 Usage: check_regression.py BASELINE.json FRESH.json
 
 When a change legitimately moves a metric past the threshold, regenerate
-the baseline (dune exec bench/main.exe -- e1 e4 e14 e15 --json BENCH_PR3.json)
+the baseline (dune exec bench/main.exe -- e1 e4 e14 e15 e16 --json BENCH_PR4.json)
 and commit it alongside the change, with the movement called out in the
 PR description.
 """
@@ -39,6 +39,9 @@ UP_IS_BAD = [
 DOWN_IS_BAD = [
     "fs.hints.direct.hits",
     "fs.label_cache.hits",
+    # The patrol going quiet is the self-healing loop dying: a drop in
+    # slices means the idle sweep stopped running.
+    "fs.patrol.slices",
 ]
 
 # Histograms gated on their mean.
@@ -49,9 +52,14 @@ MEAN_UP_IS_BAD = [
 ]
 
 # Metrics that must not move at all: a retry ladder running dry is data
-# loss, not a performance question.
+# loss, not a performance question, and E16 plants a fixed number of
+# marginal sectors that the patrol must drain exactly — fewer relocations
+# means a marginal sector was left to die in place.  (The count is far
+# below NOISE_FLOOR, so the percentage gate would skip it; determinism
+# makes the exact gate the honest one.)
 EXACT = [
     "disk.retry_exhausted",
+    "fs.patrol.relocations",
 ]
 
 

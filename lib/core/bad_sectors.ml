@@ -1,0 +1,112 @@
+module Word = Alto_machine.Word
+module Drive = Alto_disk.Drive
+module Disk_address = Alto_disk.Disk_address
+module Obs = Alto_obs.Obs
+
+let file_name = "BadSectors.table"
+let magic = 0xBAD5
+
+let m_spill_loaded = Obs.counter "fs.bad_spill.loaded"
+let m_spill_flushes = Obs.counter "fs.bad_spill.flushes"
+
+type error = Fs_error of Fs.error | File_error of File.error | Malformed of string
+
+let pp_error fmt = function
+  | Fs_error e -> Fs.pp_error fmt e
+  | File_error e -> File.pp_error fmt e
+  | Malformed what -> Format.fprintf fmt "bad-sector spill file malformed: %s" what
+
+let find_file fs =
+  match Directory.open_root fs with
+  | Error (Directory.File_error e) -> Error (File_error e)
+  | Error (Directory.Malformed m) -> Error (Malformed m)
+  | Error (Directory.Name_too_long _) -> Error (Malformed "root directory")
+  | Ok root -> (
+      match Directory.lookup root file_name with
+      | Error (Directory.File_error e) -> Error (File_error e)
+      | Error (Directory.Malformed m) -> Error (Malformed m)
+      | Error (Directory.Name_too_long _) -> Error (Malformed "lookup")
+      | Ok None -> Ok None
+      | Ok (Some entry) -> (
+          match File.open_leader fs entry.Directory.entry_file with
+          | Error e -> Error (File_error e)
+          | Ok file -> Ok (Some file)))
+
+let load fs =
+  match find_file fs with
+  | Error _ as e -> e
+  | Ok None -> Ok 0
+  | Ok (Some file) -> (
+      match File.read_words file ~pos:0 ~len:2 with
+      | Error e -> Error (File_error e)
+      | Ok header ->
+          if Array.length header < 2 then Error (Malformed "truncated header")
+          else if Word.to_int header.(0) <> magic then Error (Malformed "magic")
+          else
+            let count = Word.to_int header.(1) in
+            let n = Drive.sector_count (Fs.drive fs) in
+            (match File.read_words file ~pos:2 ~len:count with
+            | Error e -> Error (File_error e)
+            | Ok entries ->
+                if Array.length entries < count then
+                  Error (Malformed "truncated table")
+                else begin
+                  let adopted = ref 0 in
+                  Array.iter
+                    (fun w ->
+                      let i = Word.to_int w in
+                      if i > 0 && i < n then begin
+                        Fs.adopt_spilled fs (Disk_address.of_index i);
+                        incr adopted
+                      end)
+                    entries;
+                  Obs.add m_spill_loaded !adopted;
+                  Ok !adopted
+                end))
+
+let write_table file spill =
+  let count = List.length spill in
+  let words = Array.make (2 + count) Word.zero in
+  words.(0) <- Word.of_int_exn magic;
+  words.(1) <- Word.of_int_exn count;
+  List.iteri
+    (fun i addr -> words.(2 + i) <- Word.of_int_exn (Disk_address.to_index addr))
+    spill;
+  match File.write_words file ~pos:0 words with
+  | Error e -> Error (File_error e)
+  | Ok () -> (
+      match File.truncate file ~len:((2 + count) * 2) with
+      | Error e -> Error (File_error e)
+      | Ok () -> (
+          match File.flush_leader file with
+          | Error e -> Error (File_error e)
+          | Ok () ->
+              Obs.incr m_spill_flushes;
+              Ok count))
+
+let create_file fs =
+  match File.create fs ~name:file_name with
+  | Error e -> Error (File_error e)
+  | Ok file -> (
+      match Directory.open_root fs with
+      | Error (Directory.File_error e) -> Error (File_error e)
+      | Error (Directory.Malformed m) -> Error (Malformed m)
+      | Error (Directory.Name_too_long _) -> Error (Malformed "root directory")
+      | Ok root -> (
+          match Directory.add root ~name:file_name (File.leader_name file) with
+          | Error (Directory.File_error e) -> Error (File_error e)
+          | Error (Directory.Malformed m) -> Error (Malformed m)
+          | Error (Directory.Name_too_long _) -> Error (Malformed "name")
+          | Ok () -> Ok file))
+
+let flush fs =
+  let spill = Fs.spilled_table fs in
+  match find_file fs with
+  | Error _ as e -> e
+  | Ok (Some file) -> write_table file spill
+  | Ok None ->
+      if spill = [] then Ok 0
+      else (
+        match create_file fs with
+        | Error _ as e -> e
+        | Ok file -> write_table file spill)

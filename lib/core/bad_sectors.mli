@@ -1,0 +1,39 @@
+(** The bad-sector spill file.
+
+    The descriptor's bad-sector table holds 64 entries; a pack sick
+    enough to overflow it used to lose the extra verdicts at unmount
+    ([fs.quarantine_overflow] counted them going). The overflow now
+    spills into an ordinary catalogued file, ["BadSectors.table"] in the
+    root directory, which this module reads back at mount — so a
+    quarantine verdict survives remount no matter how many there are.
+    The allocator refuses spilled sectors exactly as it refuses tabled
+    ones ({!Fs.quarantine}).
+
+    Being an ordinary file, the table is scavenged, relocated and
+    label-checked like any other; losing it loses only the overflow
+    verdicts, and the sectors re-convict themselves at the next failure.
+
+    Layout, in words: magic [0xBAD5], entry count, then one sector index
+    per entry. *)
+
+type error =
+  | Fs_error of Fs.error
+  | File_error of File.error
+  | Malformed of string  (** The file exists but does not parse. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val file_name : string
+(** ["BadSectors.table"]. *)
+
+val load : Fs.t -> (int, error) result
+(** Read the spill file (if catalogued) and re-enter every plausible
+    entry via {!Fs.adopt_spilled}; returns how many were adopted. A pack
+    with no spill file loads 0 — the common, healthy case. Boot calls
+    this right after mount. *)
+
+val flush : Fs.t -> (int, error) result
+(** Write {!Fs.spilled_table} out, creating and cataloguing the file on
+    first spill; an existing file is rewritten (and truncated) even when
+    the spill is empty. Returns the entry count written. The patrol and
+    the scavenger call this whenever the spill has grown. *)

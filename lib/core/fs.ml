@@ -48,6 +48,19 @@ type t = {
   mutable bad_table : int list;
       (** Quarantined sector indexes, oldest first — the persistent
           bad-sector table, flushed with the descriptor. *)
+  mutable spill : int list;
+      (** Quarantined sectors beyond the descriptor table's 64 entries,
+          oldest first. They stay busy and refuse {!mark_free} exactly
+          like table members, but persistence is {!Bad_sectors}' job —
+          the descriptor has no room for them. *)
+  mutable dirty : bool;
+      (** Set (and persisted) on the first structural mutation since the
+          last consistency point; cleared by a clean unmount, an OutLoad,
+          or a completed recovery. A pack that mounts dirty crashed. *)
+  mutable patrol_cursor : int;
+      (** Where the verify sweep will resume, persisted with the
+          descriptor so a crash recovers from the sweep's frontier
+          instead of rescanning the whole pack. *)
   cache : Label_cache.t;  (** Verified labels, shared by every layer above. *)
 }
 
@@ -64,7 +77,12 @@ let descriptor_leader_address = Disk_address.of_index 1
             the table existed — the word was reserved-as-zero)
      19..   allocation map, 16 sectors per word, MSB first
      19+W.. bad-sector table: B quarantined disk addresses, in room
-            reserved for [max_bad_sectors] of them *)
+            reserved for [max_bad_sectors] of them
+     19+W+64    state flags (bit 0: dirty — mutated since the last
+            consistency point). Packs written before the word existed
+            read it as zero padding, i.e. clean.
+     19+W+65    patrol cursor: the sector index where the verify sweep
+            resumes. Zero on old packs, which is also the sweep's start. *)
 let desc_magic = 0xA170
 let desc_version = 1
 let map_offset = 19
@@ -104,21 +122,52 @@ let mark_busy t addr = t.busy.(Disk_address.to_index addr) <- true
 let quarantined t addr = List.mem (Disk_address.to_index addr) t.bad_table
 
 let mark_free t addr =
-  (* A quarantined sector never rejoins the free pool. *)
+  (* A quarantined sector never rejoins the free pool — whether its
+     verdict sits in the descriptor table or spilled beyond it. *)
   let i = Disk_address.to_index addr in
-  if not (List.mem i t.bad_table) then t.busy.(i) <- false
+  if not (List.mem i t.bad_table) && not (List.mem i t.spill) then
+    t.busy.(i) <- false
+
+(* The dirty flag must reach the disk before the mutation it announces,
+   and persisting it needs [flush], defined below — hence the knot. *)
+let flush_ref : (t -> (unit, error) result) ref = ref (fun _ -> Ok ())
+
+let note_mutation t =
+  if not t.dirty then begin
+    t.dirty <- true;
+    (* Best effort, and only once a descriptor exists to write into:
+       the scavenger mutates through an unplaced handle, and a failed
+       flush here leaves the flag set in core for the next one. *)
+    if Array.length t.descriptor_pages > 0 then
+      match !flush_ref t with Ok () | Error _ -> ()
+  end
+
+let dirty t = t.dirty
+let patrol_cursor t = t.patrol_cursor
+
+let set_patrol_cursor t i =
+  if i < 0 || i >= Array.length t.busy then
+    invalid_arg "Fs.set_patrol_cursor: sector index beyond the pack";
+  t.patrol_cursor <- i
 
 let quarantine t addr =
   let i = Disk_address.to_index addr in
+  note_mutation t;
   t.busy.(i) <- true;
   (* Eager, though generation checking would catch it lazily: a
      quarantined sector's label must never be served from core. *)
   Label_cache.invalidate t.cache addr;
   if not (List.mem i t.bad_table) then begin
-    if List.length t.bad_table >= max_bad_sectors then
-      (* The table is full; the sector stays busy in the map for this
-         mount but won't survive a remount. Rare enough to just count. *)
-      Obs.incr m_quarantine_overflow
+    if List.length t.bad_table >= max_bad_sectors then begin
+      (* The descriptor table is full: spill. The sector refuses the
+         free pool exactly like a table member; persistence across
+         remounts is {!Bad_sectors}' job (a catalogued file), since the
+         descriptor has no room left. *)
+      if not (List.mem i t.spill) then begin
+        t.spill <- t.spill @ [ i ];
+        Obs.incr m_quarantine_overflow
+      end
+    end
     else begin
       t.bad_table <- t.bad_table @ [ i ];
       Obs.incr m_quarantined;
@@ -129,6 +178,17 @@ let quarantine t addr =
   end
 
 let bad_sector_table t = List.map Disk_address.of_index t.bad_table
+let spilled t addr = List.mem (Disk_address.to_index addr) t.spill
+let spilled_table t = List.map Disk_address.of_index t.spill
+
+let adopt_spilled t addr =
+  (* A spill-file entry read back at mount: the verdict predates this
+     handle, so it enters the spill list without re-counting. *)
+  let i = Disk_address.to_index addr in
+  t.busy.(i) <- true;
+  Label_cache.invalidate t.cache addr;
+  if not (List.mem i t.bad_table) && not (List.mem i t.spill) then
+    t.spill <- t.spill @ [ i ]
 
 (* {2 Allocation} *)
 
@@ -157,6 +217,7 @@ let reserve t =
   match pick_candidate t with
   | Error e -> Error e
   | Ok i ->
+      note_mutation t;
       t.busy.(i) <- true;
       t.last_allocated <- i;
       Ok (Disk_address.of_index i)
@@ -222,6 +283,7 @@ let allocate_page t ~label ~value =
   attempt ()
 
 let free_page t (fn : Page.full_name) =
+  note_mutation t;
   let write_free () =
     Reliable.run t.drive fn.Page.addr
       { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
@@ -251,7 +313,10 @@ let free_page t (fn : Page.full_name) =
 
 let map_word_count t = (sector_count t + 15) / 16
 
-let descriptor_content_words t = map_offset + map_word_count t + max_bad_sectors
+(* Two tail words past the bad table: state flags and the patrol
+   cursor. They come last so every earlier offset is what older packs
+   used; a descriptor without them parses with both defaulted to 0. *)
+let descriptor_content_words t = map_offset + map_word_count t + max_bad_sectors + 2
 
 let descriptor_data_pages t =
   (descriptor_content_words t + Sector.value_words - 1) / Sector.value_words
@@ -288,6 +353,9 @@ let assemble_descriptor t =
       words.(map_offset + map_words + j) <-
         Disk_address.to_word (Disk_address.of_index i))
     t.bad_table;
+  let tail = map_offset + map_words + max_bad_sectors in
+  words.(tail) <- Word.of_int (if t.dirty then 1 else 0);
+  words.(tail + 1) <- Word.of_int_exn t.patrol_cursor;
   words
 
 let parse_descriptor t words =
@@ -332,6 +400,19 @@ let parse_descriptor t words =
             t.bad_table <- i :: t.bad_table
           end
         done;
+        (* The tail words. Packs written before they existed end at the
+           bad table; the concatenated pages pad with zeros, which read
+           back exactly as the defaults: clean, sweep from sector 0. *)
+        let tail = map_offset + map_words + max_bad_sectors in
+        if Array.length words > tail + 1 then begin
+          t.dirty <- Word.to_int words.(tail) land 1 <> 0;
+          let cursor = Word.to_int words.(tail + 1) in
+          t.patrol_cursor <- (if cursor < sector_count t then cursor else 0)
+        end
+        else begin
+          t.dirty <- false;
+          t.patrol_cursor <- 0
+        end;
         Ok ()
       end
     end
@@ -359,6 +440,14 @@ let flush t =
       | Ok _ -> write (pn + 1)
   in
   write 1
+
+let () = flush_ref := flush
+
+let mark_clean t =
+  (* A consistency point: clear the flag and write the whole descriptor
+     (map, serial, cursor) so the next boot trusts the pack as-is. *)
+  t.dirty <- false;
+  flush t
 
 (* Lay down fresh labels and leader for the descriptor file at the
    standard addresses. Used at format and by the scavenger's rebuild. *)
@@ -409,6 +498,9 @@ let make_handle drive =
     descriptor_pages = [||];
     counters = zero_counters;
     bad_table = [];
+    spill = [];
+    dirty = false;
+    patrol_cursor = 0;
   }
 
 let create_unmounted drive =
@@ -417,6 +509,9 @@ let create_unmounted drive =
   t
 
 let rebuild_descriptor t =
+  (* A rebuilt pack is a consistency point by construction, whatever
+     quarantines the run recorded through this handle along the way. *)
+  t.dirty <- false;
   match place_descriptor_file t with Ok () -> Ok () | Error e -> Error e
 
 let descriptor_page_count = descriptor_data_pages
@@ -471,6 +566,8 @@ let format ?disk_name:_ drive =
   (match create_root_directory t with
   | Ok () -> ()
   | Error e -> invalid_arg (Format.asprintf "Fs.format: %a" pp_error e));
+  (* Formatting's own allocations set the flag; a virgin pack is clean. *)
+  t.dirty <- false;
   (match flush t with
   | Ok () -> ()
   | Error e -> invalid_arg (Format.asprintf "Fs.format: %a" pp_error e));

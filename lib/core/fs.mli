@@ -128,16 +128,54 @@ val mark_free : t -> Disk_address.t -> unit
 
 val quarantine : t -> Disk_address.t -> unit
 (** Mark the sector busy forever and append it to the persistent
-    bad-sector table (idempotent; flushed with the descriptor). *)
+    bad-sector table (idempotent; flushed with the descriptor). When the
+    table is full the sector spills instead: still busy, still refusing
+    {!mark_free}, counted as [fs.quarantine_overflow] — and surviving
+    remount only once {!Bad_sectors} writes the spill file. *)
 
 val quarantined : t -> Disk_address.t -> bool
+(** Membership in the descriptor table proper (spilled sectors answer
+    [false] here; ask {!spilled}). *)
 
 val bad_sector_table : t -> Disk_address.t list
 (** The quarantined sectors, oldest first. *)
 
+val spilled : t -> Disk_address.t -> bool
+
+val spilled_table : t -> Disk_address.t list
+(** Quarantine verdicts that overflowed the descriptor table, oldest
+    first — what {!Bad_sectors} persists. *)
+
+val adopt_spilled : t -> Disk_address.t -> unit
+(** Re-enter one spill-file entry read back at mount: busy forever,
+    label cache evicted, no overflow counted. *)
+
 val flush : t -> (unit, error) result
 (** Write map, serial counter, shape and root name back into the
     descriptor file. *)
+
+(** {2 Unsafe-shutdown state}
+
+    One descriptor word records whether the volume has mutated since its
+    last consistency point. It is set (and written through) by the first
+    {!reserve}, {!free_page} or {!quarantine} after the point, and
+    cleared by a clean unmount ({!mark_clean}), an OutLoad, a format or
+    a scavenge. A pack that {!mount}s with {!dirty} true crashed, and
+    boot answers with {!Patrol.recover} — a bounded pass from the
+    persisted patrol cursor — instead of a whole-pack scavenge. *)
+
+val dirty : t -> bool
+
+val mark_clean : t -> (unit, error) result
+(** Declare a consistency point: clear the flag and flush. *)
+
+val patrol_cursor : t -> int
+(** The sector index where the verify sweep resumes; persisted with the
+    descriptor so recovery is bounded by the sweep's unfinished tail. *)
+
+val set_patrol_cursor : t -> int -> unit
+(** In-core only; {!flush} (or the patrol's own persistence policy)
+    writes it out. Raises [Invalid_argument] beyond the pack. *)
 
 type counters = {
   allocations : int;

@@ -1,0 +1,445 @@
+module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
+module Sector = Alto_disk.Sector
+module Drive = Alto_disk.Drive
+module Reliable = Alto_disk.Reliable
+module Sched = Alto_disk.Sched
+module Disk_address = Alto_disk.Disk_address
+module Obs = Alto_obs.Obs
+
+let m_slices = Obs.counter "fs.patrol.slices"
+let m_verified = Obs.counter "fs.patrol.sectors_verified"
+let m_marginal = Obs.counter "fs.patrol.marginal_found"
+let m_relocations = Obs.counter "fs.patrol.relocations"
+let m_quarantined = Obs.counter "fs.patrol.quarantined"
+let m_pages_lost = Obs.counter "fs.patrol.pages_lost"
+let m_map_repairs = Obs.counter "fs.patrol.map_repairs"
+let m_links_repaired = Obs.counter "fs.patrol.links_repaired"
+let m_laps = Obs.counter "fs.patrol.laps"
+let m_recoveries = Obs.counter "fs.patrol.recoveries"
+
+(* One cylinder of the Diablo 31 (2 tracks x 12 sectors): a slice the
+   elevator turns into one seek plus streaming reads. *)
+let default_slice = 24
+
+type report = {
+  first_sector : int;
+  scanned : int;
+  suspects : int;
+  relocated : int;
+  quarantined : int;
+  pages_lost : int;
+  map_repairs : int;
+  links_repaired : int;
+  wrapped : bool;
+}
+
+type t = {
+  fs : Fs.t;
+  slice : int;
+  suspect_retries : int;
+  mutable laps : int;
+  mutable slices : int;
+  mutable total_suspects : int;
+  mutable total_relocated : int;
+  mutable total_quarantined : int;
+  mutable total_lost : int;
+  mutable total_map_repairs : int;
+}
+
+let create ?(slice = default_slice) ?(suspect_retries = 1) fs =
+  if slice < 1 then invalid_arg "Patrol.create: slice below 1";
+  if suspect_retries < 1 then invalid_arg "Patrol.create: suspect_retries below 1";
+  {
+    fs;
+    slice;
+    suspect_retries;
+    laps = 0;
+    slices = 0;
+    total_suspects = 0;
+    total_relocated = 0;
+    total_quarantined = 0;
+    total_lost = 0;
+    total_map_repairs = 0;
+  }
+
+let fs t = t.fs
+let laps t = t.laps
+let slices t = t.slices
+let suspects_found t = t.total_suspects
+let relocated t = t.total_relocated
+let quarantined t = t.total_quarantined
+let pages_lost t = t.total_lost
+let map_repairs t = t.total_map_repairs
+
+(* Per-slice tallies, folded into the instance totals and the report. *)
+type tally = {
+  mutable c_suspects : int;
+  mutable c_relocated : int;
+  mutable c_quarantined : int;
+  mutable c_lost : int;
+  mutable c_map : int;
+  mutable c_links : int;
+  mutable c_changed : bool;
+}
+
+let fresh_tally () =
+  {
+    c_suspects = 0;
+    c_relocated = 0;
+    c_quarantined = 0;
+    c_lost = 0;
+    c_map = 0;
+    c_links = 0;
+    c_changed = false;
+  }
+
+(* Write the bad marker through a dying sector, best effort: the value
+   surface accepts writes blind, and a sector too far gone to take even
+   the marker is quarantined by the table alone. *)
+let retire drive addr =
+  match
+    Reliable.run drive addr
+      { Drive.op_none with label = Some Drive.Write; value = Some Drive.Write }
+      ~label:(Label.bad_words ()) ~value:(Label.free_value ()) ()
+  with
+  | Ok () | Error _ -> ()
+
+let salvage_value drive addr =
+  let value = Array.make Sector.value_words Word.zero in
+  match
+    Reliable.run ~policy:Reliable.salvage_policy drive addr
+      { Drive.op_none with value = Some Drive.Read }
+      ~value ()
+  with
+  | Ok () -> Some value
+  | Error _ -> None
+
+(* Point one neighbour's link hint at the page's new home. The labels at
+   both ends of the move are already correct, so a failed fix-up merely
+   leaves a stale hint for the §3.6 ladder to survive — never damage. *)
+let fix_neighbour t tally ~fid ~page ~addr ~patch =
+  if Disk_address.is_nil addr || page < 0 then ()
+  else
+    let drive = Fs.drive t.fs and cache = Fs.label_cache t.fs in
+    let fn = Page.full_name fid ~page ~addr in
+    match Page.read ~cache drive fn with
+    | Error _ -> ()
+    | Ok (lab, value) -> (
+        match Page.rewrite_label ~cache drive fn ~new_label:(patch lab) ~value with
+        | Ok () ->
+            tally.c_links <- tally.c_links + 1;
+            Obs.incr m_links_repaired
+        | Error _ -> ())
+
+(* A relocated leader page: every root entry naming the file gets its
+   address hint refreshed, and the descriptor's root pointer too when
+   the root directory's own leader moved. *)
+let fix_catalogue t dst fid =
+  (match Fs.root_dir t.fs with
+  | Some fn when File_id.equal fn.Page.abs.Page.fid fid ->
+      Fs.set_root_dir t.fs (Page.full_name fid ~page:0 ~addr:dst)
+  | Some _ | None -> ());
+  match Directory.open_root t.fs with
+  | Error _ -> ()
+  | Ok root -> (
+      match Directory.entries root with
+      | Error _ -> ()
+      | Ok entries ->
+          List.iter
+            (fun (e : Directory.entry) ->
+              if
+                File_id.equal e.Directory.entry_file.Page.abs.Page.fid fid
+                && not (Disk_address.equal e.Directory.entry_file.Page.addr dst)
+              then ignore (Directory.update_address root e.Directory.entry_name dst))
+            entries)
+
+(* Copy a page off a dying sector: first write to a fresh sector through
+   the ordinary allocation path (so the free check and the map behave
+   exactly as for any allocation), re-point the neighbours and the
+   catalogue, then retire and quarantine the old sector. Returns the new
+   address, or [None] when the disk is full and the page must limp on. *)
+let relocate t tally ~src ~(lab : Label.t) ~value =
+  let drive = Fs.drive t.fs and cache = Fs.label_cache t.fs in
+  match Fs.allocate_page t.fs ~label:(fun _ -> lab) ~value with
+  | Error _ -> None
+  | Ok dst ->
+      let fid = lab.Label.fid in
+      fix_neighbour t tally ~fid ~page:(lab.Label.page - 1) ~addr:lab.Label.prev
+        ~patch:(fun (l : Label.t) -> { l with Label.next = dst });
+      fix_neighbour t tally ~fid ~page:(lab.Label.page + 1) ~addr:lab.Label.next
+        ~patch:(fun (l : Label.t) -> { l with Label.prev = dst });
+      if lab.Label.page = 0 then fix_catalogue t dst fid;
+      retire drive src;
+      Fs.quarantine t.fs src;
+      (* Both ends of the move shed any cached label, explicitly: a
+         cached image must never resurrect the page at its old address,
+         nor mask the fresh label at the new one. *)
+      Drive.bump_label_generation drive src;
+      Drive.bump_label_generation drive dst;
+      Label_cache.invalidate cache src;
+      Label_cache.invalidate cache dst;
+      tally.c_relocated <- tally.c_relocated + 1;
+      tally.c_changed <- true;
+      Obs.incr m_relocations;
+      Obs.event ~clock:(Drive.clock drive)
+        ~fields:
+          [
+            ("src", Obs.I (Disk_address.to_index src));
+            ("dst", Obs.I (Disk_address.to_index dst));
+            ("serial", Obs.I fid.File_id.serial);
+            ("page", Obs.I lab.Label.page);
+          ]
+        "fs.patrol.relocate";
+      Some dst
+
+let note_quarantined t tally addr ~lost =
+  retire (Fs.drive t.fs) addr;
+  Fs.quarantine t.fs addr;
+  tally.c_quarantined <- tally.c_quarantined + 1;
+  tally.c_changed <- true;
+  Obs.incr m_quarantined;
+  if lost then begin
+    tally.c_lost <- tally.c_lost + 1;
+    Obs.incr m_pages_lost
+  end
+
+(* The batch read hard-failed: the ordinary retry ladder is dry. Learn
+   what the sector held under the salvage policy; a still-legible live
+   page moves, anything else is quarantined where it stands. *)
+let handle_hard_failure t tally addr =
+  let drive = Fs.drive t.fs in
+  let already = Fs.quarantined t.fs addr || Fs.spilled t.fs addr in
+  let label_buf = Array.make Sector.label_words Word.zero in
+  let salvage_label () =
+    Reliable.run ~policy:Reliable.salvage_policy drive addr
+      { Drive.op_none with label = Some Drive.Read }
+      ~label:label_buf ()
+  in
+  match salvage_label () with
+  | Error _ -> if not already then note_quarantined t tally addr ~lost:false
+  | Ok () -> (
+      match Label.classify label_buf with
+      | Label.Valid lab -> (
+          tally.c_suspects <- tally.c_suspects + 1;
+          Obs.incr m_marginal;
+          match salvage_value drive addr with
+          | Some value -> ignore (relocate t tally ~src:addr ~lab ~value)
+          | None ->
+              (* The label survived but the data is gone: the page is
+                 lost, and saying so beats serving garbage. *)
+              if not already then note_quarantined t tally addr ~lost:true)
+      | Label.Free | Label.Bad | Label.Garbage _ ->
+          if not already then note_quarantined t tally addr ~lost:false)
+
+(* Verify one slice of [k] sectors starting at [start] (wrapping past
+   the end of the pack), classify each against its retry evidence and
+   the allocation map, and heal what needs healing. *)
+let scan_slice t tally ~start ~k =
+  let drive = Fs.drive t.fs in
+  let n = Drive.sector_count drive in
+  (* Sectors 0..reserved_top live at fixed addresses (boot page,
+     descriptor file): verified like the rest but never moved — their
+     address is their identity, and the cure for a dying one is the
+     scavenger's full rebuild. *)
+  let reserved_top = 1 + Fs.descriptor_page_count t.fs in
+  let indexes = Array.init k (fun j -> (start + j) mod n) in
+  let labels = Array.init k (fun _ -> Array.make Sector.label_words Word.zero) in
+  let values = Array.init k (fun _ -> Array.make Sector.value_words Word.zero) in
+  let requests =
+    Array.init k (fun j ->
+        Sched.request ~label:labels.(j) ~value:values.(j)
+          (Disk_address.of_index indexes.(j))
+          { Drive.op_none with
+            Drive.label = Some Drive.Read;
+            value = Some Drive.Read
+          })
+  in
+  let outcomes = Sched.run_batch drive requests in
+  Obs.incr m_slices;
+  Obs.add m_verified k;
+  t.slices <- t.slices + 1;
+  Array.iteri
+    (fun j (outcome : Sched.outcome) ->
+      let i = indexes.(j) in
+      let addr = Disk_address.of_index i in
+      let reserved = i <= reserved_top in
+      match outcome.Sched.result with
+      | Ok () -> (
+          let suspect = outcome.Sched.retries >= t.suspect_retries in
+          match Label.classify labels.(j) with
+          | Label.Valid lab ->
+              (* Map protection: a live page whose map bit reads free
+                 would cost a stale-map hit (never data) at the next
+                 allocation; fix the hint now. *)
+              if (not reserved) && Fs.is_free_in_map t.fs addr then begin
+                Fs.mark_busy t.fs addr;
+                tally.c_map <- tally.c_map + 1;
+                tally.c_changed <- true;
+                Obs.incr m_map_repairs
+              end;
+              if
+                suspect && (not reserved)
+                && not (File_id.equal lab.Label.fid File_id.descriptor)
+              then begin
+                tally.c_suspects <- tally.c_suspects + 1;
+                Obs.incr m_marginal;
+                (* The batch already read the data; reuse it. *)
+                ignore (relocate t tally ~src:addr ~lab ~value:values.(j))
+              end
+          | Label.Free ->
+              (* Map reclamation: a freed page whose map bit stayed busy
+                 (a crash between the free's label write and the next
+                 descriptor flush) is merely leaked; reclaim it. A soft
+                 trip on a free sector is only counted — quarantine
+                 needs data at risk or a dry ladder, not one retry of
+                 noise. *)
+              if
+                (not reserved)
+                && (not (Fs.is_free_in_map t.fs addr))
+                && (not (Fs.quarantined t.fs addr))
+                && not (Fs.spilled t.fs addr)
+              then begin
+                Fs.mark_free t.fs addr;
+                tally.c_map <- tally.c_map + 1;
+                tally.c_changed <- true;
+                Obs.incr m_map_repairs
+              end
+          | Label.Bad ->
+              (* A marker without a table entry: a crash separated the
+                 two verdicts. Rejoin them. *)
+              if not (Fs.quarantined t.fs addr || Fs.spilled t.fs addr) then begin
+                Fs.quarantine t.fs addr;
+                tally.c_quarantined <- tally.c_quarantined + 1;
+                tally.c_changed <- true;
+                Obs.incr m_quarantined
+              end
+          | Label.Garbage _ ->
+              (* A scrambled label is ownership unknown — scavenger
+                 territory, not the patrol's. *)
+              ())
+      | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
+          if not reserved then handle_hard_failure t tally addr)
+    outcomes
+
+let finish_tally t tally =
+  t.total_suspects <- t.total_suspects + tally.c_suspects;
+  t.total_relocated <- t.total_relocated + tally.c_relocated;
+  t.total_quarantined <- t.total_quarantined + tally.c_quarantined;
+  t.total_lost <- t.total_lost + tally.c_lost;
+  t.total_map_repairs <- t.total_map_repairs + tally.c_map
+
+let report_of tally ~first_sector ~scanned ~wrapped =
+  {
+    first_sector;
+    scanned;
+    suspects = tally.c_suspects;
+    relocated = tally.c_relocated;
+    quarantined = tally.c_quarantined;
+    pages_lost = tally.c_lost;
+    map_repairs = tally.c_map;
+    links_repaired = tally.c_links;
+    wrapped;
+  }
+
+(* Persist spilled quarantine verdicts (rare) and the descriptor. Both
+   best effort: a failed flush costs freshness, never consistency — the
+   labels already carry the truth. *)
+let persist t tally ~wrapped =
+  if tally.c_changed || wrapped then begin
+    if Fs.spilled_table t.fs <> [] then
+      (match Bad_sectors.flush t.fs with Ok _ | Error _ -> ());
+    match Fs.flush t.fs with Ok () | Error _ -> ()
+  end
+
+let tick t =
+  let n = Drive.sector_count (Fs.drive t.fs) in
+  let start = Fs.patrol_cursor t.fs in
+  let k = min t.slice n in
+  let tally = fresh_tally () in
+  Obs.time (Fs.clock t.fs) "fs.patrol.slice_us" (fun () ->
+      scan_slice t tally ~start ~k);
+  Fs.set_patrol_cursor t.fs ((start + k) mod n);
+  let wrapped = start + k >= n in
+  if wrapped then begin
+    t.laps <- t.laps + 1;
+    Obs.incr m_laps
+  end;
+  finish_tally t tally;
+  (* The cursor is persisted on change and at each lap boundary; in
+     between it may run ahead of the disk copy, which only makes a
+     recovery rescan a few already-verified sectors. *)
+  persist t tally ~wrapped;
+  report_of tally ~first_sector:start ~scanned:k ~wrapped
+
+type recovery = {
+  resumed_at : int;
+  sectors_scanned : int;
+  r_suspects : int;
+  r_relocated : int;
+  r_quarantined : int;
+  r_pages_lost : int;
+  r_map_repairs : int;
+  duration_us : int;
+}
+
+(* Boot after a crash: instead of a whole-pack scavenge, finish the lap
+   the patrol had in flight — scan from the persisted cursor to the end
+   of the pack, then declare the consistency point. Sectors behind the
+   cursor were verified earlier in the lap; what a crash can have left
+   there (a leaked allocation, a stale hint) is harmless under the label
+   discipline and waits for the next full lap or scavenge. *)
+let recover ?slice ?suspect_retries fs =
+  let t = create ?slice ?suspect_retries fs in
+  let drive = Fs.drive fs in
+  let clock = Drive.clock drive in
+  let n = Drive.sector_count drive in
+  let resumed_at = Fs.patrol_cursor fs in
+  let started = Sim_clock.now_us clock in
+  Obs.incr m_recoveries;
+  let tally = fresh_tally () in
+  let pos = ref resumed_at in
+  while !pos < n do
+    let k = min t.slice (n - !pos) in
+    scan_slice t tally ~start:!pos ~k;
+    pos := !pos + k
+  done;
+  finish_tally t tally;
+  Fs.set_patrol_cursor fs 0;
+  if Fs.spilled_table fs <> [] then
+    (match Bad_sectors.flush fs with Ok _ | Error _ -> ());
+  (match Fs.mark_clean fs with Ok () | Error _ -> ());
+  let duration_us = Sim_clock.now_us clock - started in
+  Obs.event ~clock
+    ~fields:
+      [
+        ("resumed_at", Obs.I resumed_at);
+        ("scanned", Obs.I (n - resumed_at));
+        ("relocated", Obs.I tally.c_relocated);
+        ("quarantined", Obs.I tally.c_quarantined);
+        ("duration_us", Obs.I duration_us);
+      ]
+    "fs.patrol.recovery";
+  {
+    resumed_at;
+    sectors_scanned = n - resumed_at;
+    r_suspects = tally.c_suspects;
+    r_relocated = tally.c_relocated;
+    r_quarantined = tally.c_quarantined;
+    r_pages_lost = tally.c_lost;
+    r_map_repairs = tally.c_map;
+    duration_us;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "slice %d+%d: %d suspect, %d relocated, %d quarantined, %d lost, %d map repairs%s"
+    r.first_sector r.scanned r.suspects r.relocated r.quarantined r.pages_lost
+    r.map_repairs
+    (if r.wrapped then " (lap complete)" else "")
+
+let pp_recovery fmt r =
+  Format.fprintf fmt
+    "recovered from sector %d: %d sectors in %a; %d relocated, %d quarantined, %d lost"
+    r.resumed_at r.sectors_scanned Sim_clock.pp_duration r.duration_us r.r_relocated
+    r.r_quarantined r.r_pages_lost

@@ -1,0 +1,107 @@
+(** The online patrol: an incremental verify sweep with proactive sector
+    relocation and bounded unsafe-shutdown recovery (§3.5 extended).
+
+    The scavenger of §3.5 is an offline program: it repairs a broken pack
+    once the damage is done. The patrol is the same label discipline run
+    {e before} the damage: during idle moments the system verifies a
+    bounded slice of the pack — one cylinder-sized batch of label+value
+    reads through the {!Alto_disk.Sched} elevator, about one seek per
+    tick — and uses the retry ladder's evidence ({!Alto_disk.Reliable})
+    to find sectors that still answer but are starting to fail. A live
+    page on such a sector is {e relocated}: copied to a freshly allocated
+    sector, its neighbours' link hints and its catalogue entry
+    re-pointed, the old sector retired and quarantined, and the verified
+    label cache told about both ends of the move. The data survives the
+    sector's eventual death instead of being salvaged after it.
+
+    The same sweep doubles as crash recovery. The sweep cursor is
+    persisted in the disk descriptor, and the descriptor carries a dirty
+    flag set on the first mutation after a consistency point; a pack that
+    mounts dirty crashed, and {!recover} finishes the lap in flight —
+    cursor to end of pack — instead of scavenging the whole pack. That
+    restores {e safety} (every allocation-map lie in the unswept tail is
+    found, every half-finished free reclaimed) at a cost bounded by the
+    tail, not the pack; only a real scavenge restores {e completeness}
+    (pages leaked behind the cursor stay leaked until the next full lap
+    or scavenge finds them).
+
+    What one tick does with each sector, by label classification:
+
+    - {b valid, clean read}: confirm the map says busy (repair the hint
+      if not — "map protection").
+    - {b valid, suspect} (retries ≥ threshold): relocate, reusing the
+      value the batch already read.
+    - {b valid, hard failure}: salvage-read label and value; relocate if
+      legible, otherwise quarantine and count the page lost.
+    - {b free, map busy}: a leaked allocation or half-finished free —
+      reclaim the map bit (unless quarantined).
+    - {b bad marker, not in table}: a crash separated the marker from
+      the table entry — rejoin them.
+    - {b garbage}: ownership unknown; left for the scavenger.
+
+    Sectors at fixed addresses (the boot page, the descriptor file) are
+    verified but never moved or map-"repaired": their address is their
+    identity. Relocation never runs on the descriptor's own pages. *)
+
+type t
+
+val create : ?slice:int -> ?suspect_retries:int -> Fs.t -> t
+(** [slice] (default 24, one Diablo 31 cylinder) sectors are verified
+    per tick; [suspect_retries] (default 1) is the retry count at which
+    a live page's sector is considered marginal and the page moved —
+    false positives cost one copy, false negatives risk the data.
+    Raises [Invalid_argument] when either is below 1. *)
+
+val fs : t -> Fs.t
+
+type report = {
+  first_sector : int;
+  scanned : int;
+  suspects : int;  (** Live pages whose sector showed retry evidence. *)
+  relocated : int;
+  quarantined : int;
+  pages_lost : int;  (** Hard failures whose value defeated salvage. *)
+  map_repairs : int;
+  links_repaired : int;
+  wrapped : bool;  (** This tick completed a lap of the pack. *)
+}
+
+val tick : t -> report
+(** Verify the next slice and heal what needs healing. Advances the
+    cursor (wrapping); persists cursor, map and bad-sector spill when
+    the tick changed anything or completed a lap — between those points
+    the in-core cursor may run ahead of the disk's copy, which only
+    makes a recovery rescan a few already-verified sectors. *)
+
+(** {2 Cumulative instance totals (the [health] command's view)} *)
+
+val laps : t -> int
+val slices : t -> int
+val suspects_found : t -> int
+val relocated : t -> int
+val quarantined : t -> int
+val pages_lost : t -> int
+val map_repairs : t -> int
+
+(** {2 Unsafe-shutdown recovery} *)
+
+type recovery = {
+  resumed_at : int;  (** The persisted cursor the scan resumed from. *)
+  sectors_scanned : int;
+  r_suspects : int;
+  r_relocated : int;
+  r_quarantined : int;
+  r_pages_lost : int;
+  r_map_repairs : int;
+  duration_us : int;  (** Simulated time the scan cost. *)
+}
+
+val recover : ?slice:int -> ?suspect_retries:int -> Fs.t -> recovery
+(** Finish the lap a crash interrupted: scan from the persisted cursor
+    to the end of the pack, then reset the cursor, flush the spill file
+    and declare a consistency point ({!Fs.mark_clean}). Boot calls this
+    when a pack mounts dirty; cost is proportional to the unswept tail,
+    against the scavenger's multiple whole-pack passes. *)
+
+val pp_report : Format.formatter -> report -> unit
+val pp_recovery : Format.formatter -> recovery -> unit

@@ -594,6 +594,13 @@ let scavenge_run ~verify_values ~suspect_retries drive =
       match Fs.rebuild_descriptor fs with
       | Error e -> Error (Format.asprintf "cannot write a fresh descriptor: %a" Fs.pp_error e)
       | Ok () ->
+          (* The rebuilt volume is a consistency point: persist any
+             quarantine verdicts that overflowed the descriptor table
+             and clear the unsafe-shutdown flag. Best effort — failure
+             costs only a redundant recovery scan at the next boot. *)
+          if Fs.spilled_table fs <> [] then
+            (match Bad_sectors.flush fs with Ok _ | Error _ -> ());
+          if Fs.dirty fs then (match Fs.mark_clean fs with Ok () | Error _ -> ());
           let report =
             {
               sectors_scanned = n;

@@ -369,6 +369,10 @@ let reset_stats t = t.stats <- zero_stats
 let current_cylinder t = t.current_cylinder
 let label_generation t addr = t.label_gen.(check_address t addr)
 
+let bump_label_generation t addr =
+  let index = check_address t addr in
+  t.label_gen.(index) <- t.label_gen.(index) + 1
+
 let peek t addr =
   let index = check_address t addr in
   Sector.copy t.sectors.(index)

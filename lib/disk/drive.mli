@@ -111,6 +111,13 @@ val label_generation : t -> Disk_address.t -> int
     dead the moment it moves. Raises [Invalid_argument] on an address
     beyond the pack. *)
 
+val bump_label_generation : t -> Disk_address.t -> unit
+(** Advance the sector's generation by hand. The in-band bumps cover
+    every way the {e drive} can know a label changed; a layer that moves
+    a page between sectors knows more — both ends of the move must shed
+    any cached label even if some individual write was absorbed or
+    elided — and declares it here. *)
+
 val restore : t -> unit
 (** Recalibrate: seek back to cylinder 0, charging the seek time. The
     retry layer escalates to this when immediate retries keep failing —

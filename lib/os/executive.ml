@@ -5,6 +5,8 @@ module File = Alto_fs.File
 module Directory = Alto_fs.Directory
 module Scavenger = Alto_fs.Scavenger
 module Compactor = Alto_fs.Compactor
+module Patrol = Alto_fs.Patrol
+module Bad_sectors = Alto_fs.Bad_sectors
 module Stream = Alto_streams.Stream
 module Keyboard = Alto_streams.Keyboard
 module Display = Alto_streams.Display
@@ -309,6 +311,35 @@ let cmd_cache system =
   say system "%-30s %d" "cached labels"
     (Alto_fs.Label_cache.length (Fs.label_cache (System.fs system)))
 
+(* The volume's self-healing at a glance: whether the pack would mount
+   clean, where the patrol sweep stands and what it has moved to safety,
+   and how full the two bad-sector stores are. *)
+let cmd_health system =
+  let fs = System.fs system in
+  let patrol = System.patrol system in
+  let sectors = Alto_disk.Drive.sector_count (System.drive system) in
+  say system "volume:  %s"
+    (if Fs.dirty fs then "dirty - bounded recovery due at next boot" else "clean");
+  say system "patrol:  cursor %d/%d, %d laps, %d slices this session"
+    (Fs.patrol_cursor fs) sectors (Patrol.laps patrol) (Patrol.slices patrol);
+  say system "         %d suspect, %d relocated, %d quarantined, %d lost, %d map repairs"
+    (Patrol.suspects_found patrol) (Patrol.relocated patrol)
+    (Patrol.quarantined patrol) (Patrol.pages_lost patrol)
+    (Patrol.map_repairs patrol);
+  say system "bad:     %d in the descriptor table, %d spilled"
+    (List.length (Fs.bad_sector_table fs))
+    (List.length (Fs.spilled_table fs));
+  with_root system (fun root ->
+      match Directory.lookup root Bad_sectors.file_name with
+      | Ok (Some e) -> (
+          match File.open_leader fs e.Directory.entry_file with
+          | Ok f ->
+              say system "         %s: %d bytes" Bad_sectors.file_name
+                (File.byte_length f)
+          | Error _ -> say system "         %s: unreadable" Bad_sectors.file_name)
+      | Ok None -> say system "         no spill file"
+      | Error e -> say system "health: %a" Directory.pp_error e)
+
 let cmd_run system name =
   match Loader.run_by_name system name with
   | Error e -> say system "run: %a" Loader.pp_error e
@@ -338,7 +369,11 @@ let execute system line =
   record_command system line;
   match split_words line with
   | [] -> `Continue
-  | [ "quit" ] -> `Quit
+  | [ "quit" ] ->
+      (* A deliberate exit is a clean shutdown: declare the consistency
+         point so the next boot skips recovery. *)
+      (match Fs.mark_clean (System.fs system) with Ok () | Error _ -> ());
+      `Quit
   | [ "ls" ] ->
       cmd_ls system;
       `Continue
@@ -379,6 +414,9 @@ let execute system line =
       `Continue
   | [ "cache" ] ->
       cmd_cache system;
+      `Continue
+  | [ "health" ] ->
+      cmd_health system;
       `Continue
   | [ "trace" ] ->
       cmd_trace system 20;
@@ -425,7 +463,14 @@ let run ?(max_commands = 1000) system =
           Stream.put_line (Display.stream (System.display system)) line;
           match execute system line with
           | `Quit -> { commands_executed = executed + 1; quit = true }
-          | `Continue -> loop (executed + 1))
+          | `Continue ->
+              (* The pause between commands is the single-user machine's
+                 idle time: spend it verifying one slice of the pack.
+                 The patrol lives in level 5's disk code; a junta that
+                 removed the disk code removed the patrol with it. *)
+              if System.resident_level system >= 5 then
+                ignore (System.patrol_tick system : Alto_fs.Patrol.report);
+              loop (executed + 1))
     end
   in
   loop 0

@@ -12,11 +12,17 @@
     Built-in commands: [ls], [type f], [put f text…], [delete f],
     [rename old new], [copy src dst], [dump codefile], [scavenge], [compact], [levels], [junta n],
     [counterjunta], [cache] (label-cache and elevator-scheduler
-    statistics), [trace [n]], [run prog], [compile src dst] (the BCPL compiler,
+    statistics), [health] (patrol progress, bad-sector census and the
+    volume dirty flag), [trace [n]], [run prog], [compile src dst] (the BCPL compiler,
     from a source file on the pack to a code file on the pack),
     [assemble src dst] (likewise for assembler source), and
     [quit]. A bare name that matches a catalogued code file is run,
-    loader-style. *)
+    loader-style.
+
+    Between commands the Executive donates the idle moment to the disk
+    patrol (one {!Alto_fs.Patrol.tick} per command, when the disk code
+    at level 5 is resident), and [quit] marks the volume clean so the
+    next boot skips recovery. *)
 
 type outcome = {
   commands_executed : int;

@@ -10,6 +10,8 @@ module Disk_address = Alto_disk.Disk_address
 module Fs = Alto_fs.Fs
 module File = Alto_fs.File
 module Directory = Alto_fs.Directory
+module Patrol = Alto_fs.Patrol
+module Bad_sectors = Alto_fs.Bad_sectors
 module Zone = Alto_zones.Zone
 module Stream = Alto_streams.Stream
 module Disk_stream = Alto_streams.Disk_stream
@@ -24,6 +26,7 @@ type t = {
   cpu : Cpu.t;
   drive : Drive.t;
   mutable fs : Fs.t;
+  mutable patrol : Patrol.t;
   keyboard : Keyboard.t;
   display : Display.t;
   mutable zone : Zone.t;
@@ -40,7 +43,16 @@ let memory t = t.memory
 let cpu t = t.cpu
 let drive t = t.drive
 let fs t = t.fs
-let set_fs t fs = t.fs <- fs
+
+let set_fs t fs =
+  t.fs <- fs;
+  (* The patrol's cumulative totals belong to the volume, not the
+     machine: a new volume gets a fresh patrol resuming at the new
+     descriptor's cursor. *)
+  t.patrol <- Patrol.create fs
+
+let patrol t = t.patrol
+let patrol_tick t = Patrol.tick t.patrol
 let keyboard t = t.keyboard
 let display t = t.display
 let system_zone t = t.zone
@@ -96,6 +108,11 @@ let boot ?(geometry = Geometry.diablo_31) ?drive () =
   let fs =
     match Fs.mount drive with Ok fs -> fs | Error _ -> Fs.format drive
   in
+  (* Re-enter the bad-sector verdicts that overflowed the descriptor
+     table, then — if the pack crashed — finish the patrol lap that was
+     in flight before running anything on the volume. *)
+  (match Bad_sectors.load fs with Ok _ | Error _ -> ());
+  if Fs.dirty fs then ignore (Patrol.recover fs : Patrol.recovery);
   let memory = Memory.create () in
   let t =
     {
@@ -103,6 +120,7 @@ let boot ?(geometry = Geometry.diablo_31) ?drive () =
       cpu = Cpu.create memory;
       drive;
       fs;
+      patrol = Patrol.create fs;
       keyboard = Keyboard.create ();
       display = Display.create ();
       zone = make_system_zone memory;
@@ -305,6 +323,12 @@ let dispatch t cpu code =
       ok cpu
   | 20 -> service_disk_transfer t cpu ~write:false
   | 21 -> service_disk_transfer t cpu ~write:true
+  | 22 ->
+      (* DiskPatrol: one verify slice during an idle moment; AC0 reports
+         how many pages the tick moved to safety. *)
+      let report = Patrol.tick t.patrol in
+      Cpu.set_ac cpu 0 (Word.of_int report.Patrol.relocated);
+      ok cpu
   | 30 -> service_allocate t cpu
   | 31 -> service_free t cpu
   | 40 -> service_open_file t cpu

@@ -35,6 +35,7 @@
        10   StackFrame    AC0 words                   AC0 frame address
        20   DiskRead      AC0 DA, AC1 buffer          256 words to buffer
        21   DiskWrite     AC0 DA, AC1 buffer
+       22   DiskPatrol    (idle moment)               AC0 pages relocated
        30   Allocate      AC0 words                   AC0 address
        31   Free          AC0 address
        40   OpenFile      AC0 name, AC1 mode 0/1/2    AC0 stream handle
@@ -75,15 +76,29 @@ val user_base : int
     the message area, and the command-line words. *)
 
 val boot : ?geometry:Geometry.t -> ?drive:Drive.t -> unit -> t
-(** Bring the system up: mount the pack (formatting a virgin one), lay
-    the thirteen levels into the top of memory, and initialize the
-    system free-storage zone. *)
+(** Bring the system up: mount the pack (formatting a virgin one),
+    re-enter any spilled bad-sector verdicts ({!Alto_fs.Bad_sectors}),
+    run the bounded crash-recovery scan if the pack mounted dirty
+    ({!Alto_fs.Patrol.recover}), lay the thirteen levels into the top of
+    memory, and initialize the system free-storage zone. *)
 
 val memory : t -> Memory.t
 val cpu : t -> Cpu.t
 val drive : t -> Drive.t
 val fs : t -> Fs.t
+
 val set_fs : t -> Fs.t -> unit
+(** Swap the mounted volume (the scavenger's rescue path). The patrol is
+    re-created for the new volume, resuming at its persisted cursor. *)
+
+val patrol : t -> Alto_fs.Patrol.t
+(** The volume's online patrol — level 5's DiskPatrol service and the
+    executive's idle ticks both drive this instance, so its cumulative
+    totals are what the [health] command reports. *)
+
+val patrol_tick : t -> Alto_fs.Patrol.report
+(** Run one verify slice now (what service code 22 does). *)
+
 val keyboard : t -> Keyboard.t
 val display : t -> Display.t
 val system_zone : t -> Zone.t

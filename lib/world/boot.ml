@@ -66,6 +66,11 @@ let boot_file fs =
             Ok (Page.full_name fid ~page:0 ~addr:(Disk_address.of_word value.(4))))
 
 let boot fs cpu =
+  (* A pack that mounts dirty crashed. Finish the patrol lap that was in
+     flight — bounded by the unswept tail — before trusting the volume
+     with a world; a full scavenge stays the cure for a pack that will
+     not mount at all. *)
+  if Fs.dirty fs then ignore (Alto_fs.Patrol.recover fs : Alto_fs.Patrol.recovery);
   match boot_file fs with
   | Error e -> Error e
   | Ok fn -> (

@@ -69,8 +69,18 @@ let timed_write_image ~span file image =
 
 let out_load cpu file =
   Obs.incr m_outloads;
-  timed_write_image ~span:"world.outload_us" file
-    (image_of ~registers:(Cpu.registers cpu) (Cpu.memory cpu))
+  let r =
+    timed_write_image ~span:"world.outload_us" file
+      (image_of ~registers:(Cpu.registers cpu) (Cpu.memory cpu))
+  in
+  (* A completed OutLoad is a consistency point: the world and the volume
+     agree, so the pack may declare itself cleanly shut down. Best
+     effort — a failed flush merely leaves the flag set, and the next
+     boot pays a bounded recovery scan it did not need. *)
+  (match r with
+  | Ok () -> ( match Fs.mark_clean (File.fs file) with Ok () | Error _ -> ())
+  | Error _ -> ());
+  r
 
 let emergency_out_load memory file =
   Obs.incr m_emergency_outloads;

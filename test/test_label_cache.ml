@@ -143,6 +143,69 @@ let test_no_stale_masking () =
   | Ok _ -> Alcotest.fail "a cached label masked a bad sector"
   | Error e -> Alcotest.failf "unexpected: %a" Page.pp_error e
 
+(* The patrol moves a page between sectors with operations a drive-level
+   bump does not always cover (the old sector's retirement write may be
+   absorbed or fail). The explicit generation bumps on both ends must
+   guarantee that no cached label can resurrect the page at its old
+   address, nor mask the fresh label at the new one. *)
+let test_relocation_bumps_both_generations () =
+  let drive = make_drive () in
+  let fs = Fs.format drive in
+  Fault.set_soft_errors drive ~seed:11 ~rate:0.0;
+  let cache = Fs.label_cache fs in
+  let file =
+    match File.create fs ~name:"Moving.dat" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "create: %a" File.pp_error e
+  in
+  (match File.write_bytes file ~pos:0 (String.make 700 'm') with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %a" File.pp_error e);
+  let fn =
+    match File.page_name file 1 with
+    | Ok n -> n
+    | Error e -> Alcotest.failf "page_name: %a" File.pp_error e
+  in
+  let src = fn.Page.addr in
+  (* Prime the cache with the page's label at its old home. *)
+  (match Page.read_label ~cache drive fn with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "prime: %a" Page.pp_error e);
+  Alcotest.(check bool) "primed" true (Label_cache.lookup cache src <> None);
+  let gens_before =
+    Array.init (Drive.sector_count drive) (fun i ->
+        Drive.label_generation drive (addr i))
+  in
+  Fault.make_marginal drive src ~rate:0.8 ~growth:1.0 ~degrade_after:50;
+  let patrol = Alto_fs.Patrol.create ~suspect_retries:1 fs in
+  let budget = ref 60 in
+  while Alto_fs.Patrol.relocated patrol < 1 && !budget > 0 do
+    ignore (Alto_fs.Patrol.tick patrol : Alto_fs.Patrol.report);
+    decr budget
+  done;
+  Alcotest.(check bool) "the page was relocated" true
+    (Alto_fs.Patrol.relocated patrol >= 1);
+  File.invalidate_hints file;
+  let dst =
+    match File.page_name file 1 with
+    | Ok n -> n.Page.addr
+    | Error e -> Alcotest.failf "page_name after move: %a" File.pp_error e
+  in
+  Alcotest.(check bool) "the page moved" true (not (Disk_address.equal src dst));
+  Alcotest.(check bool) "source generation advanced" true
+    (Drive.label_generation drive src
+    > gens_before.(Disk_address.to_index src));
+  Alcotest.(check bool) "destination generation advanced" true
+    (Drive.label_generation drive dst
+    > gens_before.(Disk_address.to_index dst));
+  Alcotest.(check bool) "no cached label survives at the source" true
+    (Label_cache.lookup cache src = None);
+  (* The resurrection attempt: the stale full name must be refuted by
+     the disk, never answered from a cached copy. *)
+  match Page.read_label ~cache drive fn with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a relocated page answered at its old address"
+
 let test_world_restore_evicts () =
   let geometry =
     { Geometry.diablo_31 with Geometry.model = "world"; cylinders = 80 }
@@ -316,6 +379,9 @@ let () =
           ("retry evidence evicts", `Quick, test_retry_evidence_evicts);
           ("quarantine evicts", `Quick, test_quarantine_evicts);
           ("no stale masking", `Quick, test_no_stale_masking);
+          ( "relocation bumps both generations",
+            `Quick,
+            test_relocation_bumps_both_generations );
           ("world restore evicts", `Quick, test_world_restore_evicts);
         ] );
       ("overflow", [ ("bad table refuses the 65th", `Quick, test_quarantine_overflow) ]);

@@ -1,0 +1,340 @@
+(* The online patrol: the incremental verify sweep finds marginal
+   sectors by retry evidence and moves their pages to safety before the
+   sector dies; the dirty flag and the persisted cursor turn an unsafe
+   shutdown into a bounded recovery scan instead of a full scavenge; and
+   quarantine verdicts that overflow the descriptor table survive
+   remount through the spill file. *)
+
+module Word = Alto_machine.Word
+module Geometry = Alto_disk.Geometry
+module Disk_address = Alto_disk.Disk_address
+module Sector = Alto_disk.Sector
+module Drive = Alto_disk.Drive
+module Fault = Alto_disk.Fault
+module Fs = Alto_fs.Fs
+module File = Alto_fs.File
+module Directory = Alto_fs.Directory
+module Patrol = Alto_fs.Patrol
+module Bad_sectors = Alto_fs.Bad_sectors
+module Scavenger = Alto_fs.Scavenger
+module Page = Alto_fs.Page
+module System = Alto_os.System
+module Executive = Alto_os.Executive
+module Keyboard = Alto_streams.Keyboard
+module Display = Alto_streams.Display
+
+let tiny = { Geometry.diablo_31 with Geometry.model = "tiny"; cylinders = 3 }
+
+let addr i = Disk_address.of_index i
+
+let make_volume ?(geometry = tiny) ?(seed = 42) () =
+  let drive = Drive.create ~pack_id:3 geometry in
+  let fs = Fs.format drive in
+  (* Seed the drive's fault PRNG without enabling base soft errors, so
+     marginal-sector draws are reproducible. *)
+  Fault.set_soft_errors drive ~seed ~rate:0.0;
+  (drive, fs)
+
+let create_file fs name content =
+  match File.create fs ~name with
+  | Error e -> Alcotest.failf "create %s: %a" name File.pp_error e
+  | Ok file -> (
+      (match File.write_bytes file ~pos:0 content with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write %s: %a" name File.pp_error e);
+      (match File.flush_leader file with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "flush %s: %a" name File.pp_error e);
+      match Directory.open_root fs with
+      | Error e -> Alcotest.failf "root: %a" Directory.pp_error e
+      | Ok root -> (
+          match Directory.add root ~name (File.leader_name file) with
+          | Ok () -> file
+          | Error e -> Alcotest.failf "add %s: %a" name Directory.pp_error e))
+
+let open_by_name fs name =
+  match Directory.open_root fs with
+  | Error e -> Alcotest.failf "root: %a" Directory.pp_error e
+  | Ok root -> (
+      match Directory.lookup root name with
+      | Error e -> Alcotest.failf "lookup %s: %a" name Directory.pp_error e
+      | Ok None -> Alcotest.failf "%s: vanished from the catalogue" name
+      | Ok (Some e) -> (
+          match File.open_leader fs e.Directory.entry_file with
+          | Error err -> Alcotest.failf "open %s: %a" name File.pp_error err
+          | Ok f -> (f, e.Directory.entry_file.Page.addr)))
+
+let read_all file =
+  match File.read_bytes file ~pos:0 ~len:(File.byte_length file) with
+  | Ok bytes -> Bytes.to_string bytes
+  | Error e -> Alcotest.failf "read: %a" File.pp_error e
+
+let page_addr file pn =
+  match File.page_name file pn with
+  | Ok fn -> fn.Page.addr
+  | Error e -> Alcotest.failf "page_name %d: %a" pn File.pp_error e
+
+(* Sweep full laps until the patrol has moved [relocations] pages (or a
+   generous lap budget runs out — the marginal rates below make missing
+   a sector for ten straight laps practically impossible). *)
+let sweep_until patrol ~relocations =
+  let n = Drive.sector_count (Fs.drive (Patrol.fs patrol)) in
+  let budget = ref (10 * ((n / 24) + 1)) in
+  while Patrol.relocated patrol < relocations && !budget > 0 do
+    ignore (Patrol.tick patrol : Patrol.report);
+    decr budget
+  done;
+  Alcotest.(check bool) "patrol found and moved the page(s)" true
+    (Patrol.relocated patrol >= relocations)
+
+let pack_image drive =
+  List.init (Drive.sector_count drive) (fun i ->
+      let s = Drive.peek drive (addr i) in
+      ( Array.to_list (Sector.part_of s Sector.Header),
+        Array.to_list (Sector.part_of s Sector.Label),
+        Array.to_list (Sector.part_of s Sector.Value) ))
+
+(* {2 the sweep} *)
+
+(* A wearing-out sector is detected by retry evidence and its page moved
+   before the sector degrades to permanently bad: contents intact, old
+   sector quarantined, and the pack still sound for a remount and for
+   the scavenger. *)
+let test_marginal_page_relocated () =
+  let drive, fs = make_volume () in
+  let content = String.init 900 (fun i -> Char.chr (33 + (i mod 90))) in
+  let file = create_file fs "Victim.dat" content in
+  let victim = page_addr file 1 in
+  Fault.make_marginal drive victim ~rate:0.8 ~growth:1.0 ~degrade_after:50;
+  let patrol = Patrol.create ~suspect_retries:1 fs in
+  sweep_until patrol ~relocations:1;
+  Alcotest.(check bool) "caught before the sector went hard-bad" false
+    (Drive.is_bad drive victim);
+  Alcotest.(check bool) "old sector quarantined" true
+    (Fs.quarantined fs victim || Fs.spilled fs victim);
+  Alcotest.(check int) "no page was lost" 0 (Patrol.pages_lost patrol);
+  (* A fresh handle (stale hints forgotten) finds the moved page. *)
+  let fresh, _ = open_by_name fs "Victim.dat" in
+  Alcotest.(check string) "contents byte-identical" content (read_all fresh);
+  Alcotest.(check bool) "the page really moved" true
+    (not (Disk_address.equal (page_addr fresh 1) victim));
+  (* The pack is sound across a remount... *)
+  (match Fs.flush fs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flush: %a" Fs.pp_error e);
+  (match Fs.mount drive with
+  | Error msg -> Alcotest.failf "remount: %s" msg
+  | Ok fs2 ->
+      let again, _ = open_by_name fs2 "Victim.dat" in
+      Alcotest.(check string) "contents survive remount" content (read_all again));
+  (* ...and for the scavenger: nothing left to lose. *)
+  match Scavenger.scavenge drive with
+  | Error msg -> Alcotest.failf "scavenge: %s" msg
+  | Ok (_, report) ->
+      Alcotest.(check int) "scavenger agrees nothing was lost" 0
+        report.Scavenger.pages_lost
+
+(* Relocating a leader page must re-point the catalogue: the directory
+   entry's address hint follows the move. *)
+let test_leader_relocation_fixes_catalogue () =
+  let drive, fs = make_volume () in
+  let content = "the leader of this file lives on a dying sector" in
+  let file = create_file fs "Leader.dat" content in
+  let old_leader = (File.leader_name file).Page.addr in
+  Fault.make_marginal drive old_leader ~rate:0.8 ~growth:1.0 ~degrade_after:50;
+  let patrol = Patrol.create ~suspect_retries:1 fs in
+  sweep_until patrol ~relocations:1;
+  let fresh, entry_addr = open_by_name fs "Leader.dat" in
+  Alcotest.(check bool) "the catalogue entry follows the move" true
+    (not (Disk_address.equal entry_addr old_leader));
+  Alcotest.(check string) "contents intact through the new leader" content
+    (read_all fresh)
+
+(* The same seed must give the same patrol: identical packs, identical
+   relocation counts. *)
+let test_deterministic_under_seed () =
+  let run () =
+    let drive, fs = make_volume ~seed:77 () in
+    let _ = create_file fs "A.dat" (String.make 1400 'a') in
+    let b = create_file fs "B.dat" (String.make 900 'b') in
+    Fault.make_marginal drive (page_addr b 1) ~rate:0.7 ~growth:1.0
+      ~degrade_after:60;
+    let patrol = Patrol.create ~suspect_retries:1 fs in
+    for _ = 1 to 12 do
+      ignore (Patrol.tick patrol : Patrol.report)
+    done;
+    (match Fs.flush fs with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "flush: %a" Fs.pp_error e);
+    (pack_image drive, Patrol.relocated patrol, Patrol.slices patrol)
+  in
+  let image1, relocated1, slices1 = run () in
+  let image2, relocated2, slices2 = run () in
+  Alcotest.(check int) "same slice count" slices1 slices2;
+  Alcotest.(check int) "same relocation count" relocated1 relocated2;
+  Alcotest.(check bool) "identical pack images" true (image1 = image2)
+
+(* {2 unsafe shutdown} *)
+
+(* The dirty flag: set and persisted by the first mutation, cleared by a
+   consistency point, and readable across remounts. *)
+let test_dirty_flag_lifecycle () =
+  let drive, fs = make_volume () in
+  Alcotest.(check bool) "a fresh format is clean" false (Fs.dirty fs);
+  let _ = create_file fs "Mut.dat" "mutation" in
+  Alcotest.(check bool) "mutation set the flag" true (Fs.dirty fs);
+  (* The flag was written through at the first mutation: a remount (the
+     crash view) sees it without any further flush. *)
+  (match Fs.mount drive with
+  | Error msg -> Alcotest.failf "remount: %s" msg
+  | Ok crashed -> Alcotest.(check bool) "crash view is dirty" true (Fs.dirty crashed));
+  (match Fs.mark_clean fs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mark_clean: %a" Fs.pp_error e);
+  match Fs.mount drive with
+  | Error msg -> Alcotest.failf "remount: %s" msg
+  | Ok clean -> Alcotest.(check bool) "clean shutdown persisted" false (Fs.dirty clean)
+
+(* Power fails mid-workload; the pack mounts dirty, the bounded recovery
+   scan runs, and the volume is sound and clean afterwards. *)
+let test_crash_recovery_bounded () =
+  let drive, fs = make_volume ~geometry:{ tiny with Geometry.cylinders = 5 } () in
+  let keep = String.init 1200 (fun i -> Char.chr (65 + (i mod 26))) in
+  let _ = create_file fs "Keep.dat" keep in
+  (match Fs.mark_clean fs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mark_clean: %a" Fs.pp_error e);
+  (* Now a workload that dies mid-flight. *)
+  Drive.set_power_budget drive (Some 120);
+  (try
+     for i = 0 to 30 do
+       ignore (create_file fs (Printf.sprintf "Doomed%d.dat" i) (String.make 700 'd'))
+     done;
+     Alcotest.fail "the power budget never ran out"
+   with Drive.Power_failure -> ());
+  Drive.set_power_budget drive None;
+  match Fs.mount drive with
+  | Error msg -> Alcotest.failf "mount after crash: %s" msg
+  | Ok crashed ->
+      Alcotest.(check bool) "the pack mounts dirty" true (Fs.dirty crashed);
+      let recovery = Patrol.recover crashed in
+      Alcotest.(check bool) "the scan covered the unfinished lap" true
+        (recovery.Patrol.sectors_scanned
+        = Drive.sector_count drive - recovery.Patrol.resumed_at);
+      Alcotest.(check bool) "recovery declared the consistency point" false
+        (Fs.dirty crashed);
+      (* The volume is sound: the pre-crash file reads back, and a fresh
+         mount starts clean. *)
+      let kept, _ = open_by_name crashed "Keep.dat" in
+      Alcotest.(check string) "pre-crash data intact" keep (read_all kept);
+      (match Fs.mount drive with
+      | Error msg -> Alcotest.failf "clean remount: %s" msg
+      | Ok clean -> Alcotest.(check bool) "clean after recovery" false (Fs.dirty clean))
+
+(* A crash between reserving a page and writing it leaks the map bit;
+   the recovery scan reclaims it (label free, map busy). *)
+let test_abandoned_reservation_reclaimed () =
+  let drive, fs = make_volume () in
+  let reserved =
+    match Fs.reserve fs with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "reserve: %a" Fs.pp_error e
+  in
+  (match Fs.flush fs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flush: %a" Fs.pp_error e);
+  (* Crash: the reservation's owner never writes the page. *)
+  match Fs.mount drive with
+  | Error msg -> Alcotest.failf "remount: %s" msg
+  | Ok crashed ->
+      Alcotest.(check bool) "the leak survived the crash" false
+        (Fs.is_free_in_map crashed reserved);
+      let recovery = Patrol.recover crashed in
+      Alcotest.(check bool) "the scan repaired the map" true
+        (recovery.Patrol.r_map_repairs >= 1);
+      Alcotest.(check bool) "the leaked page is free again" true
+        (Fs.is_free_in_map crashed reserved)
+
+(* {2 the spill file} *)
+
+(* Quarantine verdicts beyond the descriptor table's 64 entries survive
+   a remount through the catalogued spill file, and the allocator still
+   refuses them. *)
+let test_spill_survives_remount () =
+  let drive, fs = make_volume ~geometry:{ tiny with Geometry.cylinders = 5 } () in
+  let free =
+    List.filter
+      (fun i -> Fs.is_free_in_map fs (addr i))
+      (List.init (Drive.sector_count drive) Fun.id)
+  in
+  Alcotest.(check bool) "room to overflow and still allocate" true
+    (List.length free > 80);
+  (* 64 fill the table; 6 spill. *)
+  List.iteri (fun k i -> if k < 70 then Fs.quarantine fs (addr i)) free;
+  Alcotest.(check int) "six spilled" 6 (List.length (Fs.spilled_table fs));
+  (match Bad_sectors.flush fs with
+  | Ok n -> Alcotest.(check int) "six written" 6 n
+  | Error e -> Alcotest.failf "spill flush: %a" Bad_sectors.pp_error e);
+  (match Fs.flush fs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flush: %a" Fs.pp_error e);
+  match Fs.mount drive with
+  | Error msg -> Alcotest.failf "remount: %s" msg
+  | Ok fs2 ->
+      let spilled = addr (List.nth free 64) in
+      (* Before the spill file is read, only the 64 tabled verdicts hold. *)
+      Alcotest.(check bool) "not yet re-entered" false (Fs.spilled fs2 spilled);
+      (match Bad_sectors.load fs2 with
+      | Ok n -> Alcotest.(check int) "six adopted" 6 n
+      | Error e -> Alcotest.failf "spill load: %a" Bad_sectors.pp_error e);
+      Alcotest.(check bool) "the verdict survived the remount" true
+        (Fs.spilled fs2 spilled);
+      Alcotest.(check bool) "busy in the map" false (Fs.is_free_in_map fs2 spilled);
+      Fs.mark_free fs2 spilled;
+      Alcotest.(check bool) "mark_free refuses a spilled sector" false
+        (Fs.is_free_in_map fs2 spilled)
+
+(* {2 the health command} *)
+
+let test_health_command () =
+  let system = System.boot ~geometry:tiny () in
+  Keyboard.feed (System.keyboard system) "health\nquit\n";
+  let outcome = Executive.run system in
+  Alcotest.(check bool) "both commands ran" true
+    (outcome.Executive.commands_executed = 2 && outcome.Executive.quit);
+  let text = Display.contents (System.display system) in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "reports the patrol cursor" true (contains "patrol:");
+  Alcotest.(check bool) "reports the bad-sector stores" true (contains "spilled");
+  Alcotest.(check bool) "reports the spill file" true (contains "no spill file");
+  (* quit declared the consistency point: the pack reboots clean, with
+     no recovery scan. *)
+  Alcotest.(check bool) "quit left the volume clean" false
+    (Fs.dirty (System.fs system))
+
+let () =
+  Alcotest.run "alto patrol"
+    [
+      ( "sweep",
+        [
+          ("marginal page relocated", `Quick, test_marginal_page_relocated);
+          ( "leader relocation fixes catalogue",
+            `Quick,
+            test_leader_relocation_fixes_catalogue );
+          ("deterministic under seed", `Quick, test_deterministic_under_seed);
+        ] );
+      ( "shutdown",
+        [
+          ("dirty flag lifecycle", `Quick, test_dirty_flag_lifecycle);
+          ("crash recovery bounded", `Quick, test_crash_recovery_bounded);
+          ( "abandoned reservation reclaimed",
+            `Quick,
+            test_abandoned_reservation_reclaimed );
+        ] );
+      ("spill", [ ("spill survives remount", `Quick, test_spill_survives_remount) ]);
+      ("health", [ ("health command reports", `Quick, test_health_command) ]);
+    ]
