@@ -11,7 +11,7 @@ headroom for intentional code changes, not for noise.
 Usage: check_regression.py BASELINE.json FRESH.json
 
 When a change legitimately moves a metric past the threshold, regenerate
-the baseline (dune exec bench/main.exe -- e1 e4 e14 e15 e16 --json BENCH_PR4.json)
+the baseline (dune exec bench/main.exe -- e1 e4 e14 e15 e16 e17 --json BENCH_PR5.json)
 and commit it alongside the change, with the movement called out in the
 PR description.
 """
@@ -51,6 +51,12 @@ MEAN_UP_IS_BAD = [
     "disk.retry_latency_us",
 ]
 
+# Histograms gated on their p99: the tail is where a scheduling or
+# retry-path regression shows first, long before the mean moves.
+P99_UP_IS_BAD = [
+    "disk.op_us",
+]
+
 # Metrics that must not move at all: a retry ladder running dry is data
 # loss, not a performance question, and E16 plants a fixed number of
 # marginal sectors that the patrol must drain exactly — fewer relocations
@@ -75,6 +81,13 @@ def mean(metrics, name):
     if m is None or m.get("type") != "histogram":
         return None
     return m["mean"]
+
+
+def p99(metrics, name):
+    m = metrics.get(name)
+    if m is None or m.get("type") != "histogram":
+        return None
+    return m.get("p99")
 
 
 def main():
@@ -114,6 +127,8 @@ def main():
         compare(name, counter(bm, name), counter(fm, name), up_is_bad=False)
     for name in MEAN_UP_IS_BAD:
         compare(name, mean(bm, name), mean(fm, name), up_is_bad=True)
+    for name in P99_UP_IS_BAD:
+        compare(name + ".p99", p99(bm, name), p99(fm, name), up_is_bad=True)
 
     for name in EXACT:
         b, f = counter(bm, name), counter(fm, name)

@@ -30,6 +30,8 @@ module World = Alto_world.World
 module Checkpoint = Alto_world.Checkpoint
 module Level = Alto_os.Level
 module System = Alto_os.System
+module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
 open Workloads
 
 (* E1 — §3.5: "This entire process is called scavenging, and it takes
@@ -1209,7 +1211,94 @@ let e16 () =
      drained within a lap or two, and a crash costs the unswept tail of\n\
      the current lap instead of a whole-pack rebuild."
 
+(* E17 — the span profiler's books balance: a scavenge's wall time
+   decomposes into named passes, and the drive's motion counters
+   reappear, microsecond for microsecond, split across the span tree. *)
+let e17 () =
+  heading "E17  span profiler attribution (alto_prof)";
+  claim
+    "the span tree attributes >=95% of a scavenge to named passes, and its \
+     disk components sum to the disk.* motion counters within 1%";
+  let drive, fs = fresh () in
+  let clock = Fs.clock fs in
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  let (_ : string list) = fill_to fs root ~fraction:0.5 ~file_bytes:4000 in
+  let report =
+    Obs.time clock "e17.scavenge_us" (fun () ->
+        match Scavenger.scavenge ~verify_values:true drive with
+        | Ok (_, r) -> r
+        | Error msg -> failwith msg)
+  in
+  let tree = Prof.tree () in
+  let span =
+    match Prof.find tree "e17.scavenge_us" with
+    | Some s -> s
+    | None -> failwith "E17: the scavenge span is missing from the tree"
+  in
+  if span.Prof.total_us = 0 then failwith "E17: the scavenge span cost nothing";
+  let child_us = span.Prof.total_us - span.Prof.self_us in
+  let coverage = float_of_int child_us /. float_of_int span.Prof.total_us in
+  (* The whole-tree disk components against the drive's own counters.
+     Both are cumulative over the process, so the comparison holds no
+     matter which experiments ran before this one. *)
+  let counter name =
+    match Obs.find name with
+    | Some (Obs.Counter n) -> n
+    | Some (Obs.Histogram _) | None -> 0
+  in
+  let t = Prof.disk_totals () in
+  let prof_disk_us =
+    t.Prof.t_seek_us + t.Prof.t_rotation_us + t.Prof.t_transfer_us
+    + t.Prof.t_retry_us
+  in
+  let drive_disk_us =
+    counter "disk.seek_us" + counter "disk.rotational_wait_us"
+    + counter "disk.transfer_us"
+  in
+  let drift =
+    if drive_disk_us = 0 then 1.0
+    else
+      abs_float (float_of_int (prof_disk_us - drive_disk_us))
+      /. float_of_int drive_disk_us
+  in
+  let passes =
+    List.filter
+      (fun (s : Prof.snapshot) -> s.Prof.total_us > 0)
+      span.Prof.children
+  in
+  print_table [ 26; 14; 10 ]
+    [ "scavenge pass"; "total"; "share" ]
+    (List.map
+       (fun (s : Prof.snapshot) ->
+         [
+           s.Prof.name;
+           us_to_string s.Prof.total_us;
+           Printf.sprintf "%5.1f%%"
+             (100. *. float_of_int s.Prof.total_us
+             /. float_of_int span.Prof.total_us);
+         ])
+       passes);
+  print_table [ 26; 14 ]
+    [ "attribution"; "" ]
+    [
+      [ "scavenge wall time"; us_to_string span.Prof.total_us ];
+      [ "named child spans"; us_to_string child_us ];
+      [ "coverage"; Printf.sprintf "%.2f%%" (100. *. coverage) ];
+      [ "tree disk components"; us_to_string prof_disk_us ];
+      [ "drive disk counters"; us_to_string drive_disk_us ];
+      [ "drift"; Printf.sprintf "%.4f%%" (100. *. drift) ];
+      [ "sectors scavenged"; string_of_int report.Scavenger.sectors_scanned ];
+    ];
+  if coverage < 0.95 then
+    failwith "E17: less than 95% of the scavenge is attributed to passes";
+  if drift > 0.01 then
+    failwith "E17: span-tree disk time drifted from the disk.* counters";
+  print_endline
+    "shape: attribution is conservation of time: every microsecond the\n\
+     drive charges lands in exactly one span, so the profile's books\n\
+     balance against the aggregate counters instead of sampling them."
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15); ("e16", e16) ]
+            ("e15", e15); ("e16", e16); ("e17", e17) ]

@@ -211,6 +211,27 @@ let run_micro () =
 
 module Json = Alto_obs.Json
 module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
+
+(* Percentiles of every histogram the run touched, keyed by name — the
+   compact view the regression gate reads without digging into
+   "metrics". *)
+let latency_json () =
+  Json.Obj
+    (List.filter_map
+       (fun (name, m) ->
+         match m with
+         | Obs.Histogram s when s.Obs.count > 0 ->
+             Some
+               ( name,
+                 Json.Obj
+                   [
+                     ("p50", Json.Int s.Obs.p50);
+                     ("p90", Json.Int s.Obs.p90);
+                     ("p99", Json.Int s.Obs.p99);
+                   ] )
+         | Obs.Histogram _ | Obs.Counter _ -> None)
+       (Obs.snapshot ()))
 
 let write_json file selected =
   let doc =
@@ -220,6 +241,8 @@ let write_json file selected =
         ("selection", Json.List (List.map (fun s -> Json.String s) selected));
         ("experiments", Workloads.experiments_json ());
         ("metrics", Obs.metrics_json ());
+        ("latency", latency_json ());
+        ("span_tree", Prof.to_json ());
       ]
   in
   match open_out file with

@@ -123,6 +123,11 @@ let metric_deltas baseline now =
                     min = s.Obs.min;
                     max = s.Obs.max;
                     mean = float_of_int sum /. float_of_int count;
+                    (* Percentiles, like min/max, stay cumulative: the
+                       buckets are not windowed. *)
+                    p50 = s.Obs.p50;
+                    p90 = s.Obs.p90;
+                    p99 = s.Obs.p99;
                   } )
       | Obs.Counter _, Some (Obs.Histogram _)
       | Obs.Histogram _, Some (Obs.Counter _) ->

@@ -1,0 +1,147 @@
+module Sim_clock = Alto_machine.Sim_clock
+module Obs = Alto_obs.Obs
+module Json = Alto_obs.Json
+
+let file_name = "FlightRecorder.log"
+let magic = "altos.flight/1"
+let default_capacity = 256
+
+let m_flushes = Obs.counter "fs.flight.flushes"
+let m_adoptions = Obs.counter "fs.flight.adoptions"
+
+(* The recorder is machine-wide, like the registry it snapshots. It
+   stays disarmed until {!enable} so the raw library layers (and their
+   tests) never grow a surprise catalogued file; booting the full
+   machine arms it. *)
+let armed = ref false
+let capacity = ref default_capacity
+let ring : Obs.event Queue.t = Queue.create ()
+let sink : Obs.sink_id option ref = ref None
+let last_adopted : string option ref = ref None
+
+let on_event e =
+  Queue.push e ring;
+  while Queue.length ring > !capacity do
+    ignore (Queue.pop ring)
+  done
+
+let enable () =
+  armed := true;
+  match !sink with
+  | Some _ -> ()
+  | None -> sink := Some (Obs.add_sink on_event)
+
+let disable () =
+  armed := false;
+  (match !sink with Some id -> Obs.remove_sink id | None -> ());
+  sink := None;
+  Queue.clear ring
+
+let is_enabled () = !armed
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Flight.set_capacity: capacity must be positive";
+  capacity := n;
+  while Queue.length ring > n do
+    ignore (Queue.pop ring)
+  done
+
+let field_json = function
+  | Obs.I i -> Json.Int i
+  | Obs.S s -> Json.String s
+  | Obs.B b -> Json.Bool b
+
+let event_json (e : Obs.event) =
+  Json.Obj
+    [
+      ("seq", Json.Int e.Obs.seq);
+      ("ts_us", Json.Int e.Obs.ts_us);
+      ("name", Json.String e.Obs.name);
+      ("fields", Json.Obj (List.map (fun (k, v) -> (k, field_json v)) e.Obs.fields));
+    ]
+
+(* Render before writing: the write itself emits events that would
+   otherwise mutate the ring mid-serialization. *)
+let render ~reason fs =
+  let events = List.rev (Queue.fold (fun acc e -> event_json e :: acc) [] ring) in
+  Json.to_string
+    (Json.Obj
+       [
+         ("magic", Json.String magic);
+         ("sealed_at_us", Json.Int (Sim_clock.now_us (Fs.clock fs)));
+         ("reason", Json.String reason);
+         ("metrics", Obs.metrics_json ());
+         ("events", Json.List events);
+       ])
+
+let find_file fs =
+  match Directory.open_root fs with
+  | Error _ -> None
+  | Ok root -> (
+      match Directory.lookup root file_name with
+      | Error _ | Ok None -> None
+      | Ok (Some entry) -> (
+          match File.open_leader fs entry.Directory.entry_file with
+          | Error _ -> None
+          | Ok file -> Some file))
+
+let create_file fs =
+  match File.create fs ~name:file_name with
+  | Error _ -> None
+  | Ok file -> (
+      match Directory.open_root fs with
+      | Error _ -> None
+      | Ok root -> (
+          match Directory.add root ~name:file_name (File.leader_name file) with
+          | Error _ -> None
+          | Ok () -> Some file))
+
+(* Best effort end to end: a machine going down must not be stopped by
+   its own black box failing to write. *)
+let flush ~reason fs =
+  if !armed then begin
+    let content = render ~reason fs in
+    match (match find_file fs with Some f -> Some f | None -> create_file fs) with
+    | None -> ()
+    | Some file -> (
+        match File.write_bytes file ~pos:0 content with
+        | Error _ -> ()
+        | Ok () -> (
+            match File.truncate file ~len:(String.length content) with
+            | Error _ -> ()
+            | Ok () -> (
+                match File.flush_leader file with
+                | Error _ -> ()
+                | Ok () ->
+                    Obs.incr m_flushes;
+                    Obs.event ~clock:(Fs.clock fs)
+                      ~fields:[ ("reason", Obs.S reason); ("bytes", Obs.I (String.length content)) ]
+                      "fs.flight.flush")))
+  end
+
+let adopt fs =
+  match find_file fs with
+  | None -> None
+  | Some file -> (
+      let len = File.byte_length file in
+      if len <= 0 then None
+      else
+        match File.read_bytes file ~pos:0 ~len with
+        | Error _ -> None
+        | Ok bytes ->
+            let content = Bytes.to_string bytes in
+            (* Only a real record counts: an empty or foreign file is
+               ignored, exactly like a pack with no recorder at all. *)
+            if String.length content >= String.length magic + 2
+               && String.sub content 0 2 = "{\""
+            then begin
+              last_adopted := Some content;
+              Obs.incr m_adoptions;
+              Obs.event ~clock:(Fs.clock fs)
+                ~fields:[ ("bytes", Obs.I (String.length content)) ]
+                "fs.flight.adopt";
+              Some content
+            end
+            else None)
+
+let adopted () = !last_adopted

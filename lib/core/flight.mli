@@ -1,0 +1,54 @@
+(** The on-pack flight recorder: the machine's black box.
+
+    A bounded {!Obs} sink keeps the newest trace events in core; at each
+    consistency point ([quit], OutLoad, scavenge completion) the
+    recorder seals them — together with a full metrics snapshot — into
+    a catalogued [FlightRecorder.log] file on the pack, as one JSON
+    object:
+
+    {v
+    { "magic": "altos.flight/1", "sealed_at_us": …, "reason": "quit",
+      "metrics": { … }, "events": [ {"seq": …, "ts_us": …, …}, … ] }
+    v}
+
+    After an unsafe shutdown, boot {e adopts} the record before recovery
+    overwrites anything: the operator (and [blackbox] in the Executive)
+    can read the machine's last recorded moments even though the crash
+    itself wrote nothing. A pack without the file mounts exactly as
+    before — adoption simply finds nothing.
+
+    The recorder is machine-wide and starts disarmed; {!enable} is
+    called when the full machine boots. Library-level users of [Fs]
+    never see the file appear on its own. Everything it writes derives
+    from the simulated clock and the metric registry, so fixed-seed
+    runs stay byte-deterministic with the recorder armed. *)
+
+val file_name : string
+(** ["FlightRecorder.log"], catalogued in the root directory. *)
+
+val enable : unit -> unit
+(** Arm the recorder: register the event sink (idempotent) and allow
+    {!flush} to write. *)
+
+val disable : unit -> unit
+(** Disarm, remove the sink, and drop the buffered events. *)
+
+val is_enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Resize the in-core event buffer (default 256 newest events),
+    evicting the oldest. Raises [Invalid_argument] when not positive. *)
+
+val flush : reason:string -> Fs.t -> unit
+(** Seal the current buffer and metrics into the pack, creating the
+    file on first use. Best effort and a no-op while disarmed: a dying
+    machine must not be stopped by its own black box. Call {e before}
+    {!Fs.mark_clean} — the write dirties the volume. *)
+
+val adopt : Fs.t -> string option
+(** Read the record left by the previous incarnation, if any, and
+    remember it for {!adopted}. Called at boot, before recovery runs.
+    Returns [None] on packs without a (well-formed) record. *)
+
+val adopted : unit -> string option
+(** The record adopted at boot, if any — what [blackbox] prints. *)

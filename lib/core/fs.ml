@@ -6,6 +6,7 @@ module Reliable = Alto_disk.Reliable
 module Geometry = Alto_disk.Geometry
 module Disk_address = Alto_disk.Disk_address
 module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
 
 let m_allocations = Obs.counter "fs.page_allocations"
 let m_frees = Obs.counter "fs.page_frees"
@@ -253,6 +254,7 @@ let write_first t addr label value =
     | Error (Drive.Check_mismatch _ | Drive.Transient _) -> assert false
 
 let allocate_page t ~label ~value =
+  Prof.span (Drive.clock t.drive) "fs.allocate_page" @@ fun () ->
   let rec attempt () =
     match reserve t with
     | Error e -> Error e
@@ -283,6 +285,7 @@ let allocate_page t ~label ~value =
   attempt ()
 
 let free_page t (fn : Page.full_name) =
+  Prof.span (Drive.clock t.drive) "fs.free_page" @@ fun () ->
   note_mutation t;
   let write_free () =
     Reliable.run t.drive fn.Page.addr
@@ -425,6 +428,7 @@ let descriptor_page_name t pn =
   else Page.full_name File_id.descriptor ~page:pn ~addr:t.descriptor_pages.(pn - 1)
 
 let flush t =
+  Prof.span (Drive.clock t.drive) "fs.flush" @@ fun () ->
   Obs.incr m_descriptor_flushes;
   let words = assemble_descriptor t in
   let pages = descriptor_data_pages t in

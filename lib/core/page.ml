@@ -4,6 +4,7 @@ module Drive = Alto_disk.Drive
 module Reliable = Alto_disk.Reliable
 module Disk_address = Alto_disk.Disk_address
 module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
 
 (* Label-check aborts: disk operations cut short because the sector's
    label did not carry the absolute name the caller asserted. Every one
@@ -86,6 +87,7 @@ let cached_check pattern cached =
   scan 0
 
 let read ?cache drive fn =
+  Prof.span (Drive.clock drive) "page.read" @@ fun () ->
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
   let value = Array.make Sector.value_words Word.zero in
   match
@@ -101,15 +103,18 @@ let read ?cache drive fn =
       | Error e -> Error e)
 
 let read_label ?cache drive fn =
+  Prof.span (Drive.clock drive) "page.read_label" @@ fun () ->
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
   match Option.bind cache (fun c -> Label_cache.lookup c fn.addr) with
   | Some cached -> (
       (* A label-only access answered from core: the one disk operation
          this function exists to issue is skipped entirely. *)
+      Prof.note "page.cache_hit";
       match cached_check label_buf cached with
       | Error e -> hint_failed e
       | Ok () -> decode_checked_label label_buf)
   | None -> (
+      if cache <> None then Prof.note "page.cache_miss";
       match
         Reliable.run drive fn.addr
           { Drive.op_none with label = Some Drive.Check }
@@ -125,6 +130,7 @@ let check_value_size value =
     invalid_arg "Page: value must be 256 words"
 
 let write ?(check = true) ?cache drive fn value =
+  Prof.span (Drive.clock drive) "page.write" @@ fun () ->
   check_value_size value;
   if check then
     let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
@@ -151,12 +157,16 @@ let write ?(check = true) ?cache drive fn value =
              ~next:Disk_address.nil ~prev:Disk_address.nil)
 
 let rewrite_label ?cache drive fn ~new_label ~value =
+  Prof.span (Drive.clock drive) "page.rewrite_label" @@ fun () ->
   check_value_size value;
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
   let checked =
     match Option.bind cache (fun c -> Label_cache.lookup c fn.addr) with
-    | Some cached -> cached_check label_buf cached
+    | Some cached ->
+        Prof.note "page.cache_hit";
+        cached_check label_buf cached
     | None ->
+        if cache <> None then Prof.note "page.cache_miss";
         Reliable.run drive fn.addr
           { Drive.op_none with label = Some Drive.Check }
           ~label:label_buf ()

@@ -16,6 +16,8 @@ let m_pages_lost = Obs.counter "fs.patrol.pages_lost"
 let m_map_repairs = Obs.counter "fs.patrol.map_repairs"
 let m_links_repaired = Obs.counter "fs.patrol.links_repaired"
 let m_laps = Obs.counter "fs.patrol.laps"
+let m_makeup_slices = Obs.counter "fs.patrol.makeup_slices"
+let m_makeup_complete = Obs.counter "fs.patrol.makeup_complete"
 let m_recoveries = Obs.counter "fs.patrol.recoveries"
 
 (* One cylinder of the Diablo 31 (2 tracks x 12 sectors): a slice the
@@ -45,11 +47,17 @@ type t = {
   mutable total_quarantined : int;
   mutable total_lost : int;
   mutable total_map_repairs : int;
+  mutable makeup_until : int;
+      (** After a crash recovery, the head region [0, makeup_until) was
+          skipped by the bounded tail scan; until the cursor crosses it,
+          {!tick} runs an extra slice so the completeness lap finishes
+          at double rate instead of lazily. 0 = no makeup owed. *)
 }
 
-let create ?(slice = default_slice) ?(suspect_retries = 1) fs =
+let create ?(slice = default_slice) ?(suspect_retries = 1) ?(makeup_until = 0) fs =
   if slice < 1 then invalid_arg "Patrol.create: slice below 1";
   if suspect_retries < 1 then invalid_arg "Patrol.create: suspect_retries below 1";
+  if makeup_until < 0 then invalid_arg "Patrol.create: makeup_until below 0";
   {
     fs;
     slice;
@@ -61,11 +69,16 @@ let create ?(slice = default_slice) ?(suspect_retries = 1) fs =
     total_quarantined = 0;
     total_lost = 0;
     total_map_repairs = 0;
+    makeup_until;
   }
 
 let fs t = t.fs
 let laps t = t.laps
 let slices t = t.slices
+
+let makeup_pending t =
+  if t.makeup_until <= 0 then 0
+  else max 0 (t.makeup_until - Fs.patrol_cursor t.fs)
 let suspects_found t = t.total_suspects
 let relocated t = t.total_relocated
 let quarantined t = t.total_quarantined
@@ -352,7 +365,7 @@ let persist t tally ~wrapped =
     match Fs.flush t.fs with Ok () | Error _ -> ()
   end
 
-let tick t =
+let tick_once t =
   let n = Drive.sector_count (Fs.drive t.fs) in
   let start = Fs.patrol_cursor t.fs in
   let k = min t.slice n in
@@ -371,6 +384,43 @@ let tick t =
      recovery rescan a few already-verified sectors. *)
   persist t tally ~wrapped;
   report_of tally ~first_sector:start ~scanned:k ~wrapped
+
+let check_makeup t ~wrapped =
+  if t.makeup_until > 0 && (wrapped || Fs.patrol_cursor t.fs >= t.makeup_until)
+  then begin
+    t.makeup_until <- 0;
+    Obs.incr m_makeup_complete;
+    Obs.event ~clock:(Fs.clock t.fs) "fs.patrol.makeup_complete"
+  end
+
+let merge_reports a b =
+  {
+    first_sector = a.first_sector;
+    scanned = a.scanned + b.scanned;
+    suspects = a.suspects + b.suspects;
+    relocated = a.relocated + b.relocated;
+    quarantined = a.quarantined + b.quarantined;
+    pages_lost = a.pages_lost + b.pages_lost;
+    map_repairs = a.map_repairs + b.map_repairs;
+    links_repaired = a.links_repaired + b.links_repaired;
+    wrapped = a.wrapped || b.wrapped;
+  }
+
+let tick t =
+  let r = tick_once t in
+  check_makeup t ~wrapped:r.wrapped;
+  if t.makeup_until = 0 then r
+  else begin
+    (* Completeness lap after recovery: the region behind the crashed
+       cursor is owed a verify pass, so spend a second ordinary slice
+       per idle tick until the lap catches up with where the crash
+       happened — pages leaked there are found within one lap, not
+       whenever the rotation gets around to them. *)
+    Obs.incr m_makeup_slices;
+    let r2 = tick_once t in
+    check_makeup t ~wrapped:r2.wrapped;
+    merge_reports r r2
+  end
 
 type recovery = {
   resumed_at : int;

@@ -21,9 +21,12 @@
     cursor to end of pack — instead of scavenging the whole pack. That
     restores {e safety} (every allocation-map lie in the unswept tail is
     found, every half-finished free reclaimed) at a cost bounded by the
-    tail, not the pack; only a real scavenge restores {e completeness}
-    (pages leaked behind the cursor stay leaked until the next full lap
-    or scavenge finds them).
+    tail, not the pack. {e Completeness} — the head region behind the
+    crashed cursor — is owed a {e makeup lap}: create the session's
+    patrol with [~makeup_until:recovery.resumed_at] and {!tick} runs an
+    extra ordinary slice per idle moment until the cursor crosses that
+    region, so pages leaked behind the crash are found within one lap
+    instead of lazily.
 
     What one tick does with each sector, by label classification:
 
@@ -45,14 +48,22 @@
 
 type t
 
-val create : ?slice:int -> ?suspect_retries:int -> Fs.t -> t
+val create : ?slice:int -> ?suspect_retries:int -> ?makeup_until:int -> Fs.t -> t
 (** [slice] (default 24, one Diablo 31 cylinder) sectors are verified
     per tick; [suspect_retries] (default 1) is the retry count at which
     a live page's sector is considered marginal and the page moved —
     false positives cost one copy, false negatives risk the data.
-    Raises [Invalid_argument] when either is below 1. *)
+    [makeup_until] (default 0 = none) marks the head region [[0, k)]
+    a crash recovery skipped; ticks run at double rate until the cursor
+    crosses it. Raises [Invalid_argument] when [slice] or
+    [suspect_retries] is below 1, or [makeup_until] is negative. *)
 
 val fs : t -> Fs.t
+
+val makeup_pending : t -> int
+(** Sectors of the post-recovery makeup region the cursor has not
+    reached yet; 0 once the completeness lap is done (or was never
+    owed). *)
 
 type report = {
   first_sector : int;

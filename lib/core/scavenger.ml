@@ -6,6 +6,7 @@ module Reliable = Alto_disk.Reliable
 module Sched = Alto_disk.Sched
 module Disk_address = Alto_disk.Disk_address
 module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
 
 let m_runs = Obs.counter "scavenger.runs"
 let m_failed_runs = Obs.counter "scavenger.failed_runs"
@@ -140,7 +141,10 @@ let repair_label st ~fid ~pn ~addr_index ~length ~next ~prev =
 let scavenge_run ~verify_values ~suspect_retries drive =
   let clock = Drive.clock drive in
   let started = Sim_clock.now_us clock in
-  let sweep = Sweep.run drive in
+  (* Each pass that touches the disk runs under a named span, so the
+     profile splits the minute the paper quotes into its real parts. *)
+  let pass name f = Prof.span clock ("scavenger." ^ name) f in
+  let sweep = pass "sweep" (fun () -> Sweep.run drive) in
   let n = Array.length sweep.Sweep.classes in
   let st =
     {
@@ -193,7 +197,8 @@ let scavenge_run ~verify_values ~suspect_retries drive =
      copied off to a fresh sector in step 4. *)
   let quarantined : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let suspects : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  if verify_values then begin
+  if verify_values then
+    pass "verify" (fun () ->
     (* One elevator batch over every live page. The probe buffer is
        shared: the pass only cares whether each read succeeded and how
        hard the retry ladder worked, never what the data was. *)
@@ -237,8 +242,7 @@ let scavenge_run ~verify_values ~suspect_retries drive =
             | Ok () | Error _ -> ());
             Hashtbl.replace quarantined i ();
             st.pages_lost <- st.pages_lost + 1)
-      outcomes
-  end;
+      outcomes);
 
   (* 2. Per-file contiguity: keep the longest prefix 0..k; everything
      beyond a gap (or a whole headless file) is lost. *)
@@ -310,6 +314,7 @@ let scavenge_run ~verify_values ~suspect_retries drive =
       Some !next_target
     end
   in
+  pass "evacuate" (fun () ->
   Hashtbl.iter
     (fun fid pages ->
       Array.iteri
@@ -347,7 +352,7 @@ let scavenge_run ~verify_values ~suspect_retries drive =
                   pages.(pn) <- (i, label)
                 end)
         pages)
-    final;
+    final);
 
   (* 5. Free every non-busy sector that is not already free — one
      elevator batch of label+value writes. Writes never mutate their
@@ -363,16 +368,17 @@ let scavenge_run ~verify_values ~suspect_retries drive =
   done;
   let to_free = Array.of_list !to_free in
   let free_outcomes =
-    Sched.run_batch st.drive
-      (Array.map
-         (fun i ->
-           Sched.request ~label:free_label ~value:free_value
-             (Disk_address.of_index i)
-             { Drive.op_none with
-               Drive.label = Some Drive.Write;
-               value = Some Drive.Write
-             })
-         to_free)
+    pass "free" (fun () ->
+        Sched.run_batch st.drive
+          (Array.map
+             (fun i ->
+               Sched.request ~label:free_label ~value:free_value
+                 (Disk_address.of_index i)
+                 { Drive.op_none with
+                   Drive.label = Some Drive.Write;
+                   value = Some Drive.Write
+                 })
+             to_free))
   in
   Array.iteri
     (fun j outcome ->
@@ -407,6 +413,7 @@ let scavenge_run ~verify_values ~suspect_retries drive =
   done;
 
   (* 7. Repair links (and force the last page's next link to NIL). *)
+  pass "links" (fun () ->
   Hashtbl.iter
     (fun fid pages ->
       let last = Array.length pages - 1 in
@@ -429,7 +436,7 @@ let scavenge_run ~verify_values ~suspect_retries drive =
                 (i, Label.make ~fid ~page:pn ~length:label.Label.length ~next ~prev)
           end)
         pages)
-    final;
+    final);
 
   (* 8. Read every leader page: the leader name is the file's survival
      kit, so the scavenger verifies each one is legible. This pass is a
@@ -445,18 +452,19 @@ let scavenge_run ~verify_values ~suspect_retries drive =
         Array.make Sector.value_words Word.zero)
   in
   let leader_outcomes =
-    Sched.run_batch drive
-      (Array.mapi
-         (fun j (fid, i) ->
-           Sched.request
-             ~label:(Label.check_name fid ~page:0)
-             ~value:leader_values.(j)
-             (Disk_address.of_index i)
-             { Drive.op_none with
-               Drive.label = Some Drive.Check;
-               value = Some Drive.Read
-             })
-         leaders)
+    pass "leaders" (fun () ->
+        Sched.run_batch drive
+          (Array.mapi
+             (fun j (fid, i) ->
+               Sched.request
+                 ~label:(Label.check_name fid ~page:0)
+                 ~value:leader_values.(j)
+                 (Disk_address.of_index i)
+                 { Drive.op_none with
+                   Drive.label = Some Drive.Check;
+                   value = Some Drive.Read
+                 })
+             leaders))
   in
   Array.iteri
     (fun j outcome ->
@@ -479,15 +487,17 @@ let scavenge_run ~verify_values ~suspect_retries drive =
   let leader_name_of fid = Page.full_name fid ~page:0 ~addr:(Disk_address.of_index (fst (Hashtbl.find final fid).(0))) in
   let referenced : (File_id.t, unit) Hashtbl.t = Hashtbl.create 64 in
   let open_directories =
-    Hashtbl.fold
-      (fun fid _ acc ->
-        if File_id.is_directory fid then
-          match File.open_leader fs (leader_name_of fid) with
-          | Ok file -> (fid, file) :: acc
-          | Error _ -> acc
-        else acc)
-      final []
+    pass "directories" (fun () ->
+        Hashtbl.fold
+          (fun fid _ acc ->
+            if File_id.is_directory fid then
+              match File.open_leader fs (leader_name_of fid) with
+              | Ok file -> (fid, file) :: acc
+              | Error _ -> acc
+            else acc)
+          final [])
   in
+  pass "directories" (fun () ->
   List.iter
     (fun (_fid, dir_file) ->
       let entries, damaged = Directory.salvage dir_file in
@@ -521,7 +531,7 @@ let scavenge_run ~verify_values ~suspect_retries drive =
         match Directory.rewrite dir_file kept with
         | Ok () -> ()
         | Error _ -> ())
-    open_directories;
+    open_directories);
 
   (* 10. Choose or rebuild the root directory. *)
   let find_root () =
@@ -539,16 +549,17 @@ let scavenge_run ~verify_values ~suspect_retries drive =
   in
   let root_rebuilt = ref false in
   let root_result =
-    match find_root () with
-    | Some file -> Ok file
-    | None ->
-        root_rebuilt := true;
-        let fid =
-          if Hashtbl.mem final File_id.root_directory then
-            Fs.fresh_fid ~directory:true fs
-          else File_id.root_directory
-        in
-        File.create_with_id fs fid ~name:"SysDir."
+    pass "root" (fun () ->
+        match find_root () with
+        | Some file -> Ok file
+        | None ->
+            root_rebuilt := true;
+            let fid =
+              if Hashtbl.mem final File_id.root_directory then
+                Fs.fresh_fid ~directory:true fs
+              else File_id.root_directory
+            in
+            File.create_with_id fs fid ~name:"SysDir.")
   in
   match root_result with
   | Error e -> Error (Format.asprintf "cannot rebuild a root directory: %a" File.pp_error e)
@@ -566,6 +577,7 @@ let scavenge_run ~verify_values ~suspect_retries drive =
         in
         go base 1
       in
+      pass "orphans" (fun () ->
       Hashtbl.iter
         (fun fid pages ->
           if not (Hashtbl.mem referenced fid) then begin
@@ -588,19 +600,23 @@ let scavenge_run ~verify_values ~suspect_retries drive =
             | Ok () -> st.orphans_adopted <- st.orphans_adopted + 1
             | Error _ -> ()
           end)
-        final;
+        final);
 
       (* 12. A fresh descriptor at the standard address. *)
-      match Fs.rebuild_descriptor fs with
+      match pass "rebuild" (fun () -> Fs.rebuild_descriptor fs) with
       | Error e -> Error (Format.asprintf "cannot write a fresh descriptor: %a" Fs.pp_error e)
       | Ok () ->
           (* The rebuilt volume is a consistency point: persist any
-             quarantine verdicts that overflowed the descriptor table
-             and clear the unsafe-shutdown flag. Best effort — failure
-             costs only a redundant recovery scan at the next boot. *)
-          if Fs.spilled_table fs <> [] then
-            (match Bad_sectors.flush fs with Ok _ | Error _ -> ());
-          if Fs.dirty fs then (match Fs.mark_clean fs with Ok () | Error _ -> ());
+             quarantine verdicts that overflowed the descriptor table,
+             seal a flight record, and clear the unsafe-shutdown flag.
+             Best effort — failure costs only a redundant recovery scan
+             at the next boot. *)
+          pass "rebuild" (fun () ->
+              if Fs.spilled_table fs <> [] then
+                (match Bad_sectors.flush fs with Ok _ | Error _ -> ());
+              Flight.flush ~reason:"scavenge" fs;
+              if Fs.dirty fs then
+                match Fs.mark_clean fs with Ok () | Error _ -> ());
           let report =
             {
               sectors_scanned = n;

@@ -1,6 +1,7 @@
 module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
 module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
 
 (* Process-wide metrics, aggregated across every drive; per-drive
    figures stay in [stats]. *)
@@ -17,6 +18,10 @@ let m_soft_errors = Obs.counter "disk.soft_errors"
 let m_degraded_sectors = Obs.counter "disk.degraded_sectors"
 let m_restores = Obs.counter "disk.restores"
 let m_seek_distance = Obs.histogram "disk.seek_distance_cylinders"
+
+(* Per-operation motion latency (seek + rotational wait + transfer), the
+   distribution behind the disk.op.p99 regression gate. *)
+let m_op_us = Obs.histogram "disk.op_us"
 
 type action = Read | Check | Write
 
@@ -213,6 +218,7 @@ let charge_motion t index =
         ]
       "disk.seek"
   end;
+  Prof.charge_seek seek_us;
   t.current_cylinder <- cylinder;
   let rotation = t.geometry.Geometry.rotation_us in
   let sector_time = Geometry.sector_time_us t.geometry in
@@ -223,9 +229,12 @@ let charge_motion t index =
   t.stats <-
     { t.stats with rotational_wait_us = t.stats.rotational_wait_us + wait };
   Obs.add m_rotational_wait_us wait;
+  Prof.charge_rotation wait;
   Sim_clock.advance_us t.clock sector_time;
   t.stats <- { t.stats with transfer_us = t.stats.transfer_us + sector_time };
-  Obs.add m_transfer_us sector_time
+  Obs.add m_transfer_us sector_time;
+  Prof.charge_transfer sector_time;
+  Obs.observe m_op_us (seek_us + wait + sector_time)
 
 (* Perform one part's action; [Error _] aborts the rest of the sector. *)
 let perform t part action disk_words buf =
@@ -445,6 +454,7 @@ let restore t =
     Obs.add m_seek_us seek_us;
     Obs.observe m_seek_distance t.current_cylinder
   end;
+  Prof.charge_seek seek_us;
   t.current_cylinder <- 0;
   Obs.incr m_restores;
   Obs.event ~clock:t.clock ~fields:[ ("pack", Obs.I t.pack_id) ] "disk.restore"

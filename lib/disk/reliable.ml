@@ -1,6 +1,7 @@
 module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
 module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
 
 let m_retries = Obs.counter "disk.retries"
 let m_recovered = Obs.counter "disk.retry_recovered"
@@ -71,7 +72,10 @@ let run_counted ?(policy = default_policy) drive addr op ?header ?label ?value (
               finish hard r
         end
       in
-      retry 1 first
+      (* Everything past the first failed attempt is the cost of the
+         fault, not of the operation: the profiler files its motion
+         (restores included) under the retry component. *)
+      Prof.with_retry (fun () -> retry 1 first)
 
 let run ?policy drive addr op ?header ?label ?value () =
   fst (run_counted ?policy drive addr op ?header ?label ?value ())

@@ -1,5 +1,6 @@
 module Word = Alto_machine.Word
 module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
 
 (* Process-wide scheduler metrics; per-batch figures are visible to
    callers through [Drive.stats] deltas. *)
@@ -45,25 +46,26 @@ let run_batch ?policy ?on_done drive requests =
   if n > 0 then begin
     Obs.incr m_batches;
     Obs.add m_requests n;
-    let order =
-      schedule (Drive.geometry drive) ~start:(Drive.current_cylinder drive)
-        requests
-    in
-    let previous_run = ref (-1) in
-    Array.iter
-      (fun (run, _, _, i) ->
-        if run <> !previous_run then begin
-          previous_run := run;
-          Obs.incr m_cylinder_runs
-        end;
-        let r = requests.(i) in
-        let result, retries =
-          Reliable.run_counted ?policy drive r.addr r.op ?header:r.header
-            ?label:r.label ?value:r.value ()
+    Prof.span (Drive.clock drive) "disk.sched.batch" (fun () ->
+        let order =
+          schedule (Drive.geometry drive) ~start:(Drive.current_cylinder drive)
+            requests
         in
-        let outcome = { result; retries } in
-        outcomes.(i) <- outcome;
-        match on_done with None -> () | Some f -> f i outcome)
-      order
+        let previous_run = ref (-1) in
+        Array.iter
+          (fun (run, _, _, i) ->
+            if run <> !previous_run then begin
+              previous_run := run;
+              Obs.incr m_cylinder_runs
+            end;
+            let r = requests.(i) in
+            let result, retries =
+              Reliable.run_counted ?policy drive r.addr r.op ?header:r.header
+                ?label:r.label ?value:r.value ()
+            in
+            let outcome = { result; retries } in
+            outcomes.(i) <- outcome;
+            match on_done with None -> () | Some f -> f i outcome)
+          order)
   end;
   outcomes

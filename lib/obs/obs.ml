@@ -4,17 +4,50 @@ module Sim_clock = Alto_machine.Sim_clock
 
 type counter = { c_name : string; mutable c_value : int }
 
+(* Log-bucketed value counts, HDR style with 3 mantissa bits: values
+   below 16 get a bucket each (exact), larger values share an octave
+   split into 8 sub-buckets, so a bucket is never wider than 12.5% of
+   its lower bound. 480 buckets cover every non-negative OCaml int;
+   negatives (histograms admit them) clamp into bucket 0 and the
+   percentile answer is clamped back into [min, max]. *)
+let bucket_count = 480
+
+let bucket_index v =
+  if v < 16 then if v < 0 then 0 else v
+  else begin
+    let rec msb acc v = if v > 1 then msb (acc + 1) (v lsr 1) else acc in
+    let o = msb 0 v in
+    16 + ((o - 4) * 8) + ((v lsr (o - 3)) land 7)
+  end
+
+let bucket_floor idx =
+  if idx < 16 then idx
+  else
+    let o = 4 + ((idx - 16) / 8) in
+    let sub = (idx - 16) mod 8 in
+    (8 + sub) lsl (o - 3)
+
 type hist_state = {
   h_name : string;
   mutable h_count : int;
   mutable h_sum : int;
   mutable h_min : int;
   mutable h_max : int;
+  h_buckets : int array;
 }
 
 type histogram = hist_state
 
-type summary = { count : int; sum : int; min : int; max : int; mean : float }
+type summary = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
 
 type registered = R_counter of counter | R_histogram of hist_state
 
@@ -46,7 +79,16 @@ let histogram name =
   | Some (R_counter _) ->
       invalid_arg (Printf.sprintf "Obs.histogram: %S is registered as a counter" name)
   | None ->
-      let h = { h_name = name; h_count = 0; h_sum = 0; h_min = 0; h_max = 0 } in
+      let h =
+        {
+          h_name = name;
+          h_count = 0;
+          h_sum = 0;
+          h_min = 0;
+          h_max = 0;
+          h_buckets = Array.make bucket_count 0;
+        }
+      in
       Hashtbl.add registry name (R_histogram h);
       h
 
@@ -60,7 +102,23 @@ let observe h v =
     if v > h.h_max then h.h_max <- v
   end;
   h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum + v
+  h.h_sum <- h.h_sum + v;
+  let i = bucket_index v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+let percentile h p =
+  if h.h_count = 0 then 0
+  else begin
+    let rank = min h.h_count (max 1 (int_of_float (ceil (p *. float_of_int h.h_count)))) in
+    let rec walk i seen =
+      let seen = seen + h.h_buckets.(i) in
+      if seen >= rank then bucket_floor i else walk (i + 1) seen
+    in
+    (* The bucket floor under-reads by at most one bucket width; clamping
+       into [min, max] restores exactness for single-bucket tails and for
+       the negative values the floor cannot represent. *)
+    max h.h_min (min h.h_max (walk 0 0))
+  end
 
 let summary h =
   {
@@ -69,6 +127,9 @@ let summary h =
     min = h.h_min;
     max = h.h_max;
     mean = (if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count);
+    p50 = percentile h 0.50;
+    p90 = percentile h 0.90;
+    p99 = percentile h 0.99;
   }
 
 let histogram_name h = h.h_name
@@ -158,7 +219,9 @@ let time clock name f =
     observe h elapsed;
     event ~clock ~fields:[ ("elapsed_us", I elapsed) ] (name ^ ".end")
   in
-  match f () with
+  (* Every timed site doubles as a causal span, so the profiler sees the
+     whole [Obs.time] surface without any call-site changes. *)
+  match Prof.span clock name f with
   | x ->
       close ();
       x
@@ -197,10 +260,12 @@ let reset () =
           h.h_count <- 0;
           h.h_sum <- 0;
           h.h_min <- 0;
-          h.h_max <- 0)
+          h.h_max <- 0;
+          Array.fill h.h_buckets 0 bucket_count 0)
     registry;
   clear_trace ();
-  tr.next_seq <- 0
+  tr.next_seq <- 0;
+  Prof.reset ()
 
 let summary_json s =
   Json.Obj
@@ -211,6 +276,9 @@ let summary_json s =
       ("min", Json.Int s.min);
       ("max", Json.Int s.max);
       ("mean", Json.Float s.mean);
+      ("p50", Json.Int s.p50);
+      ("p90", Json.Int s.p90);
+      ("p99", Json.Int s.p99);
     ]
 
 let metrics_json () =
@@ -224,8 +292,8 @@ let metrics_json () =
        (snapshot ()))
 
 let pp_summary fmt s =
-  Format.fprintf fmt "count %d, sum %d, min %d, max %d, mean %.1f" s.count s.sum
-    s.min s.max s.mean
+  Format.fprintf fmt "count %d, sum %d, min %d, max %d, mean %.1f, p50 %d, p90 %d, p99 %d"
+    s.count s.sum s.min s.max s.mean s.p50 s.p90 s.p99
 
 let pp_metrics fmt () =
   List.iter

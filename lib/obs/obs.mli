@@ -55,6 +55,9 @@ type summary = {
   min : int;  (** 0 when [count = 0]. *)
   max : int;  (** 0 when [count = 0]. *)
   mean : float;  (** 0.0 when [count = 0]. *)
+  p50 : int;  (** See {!percentile}. 0 when [count = 0]. *)
+  p90 : int;
+  p99 : int;
 }
 
 val histogram : string -> histogram
@@ -65,6 +68,13 @@ val observe : histogram -> int -> unit
 val summary : histogram -> summary
 val histogram_name : histogram -> string
 
+val percentile : histogram -> float -> int
+(** [percentile h p] with [p] in [[0, 1]]: the smallest recorded bucket
+    whose cumulative count reaches [ceil (p * count)], clamped into
+    [[min, max]]. Values are log-bucketed with 3 mantissa bits: exact
+    below 16, within 12.5% (one bucket) of exact above. 0 when the
+    histogram is empty. *)
+
 (** {1 Spans}
 
     A span charges the elapsed {e simulated} time of a computation to a
@@ -74,7 +84,9 @@ val histogram_name : histogram -> string
 
 val time : Sim_clock.t -> string -> (unit -> 'a) -> 'a
 (** [time clock name f] runs [f ()] and observes the simulated
-    microseconds it took into the histogram [name]. *)
+    microseconds it took into the histogram [name]. The computation also
+    runs inside a {!Prof.span} of the same name, so every timed site
+    shows up in the causal span tree for free. *)
 
 (** {1 Event trace} *)
 
@@ -121,8 +133,11 @@ val snapshot : unit -> (string * metric) list
 val find : string -> metric option
 
 val reset : unit -> unit
-(** Zero every counter, empty every histogram, clear the trace and reset
-    the event sequence. Registrations and sinks survive. *)
+(** Zero every counter, empty every histogram (buckets included), clear
+    the trace, reset the event sequence to 0 and reset the {!Prof} span
+    tree. Registrations and sinks survive: a sink added before [reset]
+    keeps firing on events recorded after it, and is only ever removed
+    by {!remove_sink} or by raising. *)
 
 val metrics_json : unit -> Json.t
 (** The snapshot as one JSON object keyed by metric name:

@@ -7,6 +7,9 @@ module Scavenger = Alto_fs.Scavenger
 module Compactor = Alto_fs.Compactor
 module Patrol = Alto_fs.Patrol
 module Bad_sectors = Alto_fs.Bad_sectors
+module Flight = Alto_fs.Flight
+module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
 module Stream = Alto_streams.Stream
 module Keyboard = Alto_streams.Keyboard
 module Display = Alto_streams.Display
@@ -340,6 +343,74 @@ let cmd_health system =
       | Ok None -> say system "         no spill file"
       | Error e -> say system "health: %a" Directory.pp_error e)
 
+(* Where the simulated time went, charged to the operation that caused
+   it: the causal span tree, then the hottest spans by self time. *)
+let cmd_profile system n =
+  let root = Prof.tree () in
+  if root.Prof.children = [] then say system "profile: no spans recorded"
+  else begin
+    let line depth (s : Prof.snapshot) =
+      let indent = String.make (2 * depth) ' ' in
+      let width = max 1 (32 - (2 * depth)) in
+      if Prof.disk_us s = 0 then
+        say system "%s%-*s %6dx total %9dus self %9dus" indent width s.Prof.name
+          s.Prof.calls s.Prof.total_us s.Prof.self_us
+      else
+        say system
+          "%s%-*s %6dx total %9dus self %9dus  disk seek %d rot %d xfer %d retry %d"
+          indent width s.Prof.name s.Prof.calls s.Prof.total_us s.Prof.self_us
+          s.Prof.seek_us s.Prof.rotation_us s.Prof.transfer_us s.Prof.retry_us
+    in
+    let rec walk depth s =
+      line depth s;
+      List.iter (walk (depth + 1)) s.Prof.children
+    in
+    List.iter (walk 0) root.Prof.children;
+    let hot =
+      Prof.flatten root
+      |> List.filter (fun (s : Prof.snapshot) -> s.Prof.name <> "root")
+      |> List.sort (fun (a : Prof.snapshot) b -> compare b.Prof.self_us a.Prof.self_us)
+      |> List.filteri (fun i _ -> i < n)
+    in
+    say system "top %d by self time:" (List.length hot);
+    List.iter
+      (fun (s : Prof.snapshot) ->
+        say system "%-32s %9dus self (%d calls)" s.Prof.name s.Prof.self_us
+          s.Prof.calls)
+      hot
+  end
+
+(* The hottest histograms: every operation's latency distribution at a
+   glance, heaviest total time first. *)
+let cmd_top system n =
+  let hists =
+    List.filter_map
+      (fun (name, m) ->
+        match m with
+        | Obs.Histogram s when s.Obs.count > 0 -> Some (name, s)
+        | Obs.Histogram _ | Obs.Counter _ -> None)
+      (Obs.snapshot ())
+    |> List.sort (fun (_, (a : Obs.summary)) (_, b) -> compare b.Obs.sum a.Obs.sum)
+    |> List.filteri (fun i _ -> i < n)
+  in
+  if hists = [] then say system "top: no histograms recorded"
+  else begin
+    say system "%-28s %8s %12s %8s %8s %8s" "histogram" "count" "mean" "p50"
+      "p90" "p99";
+    List.iter
+      (fun (name, (s : Obs.summary)) ->
+        say system "%-28s %8d %12.1f %8d %8d %8d" name s.Obs.count s.Obs.mean
+          s.Obs.p50 s.Obs.p90 s.Obs.p99)
+      hists
+  end
+
+(* Dump the flight record adopted at boot: what the previous incarnation
+   sealed on its way down. *)
+let cmd_blackbox system =
+  match Flight.adopted () with
+  | None -> say system "blackbox: no flight record adopted this boot"
+  | Some record -> say system "%s" record
+
 let cmd_run system name =
   match Loader.run_by_name system name with
   | Error e -> say system "run: %a" Loader.pp_error e
@@ -367,11 +438,19 @@ let split_words line =
 
 let execute system line =
   record_command system line;
-  match split_words line with
+  let words = split_words line in
+  (* Every command is a span of its own: its simulated cost lands in an
+     exec.<cmd>_us histogram, and everything it causes — batches, rungs,
+     patrol slices — hangs under it in the profile tree. *)
+  let cmd = match words with w :: _ -> w | [] -> "empty" in
+  Obs.time (Fs.clock (System.fs system)) ("exec." ^ cmd ^ "_us") @@ fun () ->
+  match words with
   | [] -> `Continue
   | [ "quit" ] ->
-      (* A deliberate exit is a clean shutdown: declare the consistency
-         point so the next boot skips recovery. *)
+      (* A deliberate exit is a clean shutdown: seal a flight record
+         (before the clean flag — the write dirties the volume), then
+         declare the consistency point so the next boot skips recovery. *)
+      Flight.flush ~reason:"quit" (System.fs system);
       (match Fs.mark_clean (System.fs system) with Ok () | Error _ -> ());
       `Quit
   | [ "ls" ] ->
@@ -429,6 +508,31 @@ let execute system line =
       | Some _ | None ->
           say system "trace: expected a positive event count";
           `Continue)
+  | [ "profile" ] ->
+      cmd_profile system 5;
+      `Continue
+  | [ "profile"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+          cmd_profile system n;
+          `Continue
+      | Some _ | None ->
+          say system "profile: expected a positive span count";
+          `Continue)
+  | [ "top" ] ->
+      cmd_top system 10;
+      `Continue
+  | [ "top"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+          cmd_top system n;
+          `Continue
+      | Some _ | None ->
+          say system "top: expected a positive histogram count";
+          `Continue)
+  | [ "blackbox" ] ->
+      cmd_blackbox system;
+      `Continue
   | [ "run"; name ] ->
       cmd_run system name;
       `Continue

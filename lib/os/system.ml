@@ -12,6 +12,7 @@ module File = Alto_fs.File
 module Directory = Alto_fs.Directory
 module Patrol = Alto_fs.Patrol
 module Bad_sectors = Alto_fs.Bad_sectors
+module Flight = Alto_fs.Flight
 module Zone = Alto_zones.Zone
 module Stream = Alto_streams.Stream
 module Disk_stream = Alto_streams.Disk_stream
@@ -103,16 +104,28 @@ let counter_junta t =
 
 (* {2 Boot} *)
 
-let boot ?(geometry = Geometry.diablo_31) ?drive () =
+let boot ?(geometry = Geometry.diablo_31) ?drive ?(finish_recovery_lap = true) () =
   let drive = match drive with Some d -> d | None -> Drive.create ~pack_id:1 geometry in
   let fs =
     match Fs.mount drive with Ok fs -> fs | Error _ -> Fs.format drive
   in
+  (* The full machine arms the black box; raw library users never see
+     the file appear on its own. *)
+  Flight.enable ();
   (* Re-enter the bad-sector verdicts that overflowed the descriptor
-     table, then — if the pack crashed — finish the patrol lap that was
-     in flight before running anything on the volume. *)
+     table, then — if the pack crashed — adopt the flight record the
+     previous incarnation sealed (recovery writes over the volume, so
+     read the black box first) and finish the patrol lap that was in
+     flight before running anything on the volume. *)
   (match Bad_sectors.load fs with Ok _ | Error _ -> ());
-  if Fs.dirty fs then ignore (Patrol.recover fs : Patrol.recovery);
+  let makeup_until =
+    if not (Fs.dirty fs) then 0
+    else begin
+      ignore (Flight.adopt fs : string option);
+      let recovery = Patrol.recover fs in
+      if finish_recovery_lap then recovery.Patrol.resumed_at else 0
+    end
+  in
   let memory = Memory.create () in
   let t =
     {
@@ -120,7 +133,7 @@ let boot ?(geometry = Geometry.diablo_31) ?drive () =
       cpu = Cpu.create memory;
       drive;
       fs;
-      patrol = Patrol.create fs;
+      patrol = Patrol.create ~makeup_until fs;
       keyboard = Keyboard.create ();
       display = Display.create ();
       zone = make_system_zone memory;

@@ -73,12 +73,16 @@ let out_load cpu file =
     timed_write_image ~span:"world.outload_us" file
       (image_of ~registers:(Cpu.registers cpu) (Cpu.memory cpu))
   in
-  (* A completed OutLoad is a consistency point: the world and the volume
-     agree, so the pack may declare itself cleanly shut down. Best
-     effort — a failed flush merely leaves the flag set, and the next
-     boot pays a bounded recovery scan it did not need. *)
+  (* A completed OutLoad is a consistency point: seal a flight record
+     (before the clean flag — the write dirties the volume), then the
+     world and the volume agree and the pack may declare itself cleanly
+     shut down. Best effort — a failed flush merely leaves the flag set,
+     and the next boot pays a bounded recovery scan it did not need. *)
   (match r with
-  | Ok () -> ( match Fs.mark_clean (File.fs file) with Ok () | Error _ -> ())
+  | Ok () ->
+      let fs = File.fs file in
+      Alto_fs.Flight.flush ~reason:"outload" fs;
+      (match Fs.mark_clean fs with Ok () | Error _ -> ())
   | Error _ -> ());
   r
 

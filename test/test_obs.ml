@@ -69,6 +69,53 @@ let test_histogram_summary () =
   Alcotest.(check int) "max" 10 s.Obs.max;
   Alcotest.(check (float 0.001)) "mean" 5.0 s.Obs.mean
 
+let test_percentiles_exact_below_bucket_resolution () =
+  fresh ();
+  let h = Obs.histogram "test.small" in
+  (* Every value below 16 has a bucket of its own, so percentiles are
+     exact order statistics on this stream. *)
+  List.iter (Obs.observe h) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  Alcotest.(check int) "p50 exact" 5 (Obs.percentile h 0.50);
+  Alcotest.(check int) "p90 exact" 9 (Obs.percentile h 0.90);
+  Alcotest.(check int) "p99 exact" 10 (Obs.percentile h 0.99);
+  Alcotest.(check int) "p0 is the min" 1 (Obs.percentile h 0.0);
+  Alcotest.(check int) "p100 is the max" 10 (Obs.percentile h 1.0)
+
+let test_percentiles_within_one_bucket () =
+  fresh ();
+  let h = Obs.histogram "test.big" in
+  for v = 1 to 1000 do
+    Obs.observe h v
+  done;
+  (* Above 16 a bucket spans 12.5% of its value: the reported percentile
+     is the floor of the right bucket, never more than one bucket off. *)
+  List.iter
+    (fun (p, exact) ->
+      let got = Obs.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within a bucket (exact %d, got %d)" (100. *. p)
+           exact got)
+        true
+        (got <= exact && float_of_int got >= 0.875 *. float_of_int exact))
+    [ (0.50, 500); (0.90, 900); (0.99, 990) ];
+  Alcotest.(check int) "empty histogram reports 0" 0
+    (Obs.percentile (Obs.histogram "test.empty") 0.5)
+
+let test_percentiles_tolerate_negative_values () =
+  fresh ();
+  let h = Obs.histogram "test.neg" in
+  List.iter (Obs.observe h) [ -5; -1; 2; 3 ];
+  (* Negative observations land in the zero bucket: low percentiles read
+     as 0, and the exact [min]/[max] bounds keep the clamp honest. *)
+  Alcotest.(check int) "negatives read as the zero bucket" 0 (Obs.percentile h 0.0);
+  Alcotest.(check int) "p100 is the max" 3 (Obs.percentile h 1.0);
+  let s = Obs.summary h in
+  Alcotest.(check int) "summary p50 populated" (Obs.percentile h 0.5) s.Obs.p50;
+  let all_neg = Obs.histogram "test.allneg" in
+  List.iter (Obs.observe all_neg) [ -5; -3 ];
+  Alcotest.(check int) "all-negative stream clamps to max" (-3)
+    (Obs.percentile all_neg 0.5)
+
 (* {2 Snapshot and reset} *)
 
 let test_snapshot_and_reset () =
@@ -87,6 +134,27 @@ let test_snapshot_and_reset () =
   match Obs.find "test.b" with
   | Some (Obs.Histogram s) -> Alcotest.(check int) "histogram emptied" 0 s.Obs.count
   | _ -> Alcotest.fail "reset keeps histogram"
+
+(* Pin the documented contract: reset rewinds values, the trace and the
+   event sequence, but a registered sink keeps its tap — the flight
+   recorder relies on surviving the resets tests and benches issue. *)
+let test_reset_preserves_sinks () =
+  fresh ();
+  let seen = ref [] in
+  let id = Obs.add_sink (fun e -> seen := e.Obs.name :: !seen) in
+  Obs.event "test.before";
+  Obs.reset ();
+  Obs.event "test.after";
+  Alcotest.(check (list string))
+    "sink fires across reset" [ "test.after"; "test.before" ] !seen;
+  (match Obs.trace () with
+  | [ e ] ->
+      Alcotest.(check string) "ring holds only the new event" "test.after" e.Obs.name;
+      Alcotest.(check int) "sequence restarts at 0" 0 e.Obs.seq
+  | events -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length events)));
+  Obs.remove_sink id;
+  Obs.event "test.ignored";
+  Alcotest.(check int) "removal still works after reset" 2 (List.length !seen)
 
 (* {2 Trace ring} *)
 
@@ -232,7 +300,11 @@ let () =
           ("counter monotonic", `Quick, test_counter_monotonic);
           ("kind mismatch rejected", `Quick, test_kind_mismatch_rejected);
           ("histogram summary", `Quick, test_histogram_summary);
+          ("percentiles exact when small", `Quick, test_percentiles_exact_below_bucket_resolution);
+          ("percentiles within one bucket", `Quick, test_percentiles_within_one_bucket);
+          ("percentiles with negatives", `Quick, test_percentiles_tolerate_negative_values);
           ("snapshot and reset", `Quick, test_snapshot_and_reset);
+          ("reset preserves sinks", `Quick, test_reset_preserves_sinks);
         ] );
       ( "trace",
         [

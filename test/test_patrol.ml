@@ -231,6 +231,46 @@ let test_crash_recovery_bounded () =
       | Error msg -> Alcotest.failf "clean remount: %s" msg
       | Ok clean -> Alcotest.(check bool) "clean after recovery" false (Fs.dirty clean))
 
+(* Recovery restores safety over the unswept tail; the head region the
+   crashed lap already covered is owed completeness. A patrol created
+   with [~makeup_until] runs double-rate slices until the cursor crosses
+   that region, then settles back to one slice per tick. *)
+let test_makeup_lap_after_recovery () =
+  let drive, fs = make_volume () in
+  let _ = create_file fs "Keep.dat" (String.make 900 'k') in
+  (match Fs.mark_clean fs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mark_clean: %a" Fs.pp_error e);
+  (* Walk the sweep into the middle of the pack, then crash. *)
+  let walker = Patrol.create fs in
+  let n = Drive.sector_count drive in
+  while Fs.patrol_cursor fs < n / 2 do
+    ignore (Patrol.tick walker : Patrol.report)
+  done;
+  let _ = create_file fs "Dirty.dat" "unsaved" in
+  Alcotest.(check bool) "mutation dirtied the pack" true (Fs.dirty fs);
+  let recovery = Patrol.recover fs in
+  let owed = recovery.Patrol.resumed_at in
+  Alcotest.(check bool) "recovery skipped a head region" true (owed > 0);
+  let patrol = Patrol.create ~makeup_until:owed fs in
+  Alcotest.(check int) "the head region is owed" owed (Patrol.makeup_pending patrol);
+  let slice = 24 in
+  let ticks = ref 0 in
+  while Patrol.makeup_pending patrol > 0 && !ticks < n do
+    ignore (Patrol.tick patrol : Patrol.report);
+    incr ticks
+  done;
+  Alcotest.(check int) "the completeness lap finished" 0
+    (Patrol.makeup_pending patrol);
+  (* Double rate: two slices per tick while the debt lasts. *)
+  let budget = ((owed + (2 * slice) - 1) / (2 * slice)) + 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "finished in %d ticks (budget %d)" !ticks budget)
+    true (!ticks <= budget);
+  (* The debt is paid once: a plain patrol owes nothing. *)
+  Alcotest.(check int) "no debt without a crash" 0
+    (Patrol.makeup_pending (Patrol.create fs))
+
 (* A crash between reserving a page and writing it leaks the map bit;
    the recovery scan reclaims it (label free, map busy). *)
 let test_abandoned_reservation_reclaimed () =
@@ -331,6 +371,7 @@ let () =
         [
           ("dirty flag lifecycle", `Quick, test_dirty_flag_lifecycle);
           ("crash recovery bounded", `Quick, test_crash_recovery_bounded);
+          ("makeup lap after recovery", `Quick, test_makeup_lap_after_recovery);
           ( "abandoned reservation reclaimed",
             `Quick,
             test_abandoned_reservation_reclaimed );
