@@ -2,16 +2,20 @@
 """Bench regression gate.
 
 Compares a freshly generated bench.json against the committed baseline
-and fails (exit 1) when a watched metric moved more than THRESHOLD in
-the bad direction. The simulator is deterministic — same seed, same
-workload, same simulated microseconds — so on an unchanged tree every
-watched metric matches the baseline exactly; the 15% allowance is
-headroom for intentional code changes, not for noise.
+and fails (exit 1) when a watched metric moved past its gate in the bad
+direction. The simulator is deterministic — same seed, same workload,
+same simulated microseconds — so on an unchanged tree every watched
+metric matches the baseline exactly; the relative allowance is headroom
+for intentional code changes, not for noise.
+
+Every watched metric is printed as one row of a table — baseline,
+current, delta, threshold, verdict — whether it passed or not, so a
+failing run shows the whole picture instead of the first casualty.
 
 Usage: check_regression.py BASELINE.json FRESH.json
 
-When a change legitimately moves a metric past the threshold, regenerate
-the baseline (dune exec bench/main.exe -- e1 e4 e14 e15 e16 e17 --json BENCH_PR5.json)
+When a change legitimately moves a metric past its gate, regenerate the
+baseline (dune exec bench/main.exe -- e1 e4 e14 e15 e16 e17 e18 --json BENCH_PR6.json)
 and commit it alongside the change, with the movement called out in the
 PR description.
 """
@@ -35,13 +39,16 @@ UP_IS_BAD = [
 # Counters where shrinkage means an optimisation stopped working.
 # fs.label_cache.hits is 1:1 with disk operations saved (the cache is
 # only consulted where a hit saves a whole operation), so a drop here is
-# the fast path quietly dying.
+# the fast path quietly dying. e18.throughput_mrps falling is the file
+# server serving fewer requests per simulated second under the same
+# 200-client overload.
 DOWN_IS_BAD = [
     "fs.hints.direct.hits",
     "fs.label_cache.hits",
     # The patrol going quiet is the self-healing loop dying: a drop in
     # slices means the idle sweep stopped running.
     "fs.patrol.slices",
+    "e18.throughput_mrps",
 ]
 
 # Histograms gated on their mean.
@@ -58,15 +65,25 @@ P99_UP_IS_BAD = [
 ]
 
 # Metrics that must not move at all: a retry ladder running dry is data
-# loss, not a performance question, and E16 plants a fixed number of
-# marginal sectors that the patrol must drain exactly — fewer relocations
-# means a marginal sector was left to die in place.  (The count is far
-# below NOISE_FLOOR, so the percentage gate would skip it; determinism
-# makes the exact gate the honest one.)
+# loss, not a performance question; E16 plants a fixed number of
+# marginal sectors that the patrol must drain exactly; and E18's client
+# script is deterministic, so the server must complete exactly the same
+# number of requests every run — one request more or fewer means the
+# admission or scheduling discipline changed behind our back.  (Some of
+# these counts are far below NOISE_FLOOR, so the percentage gate would
+# skip them; determinism makes the exact gate the honest one.)
 EXACT = [
     "disk.retry_exhausted",
     "fs.patrol.relocations",
+    "server.reqs",
 ]
+
+# Absolute ceilings, gated on the fresh value alone: E18 computes its
+# max/min completed-requests ratio as fairness*100, and no baseline
+# drift may excuse a client falling more than 2x behind another.
+ABS_MAX = {
+    "e18.fairness_x100": 200,
+}
 
 
 def counter(metrics, name):
@@ -90,6 +107,14 @@ def p99(metrics, name):
     return m.get("p99")
 
 
+def fmt(v):
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return "%.1f" % v
+    return str(v)
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__.strip())
@@ -105,19 +130,23 @@ def main():
         )
 
     bm, fm = base["metrics"], fresh["metrics"]
-    failures, notes = [], []
+    failures = []
+    rows = []  # (name, baseline, current, delta, threshold, verdict)
+
+    def row(name, b, f, delta, threshold, verdict):
+        rows.append((name, fmt(b), fmt(f), delta, threshold, verdict))
 
     def compare(name, b, f, up_is_bad):
+        threshold = "%s%d%%" % ("+" if up_is_bad else "-", 100 * THRESHOLD)
         if b is None or f is None:
-            notes.append("%-28s skipped (missing on one side)" % name)
+            row(name, b, f, "-", threshold, "skip (missing)")
             return
         if b < NOISE_FLOOR:
-            notes.append("%-28s skipped (baseline %s below noise floor)" % (name, b))
+            row(name, b, f, "-", threshold, "skip (noise floor)")
             return
         rel = (f - b) / b
         bad = rel > THRESHOLD if up_is_bad else rel < -THRESHOLD
-        verdict = "REGRESSION" if bad else "ok"
-        notes.append("%-28s %14s -> %14s  %+7.2f%%  %s" % (name, b, f, 100 * rel, verdict))
+        row(name, b, f, "%+.2f%%" % (100 * rel), threshold, "REGRESSION" if bad else "ok")
         if bad:
             failures.append(name)
 
@@ -126,30 +155,53 @@ def main():
     for name in DOWN_IS_BAD:
         compare(name, counter(bm, name), counter(fm, name), up_is_bad=False)
     for name in MEAN_UP_IS_BAD:
-        compare(name, mean(bm, name), mean(fm, name), up_is_bad=True)
+        compare(name + ".mean", mean(bm, name), mean(fm, name), up_is_bad=True)
     for name in P99_UP_IS_BAD:
         compare(name + ".p99", p99(bm, name), p99(fm, name), up_is_bad=True)
 
     for name in EXACT:
         b, f = counter(bm, name), counter(fm, name)
-        verdict = "ok" if b == f else "REGRESSION"
-        notes.append("%-28s %14s -> %14s  (exact)   %s" % (name, b, f, verdict))
-        if b != f:
+        bad = b != f
+        row(name, b, f, "-" if not bad else "moved", "exact", "REGRESSION" if bad else "ok")
+        if bad:
             failures.append(name)
 
-    # Sanity: the soak experiment must actually have exercised the ladder,
-    # otherwise every retry metric above is gating on silence.
-    if not counter(fm, "disk.retries"):
-        failures.append("disk.retries")
-        notes.append("disk.retries is zero — the fault model never fired")
+    for name, ceiling in ABS_MAX.items():
+        f = counter(fm, name)
+        if f is None:
+            failures.append(name)
+            row(name, counter(bm, name), f, "-", "<=%d" % ceiling, "REGRESSION (missing)")
+            continue
+        bad = f > ceiling
+        row(name, counter(bm, name), f, "-", "<=%d" % ceiling, "REGRESSION" if bad else "ok")
+        if bad:
+            failures.append(name)
+
+    # Sanity: the soak experiment must actually have exercised the retry
+    # ladder, and the server experiment must actually have tripped
+    # admission control — otherwise the gates above watch silence.
+    for name, why in [
+        ("disk.retries", "the fault model never fired"),
+        ("server.naks", "admission control never refused a request"),
+    ]:
+        if not counter(fm, name):
+            failures.append(name)
+            row(name, counter(bm, name), counter(fm, name), "-", ">0", "REGRESSION (%s)" % why)
 
     print("bench regression gate: %s vs %s" % (sys.argv[1], sys.argv[2]))
-    for n in notes:
-        print("  " + n)
+    header = ("metric", "baseline", "current", "delta", "threshold", "verdict")
+    widths = [
+        max(len(header[i]), max(len(str(r[i])) for r in rows)) for i in range(6)
+    ]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+    print("  " + line)
+    print("  " + "  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  " + "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(r)))
     if failures:
         print("FAIL: %d watched metric(s) regressed: %s" % (len(failures), ", ".join(failures)))
         sys.exit(1)
-    print("PASS: no watched metric moved more than %d%% in the bad direction" % int(THRESHOLD * 100))
+    print("PASS: every watched metric is within its gate")
 
 
 if __name__ == "__main__":

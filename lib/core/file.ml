@@ -417,6 +417,120 @@ let read_bytes t ~pos ~len =
     result
   end
 
+(* {2 Planned whole-file reads}
+
+   A server activity wants the whole file but must not hold the machine
+   while the disk turns: it asks for a plan (the label-checked value
+   reads for every data page, as one request set), parks the requests on
+   the standing elevator queue alongside every other conversation's, and
+   assembles the bytes when the shared sweep has completed them. The
+   split is exactly {!read_pages_batched} pulled apart at the disk
+   wait. *)
+
+type read_plan = {
+  plan_file : t;
+  plan_total : int;
+  plan_labels : Word.t array array;
+  plan_values : Word.t array array;
+  plan_addrs : Disk_address.t array;
+  plan_requests : Sched.request array;
+}
+
+let plan_requests p = p.plan_requests
+
+let plan_read t =
+  let total = byte_length t in
+  if total = 0 then Ok None
+  else begin
+    let last = t.last_page in
+    (* Addresses from hints (extrapolated where the leader vouches for
+       consecutive allocation), completed by chasing links — the chase
+       is synchronous metadata work charged to this conversation's turn;
+       the data pages themselves all travel in the shared sweep. *)
+    let addrs =
+      match known_addresses t ~first:1 ~last with
+      | Some addrs -> Ok addrs
+      | None ->
+          let ( let* ) = Result.bind in
+          let rec collect pn acc =
+            if pn > last then Ok (Array.of_list (List.rev acc))
+            else
+              let* fn = page_name t pn in
+              collect (pn + 1) (fn.Page.addr :: acc)
+          in
+          collect 1 []
+    in
+    match addrs with
+    | Error e -> Error e
+    | Ok addrs ->
+        let n = Array.length addrs in
+        let values = Array.init n (fun _ -> Array.make Sector.value_words Word.zero) in
+        let labels = Array.init n (fun i -> Label.check_name t.fid ~page:(1 + i)) in
+        let requests =
+          Array.init n (fun i ->
+              Sched.request ~label:labels.(i) ~value:values.(i) addrs.(i)
+                { Drive.op_none with label = Some Drive.Check; value = Some Drive.Read })
+        in
+        Ok
+          (Some
+             {
+               plan_file = t;
+               plan_total = total;
+               plan_labels = labels;
+               plan_values = values;
+               plan_addrs = addrs;
+               plan_requests = requests;
+             })
+  end
+
+let finish_read p outcomes =
+  let t = p.plan_file in
+  let n = Array.length p.plan_requests in
+  if Array.length outcomes <> n then
+    invalid_arg "File.finish_read: outcome count does not match the plan";
+  let ( let* ) = Result.bind in
+  (* Per page: adopt the batched read, or fall back to the one-page path
+     for that page alone — a refuted label costs one ordinary retry. *)
+  let rec collect i acc =
+    if i >= n then Ok (Array.of_list (List.rev acc))
+    else
+      let pn = 1 + i in
+      let fallback () =
+        let* v, plen = read_page t pn in
+        collect (i + 1) ((v, plen) :: acc)
+      in
+      match outcomes.(i).Sched.result with
+      | Error _ -> fallback ()
+      | Ok () -> (
+          match Label.of_words p.plan_labels.(i) with
+          | Error _ -> fallback ()
+          | Ok label ->
+              Label_cache.note_verified (cache t) p.plan_addrs.(i) p.plan_labels.(i);
+              set_hint t pn p.plan_addrs.(i);
+              cache_links t pn label;
+              if pn = t.last_page then t.last_length <- label.Label.length;
+              collect (i + 1) ((p.plan_values.(i), label.Label.length) :: acc))
+  in
+  let* pages = collect 0 [] in
+  let dst = Bytes.create p.plan_total in
+  let rec assemble pn dst_off =
+    if dst_off >= p.plan_total then Ok (Bytes.to_string dst)
+    else if pn > n then
+      Error (Structure "file shorter than its leader implies")
+    else
+      let value, plen = pages.(pn - 1) in
+      let here = min plen (p.plan_total - dst_off) in
+      if here <= 0 then
+        Error (Structure (Printf.sprintf "page %d shorter than the file length implies" pn))
+      else begin
+        bytes_of_page value ~page_off:0 ~len:here ~dst ~dst_off;
+        assemble (pn + 1) (dst_off + here)
+      end
+  in
+  let result = assemble 1 0 in
+  if Result.is_ok result then touch_read t;
+  result
+
 (* {2 Writing} *)
 
 let patch_page value ~page_off s ~s_off ~len =

@@ -71,6 +71,30 @@ val read_page : t -> int -> (Word.t array * int, error) result
 val read_bytes : t -> pos:int -> len:int -> (Bytes.t, error) result
 (** Up to [len] bytes from byte position [pos]; shorter at end of file. *)
 
+(** {2 Planned whole-file reads}
+
+    {!read_bytes} split apart at the disk wait, for callers (the file
+    server's activities) that want every data page as one request set on
+    the standing elevator queue and the bytes assembled only when the
+    shared sweep has completed them. Each planned request is
+    label-checked; a refuted or failed page falls back to the ordinary
+    one-page path during {!finish_read}. *)
+
+type read_plan
+
+val plan_read : t -> (read_plan option, error) result
+(** The label-checked value reads for every data page of this file.
+    [None] when the file is empty (nothing to read). *)
+
+val plan_requests : read_plan -> Alto_disk.Sched.request array
+(** The requests to submit — outcomes must come back in this order. *)
+
+val finish_read : read_plan -> Alto_disk.Sched.outcome array -> (string, error) result
+(** Adopt the outcomes (cache-priming hints and labels exactly as the
+    batched read path does), fall back page-wise where a request failed,
+    and assemble the file's whole contents. Raises [Invalid_argument]
+    when the outcome count does not match the plan. *)
+
 val write_bytes : t -> pos:int -> string -> (unit, error) result
 (** Overwrite and/or extend. [pos] may not exceed the current length
     (files have no holes). Growing the last page or adding pages pays

@@ -7,6 +7,8 @@ module Prof = Alto_obs.Prof
 let m_batches = Obs.counter "disk.sched.batches"
 let m_requests = Obs.counter "disk.sched.requests"
 let m_cylinder_runs = Obs.counter "disk.sched.cylinder_runs"
+let m_sweeps = Obs.counter "disk.sched.sweeps"
+let m_merged = Obs.counter "disk.sched.merged_batches"
 
 type request = {
   addr : Disk_address.t;
@@ -27,45 +29,138 @@ type outcome = { result : (unit, Drive.error) result; retries : int }
    free, and a full track read this way never waits, because the next
    track's first sector follows the previous track's last one angularly.
    (Sorting by slot across heads instead would park a whole revolution
-   at every duplicate slot on a dense cylinder.) The original index is
-   the final key so duplicate addresses keep a deterministic order. *)
-let schedule geometry ~start requests =
+   at every duplicate slot on a dense cylinder.) The submission sequence
+   number is the final key, so duplicate addresses complete in arrival
+   order even when they came from different callers. *)
+let schedule geometry ~start keyed =
   let cylinders = geometry.Geometry.cylinders in
-  let n = Array.length requests in
+  let n = Array.length keyed in
   let order =
     Array.init n (fun i ->
-        let cylinder, head, sector = Disk_address.chs geometry requests.(i).addr in
-        ((cylinder - start + cylinders) mod cylinders, head, sector, i))
+        let addr, seq = keyed.(i) in
+        let cylinder, head, sector = Disk_address.chs geometry addr in
+        ((cylinder - start + cylinders) mod cylinders, head, sector, seq, i))
   in
   Array.sort compare order;
   order
+
+(* {2 The standing queue}
+
+   One queue outlives many callers: concurrent activities each submit
+   their batch and block; whoever drives the queue then runs a single
+   elevator sweep over everything pending, so requests that arrived from
+   different conversations share one pass over the pack. A synchronous
+   caller ([run_batch]) is simply a batch that submits and immediately
+   sweeps. *)
+
+type waiter = {
+  w_req : request;
+  w_seq : int;
+  w_batch : int;
+  w_policy : Reliable.policy option;
+  w_index : int;  (* position within the submitting batch *)
+  w_notify : int -> outcome -> unit;
+}
+
+type t = {
+  drive : Drive.t;
+  mutable pending : waiter list;  (* newest first *)
+  mutable next_seq : int;
+  mutable next_batch : int;
+}
+
+let create drive = { drive; pending = []; next_seq = 0; next_batch = 0 }
+let drive t = t.drive
+let queued t = List.length t.pending
+
+let submit_batch ?policy t requests ~on_done =
+  let n = Array.length requests in
+  if n > 0 then begin
+    Obs.incr m_batches;
+    Obs.add m_requests n;
+    let batch = t.next_batch in
+    t.next_batch <- batch + 1;
+    Array.iteri
+      (fun i r ->
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        t.pending <-
+          {
+            w_req = r;
+            w_seq = seq;
+            w_batch = batch;
+            w_policy = policy;
+            w_index = i;
+            w_notify = on_done;
+          }
+          :: t.pending)
+      requests
+  end
+
+let sweep t =
+  match t.pending with
+  | [] -> 0
+  | pending ->
+      (* Snapshot-and-clear before touching the disk: a completion
+         callback is free to submit more work (or even run a nested
+         batch); whatever arrives during this sweep rides the next one. *)
+      t.pending <- [];
+      let waiters = Array.of_list (List.rev pending) in
+      let n = Array.length waiters in
+      Obs.incr m_sweeps;
+      let batches =
+        let seen = Hashtbl.create 8 in
+        Array.iter (fun w -> Hashtbl.replace seen w.w_batch ()) waiters;
+        Hashtbl.length seen
+      in
+      if batches > 1 then Obs.add m_merged (batches - 1);
+      Prof.span (Drive.clock t.drive) "disk.sched.sweep" (fun () ->
+          let order =
+            schedule (Drive.geometry t.drive)
+              ~start:(Drive.current_cylinder t.drive)
+              (Array.map (fun w -> (w.w_req.addr, w.w_seq)) waiters)
+          in
+          let previous_run = ref (-1) in
+          Array.iter
+            (fun (run, _, _, _, i) ->
+              if run <> !previous_run then begin
+                previous_run := run;
+                Obs.incr m_cylinder_runs
+              end;
+              let w = waiters.(i) in
+              let r = w.w_req in
+              let result, retries =
+                Reliable.run_counted ?policy:w.w_policy t.drive r.addr r.op
+                  ?header:r.header ?label:r.label ?value:r.value ()
+              in
+              w.w_notify w.w_index { result; retries })
+            order);
+      n
+
+(* {2 The one-shot compatibility path}
+
+   Every pre-existing caller — the scavenger's passes, the compactor,
+   world transfers, [File]'s auto-batch — goes through here: a private
+   standing queue that lives for exactly one batch. The elevator order,
+   the retry ladder and the metrics are the standing queue's; only the
+   merging opportunity is absent, because a synchronous caller cannot
+   wait for company. *)
 
 let run_batch ?policy ?on_done drive requests =
   let n = Array.length requests in
   let outcomes = Array.make n { result = Ok (); retries = 0 } in
   if n > 0 then begin
-    Obs.incr m_batches;
-    Obs.add m_requests n;
-    Prof.span (Drive.clock drive) "disk.sched.batch" (fun () ->
-        let order =
-          schedule (Drive.geometry drive) ~start:(Drive.current_cylinder drive)
-            requests
-        in
-        let previous_run = ref (-1) in
-        Array.iter
-          (fun (run, _, _, i) ->
-            if run <> !previous_run then begin
-              previous_run := run;
-              Obs.incr m_cylinder_runs
-            end;
-            let r = requests.(i) in
-            let result, retries =
-              Reliable.run_counted ?policy drive r.addr r.op ?header:r.header
-                ?label:r.label ?value:r.value ()
-            in
-            let outcome = { result; retries } in
-            outcomes.(i) <- outcome;
-            match on_done with None -> () | Some f -> f i outcome)
-          order)
+    let q = create drive in
+    let remaining = ref n in
+    submit_batch ?policy q requests ~on_done:(fun i outcome ->
+        outcomes.(i) <- outcome;
+        (match on_done with None -> () | Some f -> f i outcome);
+        decr remaining);
+    while !remaining > 0 do
+      if sweep q = 0 then
+        (* Submitted work can only be waiting in this queue; an empty
+           sweep with completions outstanding is a scheduler bug. *)
+        invalid_arg "Sched.run_batch: outstanding requests vanished"
+    done
   end;
   outcomes

@@ -310,6 +310,8 @@ let cmd_cache system =
       "disk.sched.batches";
       "disk.sched.requests";
       "disk.sched.cylinder_runs";
+      "disk.sched.sweeps";
+      "disk.sched.merged_batches";
     ];
   say system "%-30s %d" "cached labels"
     (Alto_fs.Label_cache.length (Fs.label_cache (System.fs system)))
@@ -410,6 +412,27 @@ let cmd_blackbox system =
   match Flight.adopted () with
   | None -> say system "blackbox: no flight record adopted this boot"
   | Some record -> say system "%s" record
+
+(* Give the attached request server its turn: ticks of the ServerTick
+   service until it reports no progress (or the round budget runs out).
+   The service lives in level 5 with the rest of the disk code. *)
+let cmd_serve system rounds =
+  match System.server_tick system with
+  | None -> say system "serve: no server attached to this system"
+  | Some tick ->
+      let rec go done_ remaining =
+        if remaining = 0 then done_
+        else
+          let progress = tick () in
+          if progress = 0 then done_ else go (done_ + progress) (remaining - 1)
+      in
+      let progress = go 0 rounds in
+      let module Obs = Alto_obs.Obs in
+      let value name =
+        match Obs.find name with Some (Obs.Counter n) -> n | _ -> 0
+      in
+      say system "serve: %d units of progress; %d requests, %d naks so far" progress
+        (value "server.reqs") (value "server.naks")
 
 let cmd_run system name =
   match Loader.run_by_name system name with
@@ -533,6 +556,17 @@ let execute system line =
   | [ "blackbox" ] ->
       cmd_blackbox system;
       `Continue
+  | [ "serve" ] ->
+      cmd_serve system 1000;
+      `Continue
+  | [ "serve"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+          cmd_serve system n;
+          `Continue
+      | Some _ | None ->
+          say system "serve: expected a positive round count";
+          `Continue)
   | [ "run"; name ] ->
       cmd_run system name;
       `Continue

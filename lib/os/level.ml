@@ -37,7 +37,7 @@ let all =
       index = 5;
       level_name = "Disk code";
       size_words = 768;
-      services = [ s "DiskRead" 20; s "DiskWrite" 21; s "DiskPatrol" 22 ];
+      services = [ s "DiskRead" 20; s "DiskWrite" 21; s "DiskPatrol" 22; s "ServerTick" 23 ];
     };
     { index = 6; level_name = "Disk data"; size_words = 256; services = [] };
     {

@@ -36,6 +36,7 @@ type t = {
   mutable resident : int;
   mutable last_error : string option;
   mutable overlay_loader : (string -> (int, string) result) option;
+  mutable server_tick : (unit -> int) option;
 }
 
 let user_base = 1024
@@ -61,6 +62,8 @@ let resident_level t = t.resident
 let user_boundary t = Level.boundary ~keep:t.resident
 let last_error t = t.last_error
 let set_overlay_loader t f = t.overlay_loader <- Some f
+let set_server_tick t f = t.server_tick <- Some f
+let server_tick t = t.server_tick
 
 (* {2 Level installation} *)
 
@@ -142,6 +145,7 @@ let boot ?(geometry = Geometry.diablo_31) ?drive ?(finish_recovery_lap = true) (
       resident = Level.count;
       last_error = None;
       overlay_loader = None;
+      server_tick = None;
     }
   in
   install_all_levels t;
@@ -342,6 +346,14 @@ let dispatch t cpu code =
       let report = Patrol.tick t.patrol in
       Cpu.set_ac cpu 0 (Word.of_int report.Patrol.relocated);
       ok cpu
+  | 23 -> (
+      (* ServerTick: one turn of whatever request server is attached —
+         admissions plus activity steps made, reported in AC0. *)
+      match t.server_tick with
+      | None -> fail t cpu "ServerTick: no server attached"
+      | Some tick ->
+          Cpu.set_ac cpu 0 (Word.of_int (tick ()));
+          ok cpu)
   | 30 -> service_allocate t cpu
   | 31 -> service_free t cpu
   | 40 -> service_open_file t cpu

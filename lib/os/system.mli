@@ -36,6 +36,7 @@
        20   DiskRead      AC0 DA, AC1 buffer          256 words to buffer
        21   DiskWrite     AC0 DA, AC1 buffer
        22   DiskPatrol    (idle moment)               AC0 pages relocated
+       23   ServerTick    (idle moment)               AC0 progress made
        30   Allocate      AC0 words                   AC0 address
        31   Free          AC0 address
        40   OpenFile      AC0 name, AC1 mode 0/1/2    AC0 stream handle
@@ -132,6 +133,14 @@ val last_error : t -> string option
 val set_overlay_loader : t -> (string -> (int, string) result) -> unit
 (** Install the procedure behind the [LoadOverlay] service (the loader
     wires itself in; the indirection only breaks a module cycle). *)
+
+val set_server_tick : t -> (unit -> int) -> unit
+(** Install the procedure behind the [ServerTick] service — typically
+    [fun () -> File_server.tick server]. The indirection keeps the OS
+    level from depending on the server package; the executive's [serve]
+    command and idle loops call the service, not the server directly. *)
+
+val server_tick : t -> (unit -> int) option
 
 (** {2 Object handles} *)
 

@@ -1,0 +1,117 @@
+module Sim_clock = Alto_machine.Sim_clock
+module Sched = Alto_disk.Sched
+module Obs = Alto_obs.Obs
+
+let m_spawned = Obs.counter "server.activities.spawned"
+let m_steps = Obs.counter "server.activities.steps"
+let m_sweeps = Obs.counter "server.activities.shared_sweeps"
+
+type step =
+  | Yield of (unit -> step)
+  | Await_disk of {
+      requests : Sched.request array;
+      resume : Sched.outcome array -> step;
+    }
+  | Finished
+
+type activity = { act_id : int; act_name : string }
+
+type t = {
+  clock : Sim_clock.t;
+  queue : Sched.t;
+  step_us : int;
+  max_active : int;
+  runnable : (activity * (unit -> step)) Queue.t;
+  mutable live : int;
+  mutable blocked : int;
+  mutable next_id : int;
+}
+
+let create ?(step_us = 50) ?(max_active = 16) ~queue clock =
+  if max_active < 1 then invalid_arg "Activity.create: max_active must be >= 1";
+  if step_us < 0 then invalid_arg "Activity.create: negative step cost";
+  {
+    clock;
+    queue;
+    step_us;
+    max_active;
+    runnable = Queue.create ();
+    live = 0;
+    blocked = 0;
+    next_id = 0;
+  }
+
+let live t = t.live
+let blocked t = t.blocked
+let max_active t = t.max_active
+let disk_queue t = t.queue
+let idle t = t.live = 0
+
+let spawn t ~name body =
+  if t.live >= t.max_active then false
+  else begin
+    let act = { act_id = t.next_id; act_name = name } in
+    t.next_id <- t.next_id + 1;
+    t.live <- t.live + 1;
+    Obs.incr m_spawned;
+    Obs.event ~clock:t.clock
+      ~fields:[ ("name", Obs.S act.act_name); ("id", Obs.I act.act_id) ]
+      "server.activity.spawn";
+    Queue.push (act, body) t.runnable;
+    true
+  end
+
+(* Park an activity on its disk requests: the batch goes to the standing
+   queue, and the activity reappears on the run queue when its last
+   outcome arrives — during whichever sweep that is. *)
+let park t act requests resume =
+  let n = Array.length requests in
+  if n = 0 then Queue.push (act, fun () -> resume [||]) t.runnable
+  else begin
+    t.blocked <- t.blocked + 1;
+    let outcomes = Array.make n { Sched.result = Ok (); retries = 0 } in
+    let remaining = ref n in
+    Sched.submit_batch t.queue requests ~on_done:(fun i outcome ->
+        outcomes.(i) <- outcome;
+        decr remaining;
+        if !remaining = 0 then begin
+          t.blocked <- t.blocked - 1;
+          Queue.push (act, fun () -> resume outcomes) t.runnable
+        end)
+  end
+
+let round t =
+  (* Every activity runnable at the start of the round gets exactly one
+     step; an activity that yields rejoins behind the others (round
+     robin), so no conversation can starve the table. *)
+  let steps = Queue.length t.runnable in
+  for _ = 1 to steps do
+    match Queue.take_opt t.runnable with
+    | None -> ()
+    | Some (act, run) -> (
+        Obs.incr m_steps;
+        Sim_clock.advance_us t.clock t.step_us;
+        match run () with
+        | Yield k -> Queue.push (act, k) t.runnable
+        | Await_disk { requests; resume } -> park t act requests resume
+        | Finished -> t.live <- t.live - 1)
+  done;
+  (* Only when every conversation has yielded to a disk wait does the
+     elevator move: that is the window in which requests from different
+     activities have piled up, and one C-SCAN pass serves them all. *)
+  let swept =
+    if Queue.is_empty t.runnable && t.blocked > 0 then begin
+      Obs.incr m_sweeps;
+      Sched.sweep t.queue
+    end
+    else 0
+  in
+  steps + swept
+
+let run_until_idle t =
+  while not (idle t) do
+    if round t = 0 && Queue.is_empty t.runnable && t.blocked = 0 then
+      (* live > 0 but nothing runnable and nothing parked: an activity
+         was lost, which is a scheduler bug, not a workload state. *)
+      invalid_arg "Activity.run_until_idle: live activities are unreachable"
+  done

@@ -1,8 +1,12 @@
 module Word = Alto_machine.Word
+module Sim_clock = Alto_machine.Sim_clock
 module Net = Alto_net.Net
 module Fs = Alto_fs.Fs
 module File = Alto_fs.File
 module Directory = Alto_fs.Directory
+module Sched = Alto_disk.Sched
+module Obs = Alto_obs.Obs
+module Prof = Alto_obs.Prof
 
 (* Request opcodes (packet word 0). *)
 let op_get = 10
@@ -12,23 +16,69 @@ let op_list = 12
 (* Reply opcodes. File contents travel as file transfers, not packets. *)
 let op_ack = 20
 let op_error = 21
+let op_nak = 22
 
 let listing_name = ";listing"
 
-type stats = { gets : int; puts : int; lists : int; errors : int }
+(* Process-wide server metrics — the counters the CI gate watches. *)
+let m_reqs = Obs.counter "server.reqs"
+let m_naks = Obs.counter "server.naks"
+let m_errors = Obs.counter "server.errors"
+let m_send_errors = Obs.counter "server.send_errors"
+let h_req_us = Obs.histogram "server.req_us"
+let h_get_us = Obs.histogram "server.get_us"
+let h_put_us = Obs.histogram "server.put_us"
+let h_list_us = Obs.histogram "server.list_us"
+
+type stats = {
+  gets : int;
+  puts : int;
+  lists : int;
+  errors : int;
+  naks : int;
+  send_errors : int;
+}
 
 type t = {
   fs : Fs.t;
   station : Net.station;
+  clock : Sim_clock.t;
+  acts : Activity.t;
   mutable gets : int;
   mutable puts : int;
   mutable lists : int;
   mutable errors : int;
+  mutable naks : int;
+  mutable send_errors : int;
 }
 
-let create fs station = { fs; station; gets = 0; puts = 0; lists = 0; errors = 0 }
+let create ?(max_active = 16) ?(step_us = 50) fs station =
+  let clock = Fs.clock fs in
+  {
+    fs;
+    station;
+    clock;
+    acts = Activity.create ~step_us ~max_active ~queue:(Sched.create (Fs.drive fs)) clock;
+    gets = 0;
+    puts = 0;
+    lists = 0;
+    errors = 0;
+    naks = 0;
+    send_errors = 0;
+  }
 
-let stats t = { gets = t.gets; puts = t.puts; lists = t.lists; errors = t.errors }
+let stats t =
+  {
+    gets = t.gets;
+    puts = t.puts;
+    lists = t.lists;
+    errors = t.errors;
+    naks = t.naks;
+    send_errors = t.send_errors;
+  }
+
+let activities t = t.acts
+let max_active t = Activity.max_active t.acts
 
 let packet_string payload ~at =
   if Array.length payload <= at then None
@@ -42,179 +92,337 @@ let string_packet op s =
   Array.concat
     [ [| Word.of_int_exn op; Word.of_int_exn (String.length s) |]; Word.words_of_string s ]
 
+(* A reply that cannot be delivered is not silently nothing: the station
+   may have detached, the payload may be oversized — either way the
+   failure is counted where [stats] and the regression gate can see it. *)
+let net_send t ~to_ payload =
+  match Net.send t.station ~to_ payload with
+  | Ok () -> ()
+  | Error _ ->
+      t.send_errors <- t.send_errors + 1;
+      Obs.incr m_send_errors
+
+let net_send_file t ~to_ ~name contents =
+  match Net.send_file t.station ~to_ ~name contents with
+  | Ok () -> true
+  | Error _ ->
+      t.send_errors <- t.send_errors + 1;
+      Obs.incr m_send_errors;
+      false
+
 let send_error t ~to_ msg =
   t.errors <- t.errors + 1;
-  match Net.send t.station ~to_ (string_packet op_error msg) with
-  | Ok () | Error _ -> ()
+  Obs.incr m_errors;
+  net_send t ~to_ (string_packet op_error msg)
 
-let with_root t ~to_ f =
-  match Directory.open_root t.fs with
-  | Error e -> send_error t ~to_ (Format.asprintf "server volume sick: %a" Directory.pp_error e)
-  | Ok root -> f root
+let send_nak t ~to_ =
+  t.naks <- t.naks + 1;
+  Obs.incr m_naks;
+  net_send t ~to_ [| Word.of_int op_nak |]
 
-let read_whole fs entry =
-  let ( let* ) = Result.bind in
-  let* file = File.open_leader fs entry.Directory.entry_file in
-  let* bytes = File.read_bytes file ~pos:0 ~len:(File.byte_length file) in
-  Ok (Bytes.to_string bytes)
+(* Every admitted conversation ends exactly once: through [conclude] on
+   success (bumping the op's own counter and histogram) or through
+   [conclude_failed] after an error reply. *)
+let conclude t ~t0 kind =
+  let dt = Sim_clock.now_us t.clock - t0 in
+  Obs.incr m_reqs;
+  Obs.observe h_req_us dt;
+  match kind with
+  | `Get ->
+      t.gets <- t.gets + 1;
+      Obs.observe h_get_us dt
+  | `Put ->
+      t.puts <- t.puts + 1;
+      Obs.observe h_put_us dt
+  | `List ->
+      t.lists <- t.lists + 1;
+      Obs.observe h_list_us dt
 
-let serve_get t ~to_ name =
-  with_root t ~to_ (fun root ->
-      match Directory.lookup root name with
-      | Ok (Some entry) -> (
-          match read_whole t.fs entry with
-          | Ok contents -> (
-              t.gets <- t.gets + 1;
-              match Net.send_file t.station ~to_ ~name contents with
-              | Ok () -> ()
-              | Error e -> send_error t ~to_ (Format.asprintf "%a" Net.pp_error e))
-          | Error e -> send_error t ~to_ (Format.asprintf "%s: %a" name File.pp_error e))
-      | Ok None -> send_error t ~to_ (Printf.sprintf "no file %S" name)
-      | Error e -> send_error t ~to_ (Format.asprintf "%a" Directory.pp_error e))
+let conclude_failed t ~t0 =
+  Obs.incr m_reqs;
+  Obs.observe h_req_us (Sim_clock.now_us t.clock - t0)
 
-let serve_put t ~to_ name =
-  (* The file body follows the request on the wire. *)
-  match Net.receive_file t.station with
-  | None -> send_error t ~to_ "PUT without a following file transfer"
-  | Some (sent_name, contents) ->
-      if not (String.equal sent_name name) then
-        send_error t ~to_ "PUT name does not match the transferred file"
-      else
-        with_root t ~to_ (fun root ->
-            let ( let* ) = Result.bind in
-            let stored =
-              let* file =
-                match Directory.lookup root name with
-                | Ok (Some e) ->
+(* {2 The three conversations}
+
+   Each request is an activity: slices of synchronous work separated by
+   the waits the paper's §4 activities switch at. A GET parks its whole
+   request set on the standing elevator queue and sleeps; the scheduler
+   serves every sleeping conversation's pages in one shared sweep. *)
+
+let get_body t ~src ~t0 name () =
+  Prof.span t.clock "server.get" (fun () ->
+      let refuse msg =
+        send_error t ~to_:src msg;
+        conclude_failed t ~t0;
+        Activity.Finished
+      in
+      match Directory.open_root t.fs with
+      | Error e -> refuse (Format.asprintf "server volume sick: %a" Directory.pp_error e)
+      | Ok root -> (
+          match Directory.lookup root name with
+          | Error e -> refuse (Format.asprintf "%a" Directory.pp_error e)
+          | Ok None -> refuse (Printf.sprintf "no file %S" name)
+          | Ok (Some entry) -> (
+              match File.open_leader t.fs entry.Directory.entry_file with
+              | Error e -> refuse (Format.asprintf "%s: %a" name File.pp_error e)
+              | Ok file -> (
+                  let deliver contents =
+                    if net_send_file t ~to_:src ~name contents then
+                      conclude t ~t0 `Get
+                    else conclude_failed t ~t0;
+                    Activity.Finished
+                  in
+                  match File.plan_read file with
+                  | Error e -> refuse (Format.asprintf "%s: %a" name File.pp_error e)
+                  | Ok None -> deliver ""
+                  | Ok (Some plan) ->
+                      Activity.Await_disk
+                        {
+                          requests = File.plan_requests plan;
+                          resume =
+                            (fun outcomes ->
+                              Prof.span t.clock "server.get" (fun () ->
+                                  match File.finish_read plan outcomes with
+                                  | Ok contents -> deliver contents
+                                  | Error e ->
+                                      refuse
+                                        (Format.asprintf "%s: %a" name File.pp_error e)));
+                        }))))
+
+let put_body t ~src ~t0 name contents () =
+  Prof.span t.clock "server.put" (fun () ->
+      let refuse msg =
+        send_error t ~to_:src msg;
+        conclude_failed t ~t0;
+        Activity.Finished
+      in
+      match Directory.open_root t.fs with
+      | Error e -> refuse (Format.asprintf "server volume sick: %a" Directory.pp_error e)
+      | Ok root -> (
+          let ( let* ) = Result.bind in
+          let stored =
+            let* file =
+              match Directory.lookup root name with
+              | Ok (Some e) ->
+                  Result.map_error
+                    (fun e -> Format.asprintf "%a" File.pp_error e)
+                    (File.open_leader t.fs e.Directory.entry_file)
+              | Ok None ->
+                  let* file =
                     Result.map_error
                       (fun e -> Format.asprintf "%a" File.pp_error e)
-                      (File.open_leader t.fs e.Directory.entry_file)
-                | Ok None ->
-                    let* file =
-                      Result.map_error
-                        (fun e -> Format.asprintf "%a" File.pp_error e)
-                        (File.create t.fs ~name)
-                    in
-                    let* () =
-                      Result.map_error
-                        (fun e -> Format.asprintf "%a" Directory.pp_error e)
-                        (Directory.add root ~name (File.leader_name file))
-                    in
-                    Ok file
-                | Error e -> Error (Format.asprintf "%a" Directory.pp_error e)
-              in
-              let file_err r =
-                Result.map_error (fun e -> Format.asprintf "%a" File.pp_error e) r
-              in
-              let* () = file_err (File.truncate file ~len:0) in
-              let* () =
-                if String.length contents = 0 then Ok ()
-                else file_err (File.write_bytes file ~pos:0 contents)
-              in
-              file_err (File.flush_leader file)
+                      (File.create t.fs ~name)
+                  in
+                  let* () =
+                    Result.map_error
+                      (fun e -> Format.asprintf "%a" Directory.pp_error e)
+                      (Directory.add root ~name (File.leader_name file))
+                  in
+                  Ok file
+              | Error e -> Error (Format.asprintf "%a" Directory.pp_error e)
             in
-            match stored with
-            | Ok () -> (
-                t.puts <- t.puts + 1;
-                match Net.send t.station ~to_ [| Word.of_int op_ack |] with
-                | Ok () | Error _ -> ())
-            | Error msg -> send_error t ~to_ msg)
-
-let serve_list t ~to_ =
-  with_root t ~to_ (fun root ->
-      match Directory.entries root with
-      | Error e -> send_error t ~to_ (Format.asprintf "%a" Directory.pp_error e)
-      | Ok entries -> (
-          t.lists <- t.lists + 1;
-          let text =
-            String.concat "\n"
-              (List.map (fun (e : Directory.entry) -> e.Directory.entry_name) entries)
+            let file_err r =
+              Result.map_error (fun e -> Format.asprintf "%a" File.pp_error e) r
+            in
+            let* () = file_err (File.truncate file ~len:0) in
+            let* () =
+              if String.length contents = 0 then Ok ()
+              else file_err (File.write_bytes file ~pos:0 contents)
+            in
+            file_err (File.flush_leader file)
           in
-          match Net.send_file t.station ~to_ ~name:listing_name text with
-          | Ok () -> ()
-          | Error e -> send_error t ~to_ (Format.asprintf "%a" Net.pp_error e)))
+          match stored with
+          | Ok () ->
+              net_send t ~to_:src [| Word.of_int op_ack |];
+              conclude t ~t0 `Put;
+              Activity.Finished
+          | Error msg -> refuse msg))
 
-let step t =
+let list_body t ~src ~t0 () =
+  Prof.span t.clock "server.list" (fun () ->
+      let refuse msg =
+        send_error t ~to_:src msg;
+        conclude_failed t ~t0;
+        Activity.Finished
+      in
+      match Directory.open_root t.fs with
+      | Error e -> refuse (Format.asprintf "server volume sick: %a" Directory.pp_error e)
+      | Ok root -> (
+          match Directory.entries root with
+          | Error e -> refuse (Format.asprintf "%a" Directory.pp_error e)
+          | Ok entries ->
+              let text =
+                String.concat "\n"
+                  (List.map
+                     (fun (e : Directory.entry) -> e.Directory.entry_name)
+                     entries)
+              in
+              if net_send_file t ~to_:src ~name:listing_name text then
+                conclude t ~t0 `List
+              else conclude_failed t ~t0;
+              Activity.Finished))
+
+(* {2 Admission}
+
+   One request packet becomes one activity — or, when the table is
+   full, a NAK: the client is told to come back rather than queued
+   without bound. A refused PUT still consumes its file transfer, so a
+   rejected conversation cannot poison the queue for the next one. *)
+
+let admit_one t =
   match Net.receive t.station with
   | None -> false
   | Some { Net.src; payload } ->
+      let t0 = Sim_clock.now_us t.clock in
       (if Array.length payload = 0 then send_error t ~to_:src "empty request"
        else
          let op = Word.to_int payload.(0) in
          if op = op_get then
            match packet_string payload ~at:1 with
-           | Some name -> serve_get t ~to_:src name
+           | Some name ->
+               if
+                 not
+                   (Activity.spawn t.acts ~name:("get " ^ name)
+                      (get_body t ~src ~t0 name))
+               then send_nak t ~to_:src
            | None -> send_error t ~to_:src "malformed GET"
          else if op = op_put then
            match packet_string payload ~at:1 with
-           | Some name -> serve_put t ~to_:src name
+           | Some name -> (
+               match Net.receive_file t.station with
+               | None -> send_error t ~to_:src "PUT without a following file transfer"
+               | Some (sent_name, contents) ->
+                   if not (String.equal sent_name name) then
+                     send_error t ~to_:src "PUT name does not match the transferred file"
+                   else if
+                     not
+                       (Activity.spawn t.acts ~name:("put " ^ name)
+                          (put_body t ~src ~t0 name contents))
+                   then send_nak t ~to_:src)
            | None -> send_error t ~to_:src "malformed PUT"
-         else if op = op_list then serve_list t ~to_:src
+         else if op = op_list then begin
+           if not (Activity.spawn t.acts ~name:"list" (list_body t ~src ~t0)) then
+             send_nak t ~to_:src
+         end
          else send_error t ~to_:src (Printf.sprintf "unknown request %d" op));
       true
 
+(* {2 Driving the server} *)
+
+let busy t = Net.pending t.station > 0 || not (Activity.idle t.acts)
+
+let tick t =
+  let admitted = ref 0 in
+  while Net.pending t.station > 0 do
+    if admit_one t then incr admitted
+  done;
+  !admitted + Activity.round t.acts
+
+let step t =
+  if not (busy t) then false
+  else begin
+    ignore (admit_one t : bool);
+    Activity.run_until_idle t.acts;
+    true
+  end
+
 let serve_pending t =
-  let rec go n = if step t then go (n + 1) else n in
-  go 0
+  let served = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let admitted = ref 0 in
+    while Net.pending t.station > 0 do
+      if admit_one t then incr admitted
+    done;
+    Activity.run_until_idle t.acts;
+    served := !served + !admitted;
+    continue := !admitted > 0 || Net.pending t.station > 0
+  done;
+  !served
 
 module Client = struct
-  type error = Remote of string | Protocol of string | Net_error of Net.error
+  type error =
+    | Remote of string
+    | Busy
+    | Protocol of string
+    | Net_error of Net.error
 
   let pp_error fmt = function
     | Remote msg -> Format.fprintf fmt "server says: %s" msg
+    | Busy -> Format.pp_print_string fmt "server is full, try again"
     | Protocol msg -> Format.fprintf fmt "protocol trouble: %s" msg
     | Net_error e -> Net.pp_error fmt e
 
+  type reply = File of string * string | Ack
+
   let net r = Result.map_error (fun e -> Net_error e) r
 
-  (* After pumping the server, the reply is either a file transfer or a
-     single status packet. *)
-  let reply station =
+  let send_get station ~server ~name =
+    net (Net.send station ~to_:server (string_packet op_get name))
+
+  let send_put station ~server ~name contents =
+    let ( let* ) = Result.bind in
+    let* () = net (Net.send station ~to_:server (string_packet op_put name)) in
+    net (Net.send_file station ~to_:server ~name contents)
+
+  let send_list station ~server =
+    net (Net.send station ~to_:server [| Word.of_int op_list |])
+
+  (* A reply is either a file transfer or a single status packet; [None]
+     until one has fully arrived. Status packets and file framing use
+     disjoint opcode spaces, so peeking is unambiguous. *)
+  let poll_reply station =
     match Net.receive_file station with
-    | Some (name, contents) -> Ok (`File (name, contents))
+    | Some (name, contents) -> Some (Ok (File (name, contents)))
     | None -> (
         match Net.receive station with
-        | None -> Error (Protocol "no reply")
+        | None -> None
         | Some { Net.payload; _ } ->
-            if Array.length payload = 0 then Error (Protocol "empty reply")
-            else
-              let op = Word.to_int payload.(0) in
-              if op = op_ack then Ok `Ack
-              else if op = op_error then
-                match packet_string payload ~at:1 with
-                | Some msg -> Error (Remote msg)
-                | None -> Error (Protocol "malformed error packet")
-              else Error (Protocol (Printf.sprintf "unexpected reply %d" op)))
+            Some
+              (if Array.length payload = 0 then Error (Protocol "empty reply")
+               else
+                 let op = Word.to_int payload.(0) in
+                 if op = op_ack then Ok Ack
+                 else if op = op_nak then Error Busy
+                 else if op = op_error then
+                   match packet_string payload ~at:1 with
+                   | Some msg -> Error (Remote msg)
+                   | None -> Error (Protocol "malformed error packet")
+                 else Error (Protocol (Printf.sprintf "unexpected reply %d" op))))
+
+  let reply station =
+    match poll_reply station with
+    | Some r -> r
+    | None -> Error (Protocol "no reply")
 
   let fetch station ~server ~name ~pump =
     let ( let* ) = Result.bind in
-    let* () = net (Net.send station ~to_:server (string_packet op_get name)) in
+    let* () = send_get station ~server ~name in
     pump ();
     match reply station with
-    | Ok (`File (got, contents)) ->
+    | Ok (File (got, contents)) ->
         if String.equal got name then Ok contents
         else Error (Protocol (Printf.sprintf "asked for %S, got %S" name got))
-    | Ok `Ack -> Error (Protocol "bare acknowledgement to a GET")
+    | Ok Ack -> Error (Protocol "bare acknowledgement to a GET")
     | Error e -> Error e
 
   let store station ~server ~name contents ~pump =
     let ( let* ) = Result.bind in
-    let* () = net (Net.send station ~to_:server (string_packet op_put name)) in
-    let* () = net (Net.send_file station ~to_:server ~name contents) in
+    let* () = send_put station ~server ~name contents in
     pump ();
     match reply station with
-    | Ok `Ack -> Ok ()
-    | Ok (`File _) -> Error (Protocol "unexpected file in reply to PUT")
+    | Ok Ack -> Ok ()
+    | Ok (File _) -> Error (Protocol "unexpected file in reply to PUT")
     | Error e -> Error e
 
   let listing station ~server ~pump =
     let ( let* ) = Result.bind in
-    let* () = net (Net.send station ~to_:server [| Word.of_int op_list |]) in
+    let* () = send_list station ~server in
     pump ();
     match reply station with
-    | Ok (`File (name, contents)) when String.equal name listing_name ->
+    | Ok (File (name, contents)) when String.equal name listing_name ->
         Ok (List.filter (fun l -> l <> "") (String.split_on_char '\n' contents))
-    | Ok (`File _) -> Error (Protocol "unexpected file in reply to LIST")
-    | Ok `Ack -> Error (Protocol "bare acknowledgement to a LIST")
+    | Ok (File _) -> Error (Protocol "unexpected file in reply to LIST")
+    | Ok Ack -> Error (Protocol "bare acknowledgement to a LIST")
     | Error e -> Error e
 end

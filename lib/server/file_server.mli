@@ -1,4 +1,4 @@
-(** A network file server and its client.
+(** A concurrent network file server and its client.
 
     §5.2 mentions both halves: a file server built from the standard
     packages over a non-standard disk, and a diskless configuration of
@@ -7,41 +7,92 @@
     between them: named files fetched from, stored to, and listed on a
     machine that has a pack, by machines that may have none.
 
+    The server is §4's "set of cooperating activities": each admitted
+    request becomes an {!Activity} whose disk waits park it on the
+    shared standing elevator queue, so many conversations' pages are
+    served by common C-SCAN sweeps. The activity table is bounded;
+    above the bound new requests are refused with a NAK packet — the
+    client retries rather than the server queueing without bound.
+
     The protocol rides the network's packet and file-transfer framing.
     Requests are single packets ([GET name], [PUT name] followed by the
     file body, [LIST]); replies are file transfers (the content, or a
-    listing under the reserved name [";listing"]) or error packets. The
-    simulation is single-threaded, so client calls take a [pump]
-    callback that gives the server its turn — the moral equivalent of
-    waiting for the wire. *)
+    listing under the reserved name [";listing"]), ACK/NAK packets, or
+    error packets. The simulation is single-threaded, so the legacy
+    client calls take a [pump] callback that gives the server its turn —
+    the moral equivalent of waiting for the wire — while concurrent
+    workloads use the split [send_*]/[poll_reply] interface and drive
+    the server with {!tick}. *)
 
 module Net = Alto_net.Net
 module Fs = Alto_fs.Fs
 
 type t
 
-type stats = { gets : int; puts : int; lists : int; errors : int }
+type stats = {
+  gets : int;
+  puts : int;
+  lists : int;
+  errors : int;
+  naks : int;  (** Requests refused because the activity table was full. *)
+  send_errors : int;  (** Replies the network refused to carry. *)
+}
 
-val create : Fs.t -> Net.station -> t
-(** Serve the given volume's root directory on the given station. *)
+val create : ?max_active:int -> ?step_us:int -> Fs.t -> Net.station -> t
+(** Serve the given volume's root directory on the given station.
+    [max_active] (default 16) bounds concurrently admitted requests;
+    [step_us] (default 50) is the simulated processor cost per activity
+    step. *)
+
+val tick : t -> int
+(** One server turn: admit every pending request (spawning activities,
+    NAKing above the bound), then run one activity scheduling round.
+    Returns the amount of progress made (admissions plus steps run);
+    0 means the server is idle. This is what the [ServerTick] level
+    service calls. *)
+
+val busy : t -> bool
+(** Requests pending on the wire, or activities still live. *)
 
 val step : t -> bool
-(** Handle one pending request; [false] when the queue is empty. *)
+(** Handle one pending request to completion; [false] when the queue is
+    empty. (Legacy single-shot interface.) *)
 
 val serve_pending : t -> int
-(** Handle everything pending; returns the number of requests served. *)
+(** Handle everything pending to completion; returns the number of
+    requests admitted. (Legacy interface; never NAKs fewer than
+    [max_active] concurrent requests since it drains as it admits.) *)
 
 val stats : t -> stats
+
+val activities : t -> Activity.t
+val max_active : t -> int
 
 (** {2 The client side} *)
 
 module Client : sig
   type error =
     | Remote of string  (** The server refused, with its message. *)
+    | Busy  (** The server NAKed: its activity table was full. *)
     | Protocol of string
     | Net_error of Net.error
 
   val pp_error : Format.formatter -> error -> unit
+
+  type reply = File of string * string  (** name, contents *) | Ack
+
+  (** {3 Split interface for concurrent clients} *)
+
+  val send_get : Net.station -> server:string -> name:string -> (unit, error) result
+  val send_put :
+    Net.station -> server:string -> name:string -> string -> (unit, error) result
+  val send_list : Net.station -> server:string -> (unit, error) result
+
+  val poll_reply : Net.station -> (reply, error) result option
+  (** [None] until a complete reply (status packet or whole file
+      transfer) is waiting; NAKs surface as [Error Busy]. *)
+
+  (** {3 Blocking convenience interface} *)
 
   val fetch :
     Net.station -> server:string -> name:string -> pump:(unit -> unit) ->
