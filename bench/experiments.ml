@@ -32,6 +32,7 @@ module Level = Alto_os.Level
 module System = Alto_os.System
 module Net = Alto_net.Net
 module File_server = Alto_server.File_server
+module Replica = Alto_server.Replica
 module Obs = Alto_obs.Obs
 module Prof = Alto_obs.Prof
 open Workloads
@@ -1476,7 +1477,229 @@ let e18 () =
      sweeps, the rest hear NAK and retry, and one full rotation of the\n\
      send order completes every client within 2x of every other."
 
+(* E19 — beyond the paper's single machine: M Altos, each a full volume
+   on its own fallible drive, hold byte-identical replicas and audit
+   each other over a lossy network (lib/server/replica.ml). The scenario
+   is the worst day §3.5's recovery discipline can imagine: soft errors
+   on every pack, a net that drops/duplicates/delays, and one node whose
+   pack dies wholesale mid-audit — it must be rebuilt byte-identical
+   from the crowd while a survivor keeps serving files. *)
+let e19 () =
+  heading "E19  replicated Altos survive whole-pack loss";
+  claim
+    "three replicas auditing each other over a lossy net rebuild a \
+     wholly lost pack byte-identically while a survivor keeps serving, \
+     with zero pages lost";
+  let m = 3 in
+  let geometry =
+    { Geometry.diablo_31 with Geometry.model = "mid"; cylinders = 50 }
+  in
+  let clock = Sim_clock.create () in
+  (* The audit rides this net, and this net lies. *)
+  let net = Net.create ~clock () in
+  let drives = Array.init m (fun _ -> Drive.create ~clock ~pack_id:1 geometry) in
+  let sector_count = Drive.sector_count drives.(0) in
+  let fs0 = Fs.format drives.(0) in
+  let root = ok Directory.pp_error (Directory.open_root fs0) in
+  let n_files = 64 in
+  let file_bytes = 4000 in
+  let fill_names = Array.init n_files (fun k -> Printf.sprintf "Repl%02d.dat" k) in
+  let fill_bodies = Array.init n_files (fun k -> body k file_bytes) in
+  Array.iteri
+    (fun k name -> ignore (make_file fs0 root name file_bytes k : File.t))
+    fill_names;
+  (match Fs.flush fs0 with Ok () -> () | Error _ -> failwith "E19: flush");
+  (* Provision the replicas the way real ones would be: clone the built
+     pack sector-for-sector (replaying the ops would not be
+     byte-identical — leader pages carry creation timestamps). *)
+  for i = 1 to m - 1 do
+    for s = 0 to sector_count - 1 do
+      let sec = Drive.peek drives.(0) (Disk_address.of_index s) in
+      Drive.poke drives.(i) (Disk_address.of_index s) Sector.Header
+        (Sector.part_of sec Sector.Header);
+      Drive.poke drives.(i) (Disk_address.of_index s) Sector.Label
+        (Sector.part_of sec Sector.Label);
+      Drive.poke drives.(i) (Disk_address.of_index s) Sector.Value
+        (Sector.part_of sec Sector.Value)
+    done
+  done;
+  (* Every pack is fallible: a base soft-error rate plus a few marginal
+     sectors per drive (degrade_after is huge — wear, not death; whole-
+     pack death is node C's job today). *)
+  Array.iteri
+    (fun i d ->
+      Drive.set_soft_errors d ~seed:(101 + i) ~rate:0.002;
+      List.iter
+        (fun s ->
+          Drive.set_marginal d (Disk_address.of_index s) ~rate:0.05
+            ~growth:1.1 ~degrade_after:1_000_000)
+        [ 37 + (i * 11); 205 + (i * 17); 611 + (i * 23) ])
+    drives;
+  (* And the net lies: seeded drop, duplication and delay. *)
+  Net.set_faults net ~drop:0.05 ~dup:0.03 ~delay:0.10 ~delay_us:2_000
+    ~seed:19 ();
+  let fleet = Replica.create ~clock net in
+  let node_names = [| "alto-a"; "alto-b"; "alto-c" |] in
+  let nodes =
+    Array.init m (fun i ->
+        let fs =
+          if i = 0 then fs0
+          else
+            match Fs.mount drives.(i) with
+            | Ok fs -> fs
+            | Error msg -> failwith ("E19: mount replica: " ^ msg)
+        in
+        Replica.join fleet ~name:node_names.(i) fs)
+  in
+  let a = nodes.(0) and c = nodes.(2) in
+  (* Survivor A also runs the file service. The service LAN is a second,
+     clean net on the same clock — the audit's lossy internet is between
+     machines; the probe client sits next to the server. *)
+  let service_net = Net.create ~clock () in
+  let server_station = Net.attach service_net ~name:"fs" in
+  let srv = File_server.create fs0 server_station in
+  let probe = Net.attach service_net ~name:"probe" in
+  let fetches = ref 0 in
+  let probe_k = ref 0 in
+  let fetch_one () =
+    let k = !probe_k mod n_files in
+    incr probe_k;
+    match
+      File_server.Client.fetch probe ~server:"fs" ~name:fill_names.(k)
+        ~pump:(fun () ->
+          ignore (File_server.tick srv : int);
+          ignore (Replica.tick_fleet fleet : int))
+    with
+    | Ok contents ->
+        if not (String.equal contents fill_bodies.(k)) then
+          failwith "E19: GET during rebuild returned corrupted contents";
+        incr fetches
+    | Error e ->
+        Format.kasprintf failwith "E19: GET during rebuild: %a"
+          File_server.Client.pp_error e
+  in
+  (* One clean lap so every node has audited the whole pack once. *)
+  let all_reached target =
+    Array.for_all (fun n -> Replica.laps n >= target) nodes
+  in
+  if not (Replica.run_until fleet (fun () -> all_reached 1)) then
+    failwith "E19: fleet stalled during the clean lap";
+  (* Mid-audit, node C's pack dies wholesale. *)
+  if not (Replica.run_until fleet (fun () -> Replica.cursor c >= sector_count / 2))
+  then failwith "E19: fleet stalled approaching the kill point";
+  let junk_label = Array.make Sector.label_words (Word.of_int 0xDEAD) in
+  let junk_value = Array.make Sector.value_words (Word.of_int 0xDEAD) in
+  for s = 0 to sector_count - 1 do
+    Drive.poke drives.(2) (Disk_address.of_index s) Sector.Label junk_label;
+    Drive.poke drives.(2) (Disk_address.of_index s) Sector.Value junk_value
+  done;
+  Replica.rejoin c;
+  let t_rejoin = Sim_clock.now_us clock in
+  let rebuilt_target = Replica.laps c + 1 in
+  (* Drive the rebuild to completion, fetching files from A throughout:
+     the fleet ticks between fetches and inside each fetch's pump, so
+     serving and rebuilding interleave on the shared clock. *)
+  let rebuild_us = ref 0 in
+  let steps = ref 0 in
+  let max_steps = 80_000_000 in
+  while
+    (!rebuild_us = 0 || not (all_reached (rebuilt_target + 1)))
+    && !steps < max_steps
+  do
+    incr steps;
+    ignore (Replica.tick_fleet fleet : int);
+    if !steps mod 128 = 0 then fetch_one ();
+    if
+      !rebuild_us = 0
+      && Replica.laps c >= rebuilt_target
+      && not (Replica.rebuilding c)
+    then rebuild_us := Sim_clock.now_us clock - t_rejoin
+  done;
+  if !rebuild_us = 0 then failwith "E19: the rebuild never completed";
+  (* The verdicts. *)
+  let reference =
+    List.init sector_count (fun s ->
+        let sec = Drive.peek drives.(0) (Disk_address.of_index s) in
+        ( Array.to_list (Sector.part_of sec Sector.Header),
+          Array.to_list (Sector.part_of sec Sector.Label),
+          Array.to_list (Sector.part_of sec Sector.Value) ))
+  in
+  Array.iteri
+    (fun i d ->
+      if i > 0 then
+        let image =
+          List.init sector_count (fun s ->
+              let sec = Drive.peek d (Disk_address.of_index s) in
+              ( Array.to_list (Sector.part_of sec Sector.Header),
+                Array.to_list (Sector.part_of sec Sector.Label),
+                Array.to_list (Sector.part_of sec Sector.Value) ))
+        in
+        if image <> reference then
+          Format.kasprintf failwith
+            "E19: pack %d is not byte-identical to pack 0 after the rebuild" i)
+    drives;
+  let lost = Array.fold_left (fun acc n -> acc + Replica.pages_lost n) 0 nodes in
+  let counter name =
+    match Obs.find name with Some (Obs.Counter n) -> n | _ -> 0
+  in
+  let hist_p name p =
+    match Obs.find name with
+    | Some (Obs.Histogram s) ->
+        if p = 50 then s.Obs.p50 else if p = 90 then s.Obs.p90 else s.Obs.p99
+    | _ -> 0
+  in
+  let dropped, duped, delayed = Net.fault_census net in
+  (* The CI gate's handles: rebuild time (15% band) and pages lost
+     (absolute zero), recorded as counters so the JSON carries them. *)
+  let rebuild_s = !rebuild_us / 1_000_000 in
+  Obs.add (Obs.counter "e19.rebuild_s") rebuild_s;
+  Obs.add (Obs.counter "e19.pages_lost") lost;
+  Obs.add (Obs.counter "e19.fetches_during_rebuild") !fetches;
+  print_table [ 30; 18 ]
+    [ "measure"; "value" ]
+    [
+      [ "replicas"; string_of_int m ];
+      [ "pack"; Printf.sprintf "%d sectors" sector_count ];
+      [ "corpus"; Printf.sprintf "%d files x %d B" n_files file_bytes ];
+      [ "net faults (drop/dup/delay)"; "5% / 3% / 10%" ];
+      [ "  census";
+        Printf.sprintf "%d / %d / %d" dropped duped delayed ];
+      [ "slices audited"; string_of_int (counter "repl.audits") ];
+      [ "divergent votes"; string_of_int (counter "repl.divergent") ];
+      [ "slices repaired"; string_of_int (counter "repl.repairs") ];
+      [ "pages repaired"; string_of_int (counter "repl.pages_repaired") ];
+      [ "bytes repaired"; string_of_int (counter "repl.bytes_repaired") ];
+      [ "request timeouts / resends";
+        Printf.sprintf "%d / %d"
+          (counter "repl.timeouts") (counter "repl.resends") ];
+      [ "digest rtt p50 / p99";
+        Printf.sprintf "%s / %s"
+          (us_to_string (hist_p "repl.rtt_us" 50))
+          (us_to_string (hist_p "repl.rtt_us" 99)) ];
+      [ "slice repair p99"; us_to_string (hist_p "repl.repair_us" 99) ];
+      [ "whole-pack rebuild"; us_to_string !rebuild_us ];
+      [ "GETs served during rebuild"; string_of_int !fetches ];
+      [ "pages lost"; string_of_int lost ];
+    ];
+  if counter "repl.repairs" = 0 then
+    failwith "E19: the audit never repaired anything (gates watch silence)";
+  if counter "repl.timeouts" = 0 then
+    failwith "E19: the lossy net never tripped the request timeout";
+  if !fetches = 0 then
+    failwith "E19: the survivor served nothing during the rebuild";
+  if Replica.pages_served a = 0 then
+    failwith "E19: survivor A never served a repair page";
+  if lost <> 0 then
+    Format.kasprintf failwith "E19: %d pages lost (the gate holds this at 0)"
+      lost;
+  print_endline
+    "shape: whole-pack death is one more fault class: the crowd votes\n\
+     the reformatted node divergent slice by slice and streams it back\n\
+     byte-identical through a lying net, the survivor keeps serving\n\
+     files the whole time, and nothing is lost."
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18) ]
+            ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
+            ("e19", e19) ]

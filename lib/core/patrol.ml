@@ -247,28 +247,18 @@ let handle_hard_failure t tally addr =
 
 (* Verify one slice of [k] sectors starting at [start] (wrapping past
    the end of the pack), classify each against its retry evidence and
-   the allocation map, and heal what needs healing. *)
+   the allocation map, and heal what needs healing. The batched read
+   itself is {!Audit.read_slice} — the same machinery the replication
+   audit digests with. *)
 let scan_slice t tally ~start ~k =
-  let drive = Fs.drive t.fs in
-  let n = Drive.sector_count drive in
-  (* Sectors 0..reserved_top live at fixed addresses (boot page,
-     descriptor file): verified like the rest but never moved — their
-     address is their identity, and the cure for a dying one is the
-     scavenger's full rebuild. *)
-  let reserved_top = 1 + Fs.descriptor_page_count t.fs in
-  let indexes = Array.init k (fun j -> (start + j) mod n) in
-  let labels = Array.init k (fun _ -> Array.make Sector.label_words Word.zero) in
-  let values = Array.init k (fun _ -> Array.make Sector.value_words Word.zero) in
-  let requests =
-    Array.init k (fun j ->
-        Sched.request ~label:labels.(j) ~value:values.(j)
-          (Disk_address.of_index indexes.(j))
-          { Drive.op_none with
-            Drive.label = Some Drive.Read;
-            value = Some Drive.Read
-          })
-  in
-  let outcomes = Sched.run_batch drive requests in
+  (* Sectors 0..reserved_top are verified like the rest but never moved
+     — their address is their identity, and the cure for a dying one is
+     the scavenger's full rebuild (or a peer's repair, DESIGN §14). *)
+  let reserved_top = Audit.reserved_top t.fs in
+  let slice = Audit.read_slice t.fs ~start ~k in
+  let indexes = slice.Audit.indexes in
+  let labels = slice.Audit.labels in
+  let values = slice.Audit.values in
   Obs.incr m_slices;
   Obs.add m_verified k;
   t.slices <- t.slices + 1;
@@ -333,7 +323,7 @@ let scan_slice t tally ~start ~k =
               ())
       | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
           if not reserved then handle_hard_failure t tally addr)
-    outcomes
+    slice.Audit.outcomes
 
 let finish_tally t tally =
   t.total_suspects <- t.total_suspects + tally.c_suspects;

@@ -1,14 +1,57 @@
 module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
+module Obs = Alto_obs.Obs
+
+let m_dropped = Obs.counter "net.dropped"
+let m_duped = Obs.counter "net.duped"
+let m_delayed = Obs.counter "net.delayed"
+
+(* SplitMix64, same generator as the drive's fault model (drive.ml), so
+   the message-fault stream is identical on every OCaml version. *)
+type prng = { mutable sm_state : int64 }
+
+let prng_of_seed seed = { sm_state = Int64.of_int seed }
+
+let prng_next p =
+  p.sm_state <- Int64.add p.sm_state 0x9E3779B97F4A7C15L;
+  let z = p.sm_state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let prng_float p =
+  Int64.to_float (Int64.shift_right_logical (prng_next p) 11) /. 9007199254740992.0
+
+type faults = {
+  f_rng : prng;
+  f_drop : float;
+  f_dup : float;
+  f_delay : float;
+  f_delay_us : int;
+}
 
 type packet = { src : string; payload : Word.t array }
 
-type station = { name : string; queue : packet Queue.t; net : t }
+type station = {
+  name : string;
+  queue : packet Queue.t;
+  net : t;
+  (* Packets a fault hold-down has pushed into the future: (due-time,
+     tiebreak sequence, packet). Promoted into [queue] once the clock
+     passes the due time, so a delayed packet really is overtaken by
+     later traffic. *)
+  mutable held : (int * int * packet) list;
+}
 
 and t = {
   stations : (string, station) Hashtbl.t;
   clock : Sim_clock.t option;
   latency_us : int;
+  mutable faults : faults option;
+  mutable hold_seq : int;
+  mutable n_dropped : int;
+  mutable n_duped : int;
+  mutable n_delayed : int;
 }
 
 type error = Unknown_station of string | Payload_too_long
@@ -20,16 +63,68 @@ let pp_error fmt = function
 let max_payload_words = 256
 
 let create ?clock ?(latency_us = 500) () =
-  { stations = Hashtbl.create 8; clock; latency_us }
+  {
+    stations = Hashtbl.create 8;
+    clock;
+    latency_us;
+    faults = None;
+    hold_seq = 0;
+    n_dropped = 0;
+    n_duped = 0;
+    n_delayed = 0;
+  }
+
+let set_faults net ?(drop = 0.0) ?(dup = 0.0) ?(delay = 0.0) ?(delay_us = 2_000)
+    ~seed () =
+  net.faults <-
+    Some
+      {
+        f_rng = prng_of_seed seed;
+        f_drop = drop;
+        f_dup = dup;
+        f_delay = delay;
+        f_delay_us = max 1 delay_us;
+      }
+
+let clear_faults net = net.faults <- None
+let faults_on net = net.faults <> None
+let fault_census net = (net.n_dropped, net.n_duped, net.n_delayed)
 
 let attach net ~name =
   if Hashtbl.mem net.stations name then
     invalid_arg (Printf.sprintf "Net.attach: station %S already attached" name);
-  let station = { name; queue = Queue.create (); net } in
+  let station = { name; queue = Queue.create (); net; held = [] } in
   Hashtbl.replace net.stations name station;
   station
 
 let station_name s = s.name
+
+let now net = match net.clock with Some c -> Sim_clock.now_us c | None -> 0
+
+(* Promote held packets whose due time has passed, oldest due first. *)
+let promote s =
+  match s.held with
+  | [] -> ()
+  | held ->
+      let t = now s.net in
+      let due, still =
+        List.partition (fun (due_at, _, _) -> due_at <= t) held
+      in
+      List.iter
+        (fun (_, _, pkt) -> Queue.push pkt s.queue)
+        (List.sort compare due);
+      s.held <- still
+
+(* Deliver one copy of [pkt] to [dst], applying the delay fault. *)
+let deliver net dst pkt =
+  match net.faults with
+  | Some f when f.f_delay > 0.0 && prng_float f.f_rng < f.f_delay ->
+      let extra = 1 + Int64.to_int (Int64.rem (Int64.logand (prng_next f.f_rng) Int64.max_int) (Int64.of_int f.f_delay_us)) in
+      net.n_delayed <- net.n_delayed + 1;
+      Obs.incr m_delayed;
+      net.hold_seq <- net.hold_seq + 1;
+      dst.held <- (now net + extra, net.hold_seq, pkt) :: dst.held
+  | _ -> Queue.push pkt dst.queue
 
 let send s ~to_ payload =
   if Array.length payload > max_payload_words then Error Payload_too_long
@@ -37,14 +132,35 @@ let send s ~to_ payload =
     match Hashtbl.find_opt s.net.stations to_ with
     | None -> Error (Unknown_station to_)
     | Some dst ->
-        (match s.net.clock with
-        | Some clock -> Sim_clock.advance_us clock s.net.latency_us
+        let net = s.net in
+        (match net.clock with
+        | Some clock -> Sim_clock.advance_us clock net.latency_us
         | None -> ());
-        Queue.push { src = s.name; payload = Array.copy payload } dst.queue;
+        let pkt = { src = s.name; payload = Array.copy payload } in
+        (match net.faults with
+        | None -> Queue.push pkt dst.queue
+        | Some f ->
+            if f.f_drop > 0.0 && prng_float f.f_rng < f.f_drop then begin
+              net.n_dropped <- net.n_dropped + 1;
+              Obs.incr m_dropped
+            end
+            else begin
+              deliver net dst pkt;
+              if f.f_dup > 0.0 && prng_float f.f_rng < f.f_dup then begin
+                net.n_duped <- net.n_duped + 1;
+                Obs.incr m_duped;
+                deliver net dst { pkt with payload = Array.copy pkt.payload }
+              end
+            end);
         Ok ()
 
-let receive s = Queue.take_opt s.queue
-let pending s = Queue.length s.queue
+let receive s =
+  promote s;
+  Queue.take_opt s.queue
+
+let pending s =
+  promote s;
+  Queue.length s.queue
 
 (* File transfer framing: word 0 is the kind — 1 header (name follows:
    length word + packed string), 2 data (chunk), 3 trailer. *)
@@ -86,6 +202,7 @@ let send_file s ~to_ ~name data =
   send s ~to_ [| Word.of_int kind_trailer |]
 
 let receive_file s =
+  promote s;
   (* Peek: only consume if a complete file heads the queue. *)
   let items = List.of_seq (Queue.to_seq s.queue) in
   let parse = function

@@ -8,10 +8,15 @@
     for the disk: stations exchange word arrays; everything above that is
     convention.
 
-    Delivery is reliable and in order (a queue per station), with an
-    optional per-packet latency charged to a simulated clock. That is
-    deliberately simpler than a real Ethernet — the workloads that need
-    the network exercise control structure, not loss recovery. *)
+    Delivery is reliable and in order (a queue per station) by default,
+    with an optional per-packet latency charged to a simulated clock.
+    That is deliberately simpler than a real Ethernet — most workloads
+    exercise control structure, not loss recovery. Workloads that DO
+    exercise loss recovery (the replication audit) turn on a seeded
+    message-fault mode: packets are dropped, duplicated, or delayed
+    (held and released once the clock passes a due time, so delayed
+    packets genuinely arrive out of order) by a SplitMix64 stream —
+    deterministic for a fixed seed, off by default. *)
 
 module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
@@ -31,6 +36,29 @@ val max_payload_words : int
 val create : ?clock:Sim_clock.t -> ?latency_us:int -> unit -> t
 (** [latency_us] (default 500) is charged to [clock] per packet sent,
     when a clock is given. *)
+
+val set_faults :
+  t ->
+  ?drop:float ->
+  ?dup:float ->
+  ?delay:float ->
+  ?delay_us:int ->
+  seed:int ->
+  unit ->
+  unit
+(** Make the wire lie. Each probability is per packet (defaults 0);
+    a delayed packet is held for 1..[delay_us] (default 2000) simulated
+    microseconds past its send and only delivered once the clock gets
+    there. Counted in [net.dropped] / [net.duped] / [net.delayed] and in
+    the per-net census. Without a clock, delay degrades to in-order
+    delivery (there is no time to be late against). *)
+
+val clear_faults : t -> unit
+
+val faults_on : t -> bool
+
+val fault_census : t -> int * int * int
+(** (dropped, duplicated, delayed) on this net since creation. *)
 
 val attach : t -> name:string -> station
 (** Join the network. Raises [Invalid_argument] on a duplicate name. *)

@@ -434,6 +434,15 @@ let cmd_serve system rounds =
       say system "serve: %d units of progress; %d requests, %d naks so far" progress
         (value "server.reqs") (value "server.naks")
 
+(* The replica fleet's view of itself: per peer the audit cursor, last
+   vote outcome and repair traffic, plus the net fault census. The
+   report callback keeps the OS from depending on the server package,
+   like the ServerTick indirection. *)
+let cmd_peers system =
+  match System.peer_report system with
+  | None -> say system "peers: this machine is not enrolled in a replica fleet"
+  | Some render -> List.iter (fun line -> say system "%s" line) (render ())
+
 let cmd_run system name =
   match Loader.run_by_name system name with
   | Error e -> say system "run: %a" Loader.pp_error e
@@ -556,6 +565,9 @@ let execute system line =
   | [ "blackbox" ] ->
       cmd_blackbox system;
       `Continue
+  | [ "peers" ] ->
+      cmd_peers system;
+      `Continue
   | [ "serve" ] ->
       cmd_serve system 1000;
       `Continue
@@ -606,8 +618,15 @@ let run ?(max_commands = 1000) system =
                  idle time: spend it verifying one slice of the pack.
                  The patrol lives in level 5's disk code; a junta that
                  removed the disk code removed the patrol with it. *)
-              if System.resident_level system >= 5 then
+              if System.resident_level system >= 5 then begin
                 ignore (System.patrol_tick system : Alto_fs.Patrol.report);
+                (* The distributed audit shares the idle moment: one
+                   ReplicaTick per command keeps this machine answering
+                   its peers even while its user types. *)
+                match System.replica_tick system with
+                | Some tick -> ignore (tick () : int)
+                | None -> ()
+              end;
               loop (executed + 1))
     end
   in

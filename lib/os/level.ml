@@ -37,7 +37,11 @@ let all =
       index = 5;
       level_name = "Disk code";
       size_words = 768;
-      services = [ s "DiskRead" 20; s "DiskWrite" 21; s "DiskPatrol" 22; s "ServerTick" 23 ];
+      services =
+        [
+          s "DiskRead" 20; s "DiskWrite" 21; s "DiskPatrol" 22;
+          s "ServerTick" 23; s "ReplicaTick" 24;
+        ];
     };
     { index = 6; level_name = "Disk data"; size_words = 256; services = [] };
     {

@@ -37,6 +37,8 @@ type t = {
   mutable last_error : string option;
   mutable overlay_loader : (string -> (int, string) result) option;
   mutable server_tick : (unit -> int) option;
+  mutable replica_tick : (unit -> int) option;
+  mutable peer_report : (unit -> string list) option;
 }
 
 let user_base = 1024
@@ -64,6 +66,10 @@ let last_error t = t.last_error
 let set_overlay_loader t f = t.overlay_loader <- Some f
 let set_server_tick t f = t.server_tick <- Some f
 let server_tick t = t.server_tick
+let set_replica_tick t f = t.replica_tick <- Some f
+let replica_tick t = t.replica_tick
+let set_peer_report t f = t.peer_report <- Some f
+let peer_report t = t.peer_report
 
 (* {2 Level installation} *)
 
@@ -146,6 +152,8 @@ let boot ?(geometry = Geometry.diablo_31) ?drive ?(finish_recovery_lap = true) (
       last_error = None;
       overlay_loader = None;
       server_tick = None;
+      replica_tick = None;
+      peer_report = None;
     }
   in
   install_all_levels t;
@@ -351,6 +359,15 @@ let dispatch t cpu code =
          admissions plus activity steps made, reported in AC0. *)
       match t.server_tick with
       | None -> fail t cpu "ServerTick: no server attached"
+      | Some tick ->
+          Cpu.set_ac cpu 0 (Word.of_int (tick ()));
+          ok cpu)
+  | 24 -> (
+      (* ReplicaTick: one turn of the distributed audit, when this
+         machine is enrolled in a replica fleet; AC0 reports progress
+         units (packets handled + state-machine steps). *)
+      match t.replica_tick with
+      | None -> fail t cpu "ReplicaTick: no replica fleet attached"
       | Some tick ->
           Cpu.set_ac cpu 0 (Word.of_int (tick ()));
           ok cpu)

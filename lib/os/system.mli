@@ -37,6 +37,7 @@
        21   DiskWrite     AC0 DA, AC1 buffer
        22   DiskPatrol    (idle moment)               AC0 pages relocated
        23   ServerTick    (idle moment)               AC0 progress made
+       24   ReplicaTick   (idle moment)               AC0 progress made
        30   Allocate      AC0 words                   AC0 address
        31   Free          AC0 address
        40   OpenFile      AC0 name, AC1 mode 0/1/2    AC0 stream handle
@@ -141,6 +142,20 @@ val set_server_tick : t -> (unit -> int) -> unit
     command and idle loops call the service, not the server directly. *)
 
 val server_tick : t -> (unit -> int) option
+
+val set_replica_tick : t -> (unit -> int) -> unit
+(** Install the procedure behind the [ReplicaTick] service — typically
+    [fun () -> Replica.tick node]. Same indirection discipline as
+    {!set_server_tick}: the OS level never depends on the server
+    package. *)
+
+val replica_tick : t -> (unit -> int) option
+
+val set_peer_report : t -> (unit -> string list) -> unit
+(** Install the report behind the executive's [peers] command —
+    typically [fun () -> Replica.report fleet]. *)
+
+val peer_report : t -> (unit -> string list) option
 
 (** {2 Object handles} *)
 

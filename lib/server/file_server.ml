@@ -22,6 +22,7 @@ let listing_name = ";listing"
 
 (* Process-wide server metrics — the counters the CI gate watches. *)
 let m_reqs = Obs.counter "server.reqs"
+let m_client_timeouts = Obs.counter "server.client_timeouts"
 let m_naks = Obs.counter "server.naks"
 let m_errors = Obs.counter "server.errors"
 let m_send_errors = Obs.counter "server.send_errors"
@@ -344,12 +345,14 @@ module Client = struct
   type error =
     | Remote of string
     | Busy
+    | Timeout
     | Protocol of string
     | Net_error of Net.error
 
   let pp_error fmt = function
     | Remote msg -> Format.fprintf fmt "server says: %s" msg
     | Busy -> Format.pp_print_string fmt "server is full, try again"
+    | Timeout -> Format.pp_print_string fmt "timed out waiting for a reply"
     | Protocol msg -> Format.fprintf fmt "protocol trouble: %s" msg
     | Net_error e -> Net.pp_error fmt e
 
@@ -390,36 +393,50 @@ module Client = struct
                    | None -> Error (Protocol "malformed error packet")
                  else Error (Protocol (Printf.sprintf "unexpected reply %d" op))))
 
-  let reply station =
-    match poll_reply station with
-    | Some r -> r
-    | None -> Error (Protocol "no reply")
+  let default_max_polls = 1_000
 
-  let fetch station ~server ~name ~pump =
+  (* The blocking calls used to demand a reply after one pump and could
+     be driven into a forever-loop by callers polling a dead server in a
+     wrapper; now the wait itself is bounded — pump, poll, and after
+     [max_polls] dry polls give up with an explicit [Timeout]. *)
+  let await ?(max_polls = default_max_polls) station ~pump =
+    let rec go n =
+      match poll_reply station with
+      | Some r -> r
+      | None ->
+          if n <= 0 then begin
+            Obs.incr m_client_timeouts;
+            Error Timeout
+          end
+          else begin
+            pump ();
+            go (n - 1)
+          end
+    in
+    go max_polls
+
+  let fetch ?max_polls station ~server ~name ~pump =
     let ( let* ) = Result.bind in
     let* () = send_get station ~server ~name in
-    pump ();
-    match reply station with
+    match await ?max_polls station ~pump with
     | Ok (File (got, contents)) ->
         if String.equal got name then Ok contents
         else Error (Protocol (Printf.sprintf "asked for %S, got %S" name got))
     | Ok Ack -> Error (Protocol "bare acknowledgement to a GET")
     | Error e -> Error e
 
-  let store station ~server ~name contents ~pump =
+  let store ?max_polls station ~server ~name contents ~pump =
     let ( let* ) = Result.bind in
     let* () = send_put station ~server ~name contents in
-    pump ();
-    match reply station with
+    match await ?max_polls station ~pump with
     | Ok Ack -> Ok ()
     | Ok (File _) -> Error (Protocol "unexpected file in reply to PUT")
     | Error e -> Error e
 
-  let listing station ~server ~pump =
+  let listing ?max_polls station ~server ~pump =
     let ( let* ) = Result.bind in
     let* () = send_list station ~server in
-    pump ();
-    match reply station with
+    match await ?max_polls station ~pump with
     | Ok (File (name, contents)) when String.equal name listing_name ->
         Ok (List.filter (fun l -> l <> "") (String.split_on_char '\n' contents))
     | Ok (File _) -> Error (Protocol "unexpected file in reply to LIST")

@@ -74,6 +74,9 @@ module Client : sig
   type error =
     | Remote of string  (** The server refused, with its message. *)
     | Busy  (** The server NAKed: its activity table was full. *)
+    | Timeout
+        (** The bounded poll ran dry: no reply after [max_polls] pumps.
+            Counted in [server.client_timeouts]. *)
     | Protocol of string
     | Net_error of Net.error
 
@@ -92,18 +95,26 @@ module Client : sig
   (** [None] until a complete reply (status packet or whole file
       transfer) is waiting; NAKs surface as [Error Busy]. *)
 
-  (** {3 Blocking convenience interface} *)
+  (** {3 Blocking convenience interface}
+
+      Each call sends, then alternates [pump ()] with a poll until a
+      reply arrives or [max_polls] (default 1000) polls come up dry —
+      a server that never answers yields [Error Timeout], never a hang. *)
 
   val fetch :
+    ?max_polls:int ->
     Net.station -> server:string -> name:string -> pump:(unit -> unit) ->
     (string, error) result
   (** Fetch a named file's contents. *)
 
   val store :
+    ?max_polls:int ->
     Net.station -> server:string -> name:string -> string -> pump:(unit -> unit) ->
     (unit, error) result
   (** Create or overwrite a named file on the server. *)
 
   val listing :
-    Net.station -> server:string -> pump:(unit -> unit) -> (string list, error) result
+    ?max_polls:int ->
+    Net.station -> server:string -> pump:(unit -> unit) ->
+    (string list, error) result
 end

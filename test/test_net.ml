@@ -105,6 +105,78 @@ let test_incomplete_file_waits () =
   | Some (name, "") -> Alcotest.(check string) "complete now" "F." name
   | Some _ | None -> Alcotest.fail "completion not detected"
 
+(* {2 The seeded message-fault mode} *)
+
+let flood a ~to_ n =
+  for i = 1 to n do
+    ignore (Net.send a ~to_ [| Word.of_int i |])
+  done
+
+let drain b =
+  let rec go acc =
+    match Net.receive b with
+    | None -> List.rev acc
+    | Some p -> go (Word.to_int p.Net.payload.(0) :: acc)
+  in
+  go []
+
+let test_faults_off_by_default () =
+  let net = Net.create () in
+  let a = Net.attach net ~name:"a" in
+  let b = Net.attach net ~name:"b" in
+  Alcotest.(check bool) "clean" false (Net.faults_on net);
+  flood a ~to_:"b" 50;
+  Alcotest.(check int) "all arrive" 50 (List.length (drain b));
+  Alcotest.(check (triple int int int)) "census" (0, 0, 0) (Net.fault_census net)
+
+let test_drop_and_dup_counted () =
+  let net = Net.create () in
+  let a = Net.attach net ~name:"a" in
+  let b = Net.attach net ~name:"b" in
+  Net.set_faults net ~drop:0.2 ~dup:0.2 ~seed:7 ();
+  Alcotest.(check bool) "faulty" true (Net.faults_on net);
+  flood a ~to_:"b" 500;
+  let got = List.length (drain b) in
+  let dropped, duped, delayed = Net.fault_census net in
+  Alcotest.(check bool) "some dropped" true (dropped > 0);
+  Alcotest.(check bool) "some duplicated" true (duped > 0);
+  Alcotest.(check int) "no clock, no delay" 0 delayed;
+  Alcotest.(check int) "conservation" (500 - dropped + duped) got
+
+let test_delay_reorders () =
+  let clock = Sim_clock.create () in
+  let net = Net.create ~clock () in
+  let a = Net.attach net ~name:"a" in
+  let b = Net.attach net ~name:"b" in
+  Net.set_faults net ~delay:0.5 ~delay_us:50_000 ~seed:3 ();
+  flood a ~to_:"b" 100;
+  let _, _, delayed = Net.fault_census net in
+  Alcotest.(check bool) "some delayed" true (delayed > 0);
+  (* Held packets are invisible until the clock reaches their due time
+     (the sends themselves advanced the clock, so a prefix of them may
+     already be due)... *)
+  let early = drain b in
+  Alcotest.(check bool) "some still held" true (List.length early < 100);
+  Alcotest.(check bool) "out of order" true (early <> List.init 100 (fun i -> i + 1));
+  (* ...and all of them surface once it does: nothing is ever lost to
+     the hold-down, only late. *)
+  Sim_clock.advance_us clock 60_000;
+  Alcotest.(check int) "conservation" 100 (List.length early + List.length (drain b))
+
+let test_fault_determinism () =
+  let run () =
+    let clock = Sim_clock.create () in
+    let net = Net.create ~clock () in
+    let a = Net.attach net ~name:"a" in
+    let b = Net.attach net ~name:"b" in
+    Net.set_faults net ~drop:0.1 ~dup:0.1 ~delay:0.3 ~delay_us:10_000 ~seed:42 ();
+    flood a ~to_:"b" 200;
+    Sim_clock.advance_us clock 20_000;
+    (drain b, Net.fault_census net)
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "identical replay" true (r1 = r2)
+
 let () =
   Alcotest.run "alto_net"
     [
@@ -122,5 +194,12 @@ let () =
           ("odd length", `Quick, test_file_transfer_odd_length);
           ("interleaved", `Quick, test_interleaved_files);
           ("incomplete waits", `Quick, test_incomplete_file_waits);
+        ] );
+      ( "faults",
+        [
+          ("off by default", `Quick, test_faults_off_by_default);
+          ("drop and dup counted", `Quick, test_drop_and_dup_counted);
+          ("delay reorders", `Quick, test_delay_reorders);
+          ("seeded determinism", `Quick, test_fault_determinism);
         ] );
     ]
