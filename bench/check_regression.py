@@ -15,7 +15,7 @@ failing run shows the whole picture instead of the first casualty.
 Usage: check_regression.py BASELINE.json FRESH.json
 
 When a change legitimately moves a metric past its gate, regenerate the
-baseline (dune exec bench/main.exe -- e1 e4 e14 e15 e16 e17 e18 e19 --json BENCH_PR7.json)
+baseline (dune exec bench/main.exe -- e1 e4 e6 e14 e15 e16 e17 e18 e19 e20 --json BENCH_PR8.json)
 and commit it alongside the change, with the movement called out in the
 PR description.
 """
@@ -53,6 +53,10 @@ DOWN_IS_BAD = [
     # slices means the idle sweep stopped running.
     "fs.patrol.slices",
     "e18.throughput_mrps",
+    # E6's sequential-read rate through the track buffer cache: the
+    # headline number of the write-back cache PR. A drop means track
+    # fills stopped amortizing the rotational wait.
+    "e6.words_per_s",
 ]
 
 # Histograms gated on their mean.
@@ -80,6 +84,10 @@ EXACT = [
     "disk.retry_exhausted",
     "fs.patrol.relocations",
     "server.reqs",
+    # The simulator is deterministic, so the track buffer cache must
+    # serve exactly the same hits every run — one hit more or fewer
+    # means a coherence or fill decision changed behind our back.
+    "fs.bio.hits",
 ]
 
 # Absolute ceilings, gated on the fresh value alone: E18 computes its

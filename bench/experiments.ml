@@ -14,6 +14,8 @@ module Fault = Alto_disk.Fault
 module Reliable = Alto_disk.Reliable
 module Sched = Alto_disk.Sched
 module Fs = Alto_fs.Fs
+module Bio = Alto_fs.Bio
+module Label_cache = Alto_fs.Label_cache
 module File = Alto_fs.File
 module File_id = Alto_fs.File_id
 module Label = Alto_fs.Label
@@ -212,46 +214,63 @@ let e4 () =
     }
   in
   let scenario name req expect =
+    (* Each rung's cost is measured cold: the track buffers are settled
+       and dropped so a scenario pays its true disk cost instead of
+       inheriting whatever the previous one left warm. *)
+    ignore (Bio.flush (Fs.bio fs) : Bio.flush_report);
+    Bio.clear (Fs.bio fs);
     match Hints.read_page fs ~directory:root req with
     | Error f -> failwith ("ladder failed in scenario " ^ name ^ ": " ^ f.Hints.reason)
     | Ok s ->
         let final = List.nth s.Hints.attempts (List.length s.Hints.attempts - 1) in
-        assert (final.Hints.rung = expect);
+        if final.Hints.rung <> expect then
+          Format.kasprintf failwith "E4 %s: won at rung %a, expected %a" name
+            Hints.pp_rung final.Hints.rung Hints.pp_rung expect;
         [
           name;
           Format.asprintf "%a" Hints.pp_rung final.Hints.rung;
           us_to_string final.Hints.elapsed_us;
         ]
   in
-  let rows =
-    [
-      scenario "hint valid"
-        (request ~page_hint:(Some page2.Page.addr) ~leader_hint:(Some leader_addr)
-           ~fid:(Some fid))
-        Hints.Direct;
-      scenario "page hint stale"
-        (request ~page_hint:(Some bogus) ~leader_hint:(Some leader_addr) ~fid:(Some fid))
-        Hints.Leader_chain;
-      scenario "all hints stale"
-        (request ~page_hint:(Some bogus) ~leader_hint:(Some bogus) ~fid:(Some fid))
-        Hints.Directory_fid;
-      scenario "FV stale too"
-        (request ~page_hint:None ~leader_hint:None
-           ~fid:(Some (File_id.next_version fid)))
-        Hints.Directory_name;
-      (let (_ : bool) =
-         ok Directory.pp_error (Directory.remove root "Wanted.dat")
-       in
-       scenario "entry lost as well"
-         (request ~page_hint:(Some bogus) ~leader_hint:(Some bogus) ~fid:(Some fid))
-         Hints.Scavenge);
-    ]
+  (* The scenarios run strictly top to bottom: the first four need the
+     directory intact, the last removes the entry so only the scavenge
+     rung can win. *)
+  let s1 =
+    scenario "hint valid"
+      (request ~page_hint:(Some page2.Page.addr) ~leader_hint:(Some leader_addr)
+         ~fid:(Some fid))
+      Hints.Direct
   in
+  let s2 =
+    scenario "page hint stale"
+      (request ~page_hint:(Some bogus) ~leader_hint:(Some leader_addr) ~fid:(Some fid))
+      Hints.Leader_chain
+  in
+  let s3 =
+    scenario "all hints stale"
+      (request ~page_hint:(Some bogus) ~leader_hint:(Some bogus) ~fid:(Some fid))
+      Hints.Directory_fid
+  in
+  let s4 =
+    scenario "FV stale too"
+      (request ~page_hint:None ~leader_hint:None
+         ~fid:(Some (File_id.next_version fid)))
+      Hints.Directory_name
+  in
+  let (_ : bool) = ok Directory.pp_error (Directory.remove root "Wanted.dat") in
+  let s5 =
+    scenario "entry lost as well"
+      (request ~page_hint:(Some bogus) ~leader_hint:(Some bogus) ~fid:(Some fid))
+      Hints.Scavenge
+  in
+  let rows = [ s1; s2; s3; s4; s5 ] in
   ignore drive;
   print_table [ 22; 28; 12 ] [ "scenario"; "winning rung"; "rung cost" ] rows;
   print_endline
-    "shape: each rung costs more than the one before; programs that keep\n\
-     hints fresh live at the top line, and nothing below it loses data."
+    "shape: measured cold, each rung costs more than the one before;\n\
+     the one exception is honest — a by-name retry right after a failed\n\
+     by-FV scan rides that scan's track fills. Programs that keep hints\n\
+     fresh live at the top line, and nothing below it loses data."
 
 (* E5 — §4.1: OutLoad/InLoad "requires about a second". *)
 let e5 () =
@@ -285,38 +304,80 @@ let e5 () =
   print_endline "shape: about a second each way once the state file exists."
 
 (* E6 — §2: the drive "can store 2.5 megabytes … and can transfer 64k
-   words in about one second". *)
+   words in about one second". One sector at a time the claim is out of
+   reach: every read pays its own rotational wait. Reading through the
+   track buffer cache, a miss fills the whole track in one elevator
+   batch (one revolution, now that the sweep is rotation-aware) and the
+   other eleven sectors are answered from memory — that is the
+   configuration the paper's rate describes. *)
 let e6 () =
   heading "E6  raw disk rate and capacity (§2)";
   claim "2.5 MB per pack; 64K words transferred in about a second";
+  let sectors = 65536 / Sector.value_words in
+  let rate us = 65536.0 /. (float_of_int us /. 1e6) in
+  let one_at_a_time geometry =
+    let drive = Drive.create ~pack_id:1 geometry in
+    let clock = Drive.clock drive in
+    let value = Array.make Sector.value_words Word.zero in
+    let (), us =
+      timed clock (fun () ->
+          for i = 0 to sectors - 1 do
+            match
+              Drive.run drive (Disk_address.of_index i)
+                { Drive.op_none with Drive.value = Some Drive.Read }
+                ~value ()
+            with
+            | Ok () -> ()
+            | Error e -> Format.kasprintf failwith "%a" Drive.pp_error e
+          done)
+    in
+    us
+  in
+  let through_track_cache geometry =
+    let drive = Drive.create ~pack_id:1 geometry in
+    let clock = Drive.clock drive in
+    let bio = Bio.create ~label_cache:(Label_cache.create drive) drive in
+    let (), us =
+      timed clock (fun () ->
+          for i = 0 to sectors - 1 do
+            let addr = Disk_address.of_index i in
+            match Bio.lookup bio addr with
+            | Some _ -> ()
+            | None -> (
+                Bio.fill bio addr;
+                match Bio.peek bio addr with
+                | Some _ -> ()
+                | None -> failwith "e6: track fill left the sector unbuffered")
+          done)
+    in
+    us
+  in
   let rows =
-    List.map
-      (fun geometry ->
-        let drive = Drive.create ~pack_id:1 geometry in
-        let clock = Drive.clock drive in
-        let value = Array.make Sector.value_words Word.zero in
-        let sectors = 65536 / Sector.value_words in
-        let (), us =
-          timed clock (fun () ->
-              for i = 0 to sectors - 1 do
-                match
-                  Drive.run drive (Disk_address.of_index i)
-                    { Drive.op_none with Drive.value = Some Drive.Read }
-                    ~value ()
-                with
-                | Ok () -> ()
-                | Error e -> Format.kasprintf failwith "%a" Drive.pp_error e
-              done)
-        in
+    List.mapi
+      (fun i geometry ->
+        let direct_us = one_at_a_time geometry in
+        let cached_us = through_track_cache geometry in
+        (* The headline number — the gated metric is the Model 31, the
+           pack the paper's "about one second" describes. *)
+        if i = 0 then
+          Obs.add (Obs.counter "e6.words_per_s") (int_of_float (rate cached_us));
         [
           geometry.Geometry.model;
           Printf.sprintf "%.2f MB" (float_of_int (Geometry.capacity_bytes geometry) /. 1_048_576.);
-          us_to_string us;
-          Printf.sprintf "%.0fk words/s" (65536.0 /. (float_of_int us /. 1e6) /. 1000.);
+          us_to_string direct_us;
+          Printf.sprintf "%.0fk w/s" (rate direct_us /. 1000.);
+          us_to_string cached_us;
+          Printf.sprintf "%.0fk w/s" (rate cached_us /. 1000.);
         ])
       [ Geometry.diablo_31; Geometry.diablo_44 ]
   in
-  print_table [ 16; 10; 12; 16 ] [ "disk"; "capacity"; "64K words"; "rate" ] rows
+  print_table [ 16; 10; 13; 9; 13; 9 ]
+    [ "disk"; "capacity"; "sector reads"; "rate"; "track fills"; "rate" ]
+    rows;
+  print_endline
+    "shape: sector-at-a-time reads pay a rotational wait per sector and\n\
+     miss the claim by about half; whole-track fills amortize the wait\n\
+     over twelve sectors and reach the paper's about-a-second rate."
 
 (* E7 — §5.2: Junta gives precise control over resident memory. *)
 let e7 () =
@@ -1698,8 +1759,119 @@ let e19 () =
      byte-identical through a lying net, the survivor keeps serving\n\
      files the whole time, and nothing is lost."
 
+(* E20 — the write-back track cache at work, before/after on the two
+   workloads it was built for. (a) Record rewrites: a program updates a
+   small record in the middle of every page of a database file — each
+   update is a read-modify-write, the worst case for a write-through
+   disk (two rotational waits per page). With the cache, the read side
+   hits after one track fill and the write side is absorbed and
+   delayed; the final flush coalesces a hundred page writes into a
+   handful of contiguous track sweeps. (b) Allocation on a fragmented
+   pack: when the free sectors are scattered holes, Near_previous takes
+   the linearly-next hole and waits most of a revolution for it;
+   Rotation_aware takes the hole that lands next under the head. *)
+let e20 () =
+  heading "E20  write coalescing and rotation-aware allocation";
+  claim
+    "delayed track write-back coalesces read-modify-write traffic; \
+     rotation-aware allocation dodges the rotational wait on a fragmented pack";
+  let page_bytes = 2 * Sector.value_words in
+  (* (a) rewrite a 16-byte record in the middle of every page. *)
+  let rewrite_records ~cached =
+    let _drive, fs = fresh () in
+    if not cached then Bio.set_tracks (Fs.bio fs) 0;
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    let pages = 100 in
+    let file = make_file fs root "Records.dat" (pages * page_bytes) 3 in
+    let clock = Drive.clock (Fs.drive fs) in
+    let (), us =
+      timed clock (fun () ->
+          for k = 0 to pages - 1 do
+            ok File.pp_error
+              (File.write_bytes file ~pos:((k * page_bytes) + 200) (body (k + 7) 16))
+          done;
+          (* The delayed writes are part of the work: time the flush. *)
+          settle fs)
+    in
+    (pages, us)
+  in
+  let pages, uncached_us = rewrite_records ~cached:false in
+  let _, cached_us = rewrite_records ~cached:true in
+  Obs.add (Obs.counter "e20.rmw_uncached_us") uncached_us;
+  Obs.add (Obs.counter "e20.rmw_cached_us") cached_us;
+  (* (b) allocate 100 fresh pages onto a pack whose free list is
+     scattered holes, under each allocation policy. Each allocation is
+     the paper's check-free-then-write revolution; what the policy
+     controls is the arrival wait before the check. Back-to-back
+     allocations hide the difference (the linearly-next hole is just
+     ahead of the head anyway), so each allocation is interleaved with
+     a metadata read at another cylinder — the directory and leader
+     traffic every real allocation stream carries. *)
+  let alloc policy =
+    let drive, fs = fresh () in
+    let root = ok Directory.pp_error (Directory.open_root fs) in
+    Fs.set_policy fs (Fs.Scattered (Random.State.make [| 20 |]));
+    let (_ : string list) = fill_to fs root ~fraction:0.6 ~file_bytes:4000 in
+    Fs.set_policy fs policy;
+    let fid = Fs.fresh_fid fs in
+    let value = Array.make Sector.value_words (Word.of_int 0x2020) in
+    let shape = Drive.geometry drive in
+    let metadata_addr =
+      (* Track 0 of a middling cylinder, sector 0 — stand-in for the
+         descriptor / directory neighbourhood. *)
+      Disk_address.of_index (50 * 2 * shape.Geometry.sectors_per_track)
+    in
+    let scratch = Array.make Sector.value_words Word.zero in
+    let clock = Drive.clock drive in
+    (* Sum the allocations' own time: the metadata read sits between
+       them to move the head, but a fixed sector re-synchronizes the
+       rotational phase, so including it would hide exactly the wait
+       being measured. *)
+    let alloc_us = ref 0 in
+    for page = 0 to 99 do
+      let (_ : Disk_address.t), us =
+        timed clock (fun () ->
+            ok Fs.pp_error
+              (Fs.allocate_page fs
+                 ~label:(fun _ ->
+                   Label.make ~fid ~page ~length:512
+                     ~next:Disk_address.nil ~prev:Disk_address.nil)
+                 ~value))
+      in
+      alloc_us := !alloc_us + us;
+      ok Drive.pp_error
+        (Drive.run drive metadata_addr
+           { Drive.op_none with Drive.value = Some Drive.Read }
+           ~value:scratch ())
+    done;
+    !alloc_us
+  in
+  let near_us = alloc Fs.Near_previous in
+  let rps_us = alloc Fs.Rotation_aware in
+  Obs.add (Obs.counter "e20.alloc_near_us") near_us;
+  Obs.add (Obs.counter "e20.alloc_rps_us") rps_us;
+  let speedup a b = Printf.sprintf "%.1fx" (float_of_int a /. float_of_int b) in
+  print_table [ 34; 14; 14; 9 ]
+    [ "workload"; "before"; "after"; "speedup" ]
+    [
+      [ Printf.sprintf "record rewrite, %d pages" pages;
+        us_to_string uncached_us; us_to_string cached_us;
+        speedup uncached_us cached_us ];
+      [ "100 allocations, fragmented pack";
+        us_to_string near_us; us_to_string rps_us;
+        speedup near_us rps_us ];
+    ];
+  if cached_us >= uncached_us then
+    failwith "E20: the track cache did not speed up record rewrites";
+  if rps_us >= near_us then
+    failwith "E20: rotation-aware allocation did not beat near-previous";
+  print_endline
+    "shape: read-modify-write traffic collapses once reads hit filled\n\
+     tracks and writes leave coalesced; on a fragmented pack the\n\
+     allocator stops parking through most of a revolution per page."
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
             ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-            ("e19", e19) ]
+            ("e19", e19); ("e20", e20) ]

@@ -21,12 +21,18 @@ let fresh ?(geometry = Geometry.diablo_31) ?(pack_id = 1) () =
 
 let body seed n = String.init n (fun i -> Char.chr (32 + (((i * 11) + seed) mod 95)))
 
-(* Create and catalogue one file with [n] bytes of content. *)
+(* Quiesce: push delayed track-buffer writes to the platter, the way
+   the Executive does before raw-pack work (scavenge, audits). *)
+let settle fs = ignore (Alto_fs.Bio.flush (Fs.bio fs))
+
+(* Create and catalogue one file with [n] bytes of content, settled to
+   the platter so raw readers (scavenger, sweeps) see it whole. *)
 let make_file fs root name n seed =
   let file = ok File.pp_error (File.create fs ~name) in
   if n > 0 then ok File.pp_error (File.write_bytes file ~pos:0 (body seed n));
   ok File.pp_error (File.flush_leader file);
   ok Directory.pp_error (Directory.add root ~name (File.leader_name file));
+  settle fs;
   file
 
 (* Fill the volume until roughly [fraction] of all pages are busy.

@@ -26,6 +26,11 @@ type slice = {
 
 let read_slice fs ~start ~k =
   let drive = Fs.drive fs in
+  (* Audit reads must see true pack state: a digest over sectors whose
+     newest values sit delayed in the track buffer cache would disagree
+     with a replica that has flushed, and a patrol verdict would judge
+     stale bits. Flush first, then read the platter. *)
+  ignore (Bio.flush (Fs.bio fs));
   let n = Drive.sector_count drive in
   let indexes = Array.init k (fun j -> (start + j) mod n) in
   let labels = Array.init k (fun _ -> Array.make Sector.label_words Word.zero) in
@@ -111,6 +116,7 @@ let apply_page fs ~index ~label ~value =
   | Applied ->
       Drive.bump_label_generation drive addr;
       Label_cache.invalidate cache addr;
+      Bio.invalidate (Fs.bio fs) addr;
       (* Map hints follow the label's verdict. Quarantine verdicts are
          NOT taken here — the bad-sector table is descriptor content and
          arrives with the descriptor's own repair; marking busy merely

@@ -1,0 +1,127 @@
+(** The track buffer cache: whole-track buffers with delayed write-back.
+
+    The verified-label cache (PR 3) proved that a cached copy whose
+    staleness is policed by {!Drive.label_generation} pays for itself
+    1:1 in saved disk operations. This module generalizes the idea from
+    8-word labels to whole tracks, UNIX-v4-bio-style: a read that
+    misses fills the {e entire} track in one elevator batch (a full
+    track read costs one revolution from wherever the head lands, now
+    that the sweep is rotation-aware), and every later sector read on
+    that track is answered from memory. Writes are absorbed into the
+    buffer, marked dirty and {e delayed}; they reach the platter
+    coalesced into contiguous track sweeps through the same elevator —
+    on eviction, on {!Fs.flush}, on an explicit {!flush} (the
+    executive's [sync], OutLoad, quit), or when the dirty count crosses
+    the high-water mark.
+
+    {2 Coherence}
+
+    Every buffered sector stores the {!Drive.label_generation} observed
+    when its content was read or written, and is dead the moment the
+    generation moves — the exact discipline of {!Label_cache}, so
+    quarantine, retry evidence and patrol relocation can never be
+    masked by the cache. Delayed writes carry the label image that was
+    verified when the write was absorbed and are flushed as
+    label-[Check] + value-[Write]: if anything re-labelled the sector
+    in the meantime the platter wins, the stale write is dropped and
+    counted ([fs.bio.write_conflicts]).
+
+    {2 Crash safety}
+
+    A dirty buffer means acknowledged-but-unwritten values, so the
+    owner ({!Fs}) is told on every clean-to-dirty transition (the
+    [on_dirty] hook) and sets the descriptor dirty flag; a power
+    failure with buffers pending therefore boots into the bounded
+    {!Patrol.recover} tail scan. Only {e values} of already-labelled
+    pages are ever delayed — labels, allocation and the descriptor
+    always write through — so a crash loses at most recent page
+    contents, never structure.
+
+    Readers of true pack state (audit digests, the patrol, the
+    scavenger, raw transfers) must either bypass this cache after a
+    {!flush}, or {!invalidate}/{!clear} what they overwrite. *)
+
+module Word = Alto_machine.Word
+module Drive = Alto_disk.Drive
+module Disk_address = Alto_disk.Disk_address
+
+type t
+
+val create : ?tracks:int -> ?high_water:int -> label_cache:Label_cache.t -> Drive.t -> t
+(** An empty cache of at most [tracks] whole-track buffers (default 16;
+    0 disables the cache entirely — every probe misses and nothing is
+    absorbed). [high_water] is the dirty-sector count that triggers an
+    automatic full flush (default: half the cache's sector capacity).
+    Labels read by track fills are shared with [label_cache], so a fill
+    also warms the chain-walking paths. *)
+
+val drive : t -> Drive.t
+val enabled : t -> bool
+
+val set_tracks : t -> int -> unit
+(** Resize (shrinking flushes and evicts; 0 flushes everything and
+    disables). Raises [Invalid_argument] on a negative count. *)
+
+val lookup : t -> Disk_address.t -> (Word.t array * Word.t array) option
+(** [(label, value)] for the sector if it is buffered and its
+    generation is still live; counts a hit. The arrays are the cache's
+    own storage — callers must copy, not mutate. A generation-dead
+    dirty sector is flushed (platter arbitrates) and dropped before
+    reporting a miss; misses are counted by {!fill}, so probe-then-fill
+    reads count one miss each. *)
+
+val fill : t -> Disk_address.t -> unit
+(** Read every unbuffered, non-dirty sector of the address's track in
+    one elevator batch and install the survivors (sectors whose read
+    hard-fails stay unbuffered — the caller's per-sector fallback path
+    sees the true error). Counts one miss and one fill. May evict (and
+    so flush) the least-recently-used track. No-op when disabled. *)
+
+val peek : t -> Disk_address.t -> (Word.t array * Word.t array) option
+(** {!lookup} without touching the hit/miss counters or the LRU clock —
+    for the second probe after a {!fill}. *)
+
+val absorb : t -> Disk_address.t -> Word.t array -> bool
+(** Absorb a value write into the buffer: only when the sector is
+    buffered and generation-live (so the stored label image is platter
+    truth and the caller has already checked its name against it). On
+    success the value is copied in, the sector marked dirty, the
+    [on_dirty] hook run, and the write is delayed until a flush —
+    [false] means the caller must write through (and then {!install}
+    or {!invalidate}). *)
+
+val install : t -> Disk_address.t -> label:Word.t array -> value:Word.t array -> unit
+(** Record the outcome of a write-through or direct read as a clean
+    buffered sector — only if its track is already resident (a write
+    never allocates a buffer). Supersedes any pending dirty content for
+    that sector. *)
+
+val invalidate : t -> Disk_address.t -> unit
+(** Drop the sector's buffered content {e without} flushing — for
+    callers that just overwrote or relocated the sector out-of-band
+    (quarantine, patrol relocation, replica repair): whatever the
+    buffer held, including a pending dirty value, is superseded. *)
+
+val clear : t -> unit
+(** Drop every buffer, dirty ones included, without flushing — for
+    InLoad's wholesale world swap ({e after} an explicit {!flush}) and
+    for tests. *)
+
+type flush_report = { sectors : int; tracks : int; conflicts : int }
+
+val flush : t -> flush_report
+(** Write every dirty sector back through one elevator batch —
+    label-[Check] + value-[Write], coalesced by the C-SCAN sweep into
+    contiguous track runs. Conflicted sectors (the platter was
+    re-labelled since the write was absorbed) are dropped and counted.
+    Buffers stay resident and clean. *)
+
+val set_on_dirty : t -> (unit -> unit) -> unit
+(** Hook run on every clean-to-dirty sector transition, {e before} the
+    write is recorded — {!Fs} wires this to its mutation bookkeeping so
+    the descriptor dirty flag reaches the platter while the volume's
+    delayed writes are still reconstructible by a bounded recovery. *)
+
+val cached_tracks : t -> int
+val cached_sectors : t -> int
+val dirty_sectors : t -> int

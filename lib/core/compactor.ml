@@ -54,6 +54,11 @@ let compact fs =
   let drive = Fs.drive fs in
   let clock = Drive.clock drive in
   let started = Sim_clock.now_us clock in
+  (* The sweep reads raw sectors; delayed writes parked in the track
+     buffer cache must reach the platter first or the compactor would
+     move stale values. (The moves themselves rewrite labels, whose
+     generation bumps retire any buffered image of a moved sector.) *)
+  ignore (Bio.flush (Fs.bio fs));
   let sweep = Sweep.run drive in
   let n = Array.length sweep.Sweep.classes in
   let reserved_top = 1 + Fs.descriptor_page_count fs in

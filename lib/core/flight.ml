@@ -113,6 +113,10 @@ let flush ~reason fs =
                 match File.flush_leader file with
                 | Error _ -> ()
                 | Ok () ->
+                    (* The record's writes may sit delayed in the track
+                       buffers; a black box that only exists in core is
+                       no black box. Push them to the platter now. *)
+                    ignore (Bio.flush (Fs.bio fs));
                     Obs.incr m_flushes;
                     Obs.event ~clock:(Fs.clock fs)
                       ~fields:[ ("reason", Obs.S reason); ("bytes", Obs.I (String.length content)) ]

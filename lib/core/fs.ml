@@ -16,7 +16,10 @@ let m_descriptor_flushes = Obs.counter "fs.descriptor_flushes"
 let m_quarantined = Obs.counter "fs.sectors_quarantined"
 let m_quarantine_overflow = Obs.counter "fs.quarantine_overflow"
 
-type allocation_policy = Near_previous | Scattered of Random.State.t
+type allocation_policy =
+  | Near_previous
+  | Rotation_aware
+  | Scattered of Random.State.t
 
 type error = Disk_full | Page_error of Page.error | Corrupt of string
 
@@ -63,6 +66,7 @@ type t = {
           descriptor so a crash recovers from the sweep's frontier
           instead of rescanning the whole pack. *)
   cache : Label_cache.t;  (** Verified labels, shared by every layer above. *)
+  bio : Bio.t;  (** The track buffer cache, shared by every layer above. *)
 }
 
 let boot_address = Disk_address.of_index 0
@@ -92,6 +96,7 @@ let max_bad_sectors = 64
 
 let drive t = t.drive
 let label_cache t = t.cache
+let bio t = t.bio
 let geometry t = t.shape
 let clock t = Drive.clock t.drive
 let now_seconds t = int_of_float (Sim_clock.now_seconds (clock t))
@@ -156,8 +161,11 @@ let quarantine t addr =
   note_mutation t;
   t.busy.(i) <- true;
   (* Eager, though generation checking would catch it lazily: a
-     quarantined sector's label must never be served from core. *)
+     quarantined sector's label must never be served from core — and
+     neither may a buffered track image of it, dirty or not (flushing a
+     delayed write to a sector just declared bad would be absurd). *)
   Label_cache.invalidate t.cache addr;
+  Bio.invalidate t.bio addr;
   if not (List.mem i t.bad_table) then begin
     if List.length t.bad_table >= max_bad_sectors then begin
       (* The descriptor table is full: spill. The sector refuses the
@@ -188,6 +196,7 @@ let adopt_spilled t addr =
   let i = Disk_address.to_index addr in
   t.busy.(i) <- true;
   Label_cache.invalidate t.cache addr;
+  Bio.invalidate t.bio addr;
   if not (List.mem i t.bad_table) && not (List.mem i t.spill) then
     t.spill <- t.spill @ [ i ]
 
@@ -205,6 +214,75 @@ let pick_candidate t =
   in
   match t.policy with
   | Near_previous -> linear_from ((t.last_allocated + 1) mod n)
+  | Rotation_aware ->
+      (* Near-previous with rotational position sensing: charge every
+         free sector in a small window of upcoming tracks its true
+         arrival cost — the seek plus the rotational wait to its slot
+         ([Drive.catch_slot] knows where the surface will be when the
+         heads settle) — and take the cheapest. The lookahead is the
+         point: within one track, picking holes in slot order instead
+         of address order merely permutes the same waits (the slot
+         angles of the track's holes are what they are), but a window
+         of a few tracks almost always contains a hole the head can
+         catch within a slot or two, and a hostile-angle hole is simply
+         left for a later pass that arrives at a different phase. Track
+         order is still near-previous, so locality (and the read side's
+         track buffers) keep their clustering. *)
+      let spt = t.shape.Geometry.sectors_per_track in
+      let sector_us = Geometry.sector_time_us t.shape in
+      let tracks = n / spt in
+      let start_track = (t.last_allocated + 1) mod n / spt in
+      let best_in_window = ref None in
+      let lookahead = min 4 tracks in
+      for k = 0 to lookahead - 1 do
+        let track = (start_track + k) mod tracks in
+        let base = track * spt in
+        let cylinder, _, _ =
+          Disk_address.chs t.shape (Disk_address.of_index base)
+        in
+        let seek_us =
+          Geometry.seek_time_us t.shape
+            ~from_cylinder:(Drive.current_cylinder t.drive)
+            ~to_cylinder:cylinder
+        in
+        let catch = Drive.catch_slot t.drive ~cylinder in
+        for rel = 0 to spt - 1 do
+          if not t.busy.(base + rel) then begin
+            let cost = seek_us + (((rel - catch + spt) mod spt) * sector_us) in
+            match !best_in_window with
+            | Some (_, best_cost) when best_cost <= cost -> ()
+            | Some _ | None -> best_in_window := Some (base + rel, cost)
+          end
+        done
+      done;
+      (match !best_in_window with
+      | Some (i, _) -> Ok i
+      | None ->
+          (* The window is solid: march onward to the first track with
+             any hole and take its soonest-catchable sector. *)
+          let rec scan_track k track =
+            if k >= tracks then Error Disk_full
+            else begin
+              let base = track * spt in
+              let cylinder, _, _ =
+                Disk_address.chs t.shape (Disk_address.of_index base)
+              in
+              let catch = Drive.catch_slot t.drive ~cylinder in
+              let best = ref None in
+              for rel = 0 to spt - 1 do
+                if not t.busy.(base + rel) then begin
+                  let wait = (rel - catch + spt) mod spt in
+                  match !best with
+                  | Some (_, best_wait) when best_wait <= wait -> ()
+                  | Some _ | None -> best := Some (base + rel, wait)
+                end
+              done;
+              match !best with
+              | Some (i, _) -> Ok i
+              | None -> scan_track (k + 1) ((track + 1) mod tracks)
+            end
+          in
+          scan_track 0 ((start_track + lookahead) mod tracks))
   | Scattered rng ->
       let rec probe k =
         if k = 0 then linear_from (Random.State.int rng n)
@@ -429,6 +507,10 @@ let descriptor_page_name t pn =
 
 let flush t =
   Prof.span (Drive.clock t.drive) "fs.flush" @@ fun () ->
+  (* Delayed page writes first: a flush is the volume saying "the
+     platter now agrees with everything acknowledged", and that claim
+     must cover the buffer cache before the descriptor asserts it. *)
+  ignore (Bio.flush t.bio);
   Obs.incr m_descriptor_flushes;
   let words = assemble_descriptor t in
   let pages = descriptor_data_pages t in
@@ -439,9 +521,14 @@ let flush t =
       let offset = (pn - 1) * Sector.value_words in
       let len = min Sector.value_words (Array.length words - offset) in
       Array.blit words offset value 0 len;
-      match Page.write ~cache:t.cache t.drive (descriptor_page_name t pn) value with
+      let fn = descriptor_page_name t pn in
+      match Page.write ~cache:t.cache t.drive fn value with
       | Error e -> Error (Page_error e)
-      | Ok _ -> write (pn + 1)
+      | Ok _ ->
+          (* The descriptor writes through (its durability is the whole
+             point); any buffered track image of the sector is stale. *)
+          Bio.invalidate t.bio fn.Page.addr;
+          write (pn + 1)
   in
   write 1
 
@@ -489,23 +576,33 @@ let place_descriptor_file t =
   | Ok _ -> flush t
 
 let make_handle drive =
-  {
-    drive;
-    cache = Label_cache.create drive;
-    shape = Drive.geometry drive;
-    busy = Array.make (Drive.sector_count drive) false;
-    next_serial = File_id.first_user_serial;
-    root = None;
-    last_allocated = 0;
-    policy = Near_previous;
-    label_checking = true;
-    descriptor_pages = [||];
-    counters = zero_counters;
-    bad_table = [];
-    spill = [];
-    dirty = false;
-    patrol_cursor = 0;
-  }
+  let cache = Label_cache.create drive in
+  let bio = Bio.create ~label_cache:cache drive in
+  let t =
+    {
+      drive;
+      cache;
+      bio;
+      shape = Drive.geometry drive;
+      busy = Array.make (Drive.sector_count drive) false;
+      next_serial = File_id.first_user_serial;
+      root = None;
+      last_allocated = 0;
+      policy = Near_previous;
+      label_checking = true;
+      descriptor_pages = [||];
+      counters = zero_counters;
+      bad_table = [];
+      spill = [];
+      dirty = false;
+      patrol_cursor = 0;
+    }
+  in
+  (* A dirty track buffer is an acknowledged write the platter hasn't
+     seen; the descriptor's dirty flag must announce it before the delay
+     begins, so a crash boots into the bounded recovery scan. *)
+  Bio.set_on_dirty bio (fun () -> note_mutation t);
+  t
 
 let create_unmounted drive =
   let t = make_handle drive in

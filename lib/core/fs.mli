@@ -26,6 +26,17 @@ type allocation_policy =
   | Near_previous
       (** Scan onward from the last allocation — the default, which lays
           files out close to consecutively on a quiet disk. *)
+  | Rotation_aware
+      (** Near-previous track order with rotational position sensing:
+          every free sector in a small window of upcoming tracks is
+          charged its arrival cost — seek plus rotational wait to its
+          slot ({!Drive.catch_slot}) — and the cheapest wins, so an
+          allocation stream never waits most of a revolution for the
+          linearly-next sector; a hostile-angle hole is left for a
+          later pass that arrives at a different phase.
+          Trades consecutive sector numbering (and so the leader's
+          consecutive-layout hint) for lower first-write latency on
+          fragmented tracks. *)
   | Scattered of Random.State.t
       (** Allocate uniformly at random — used by the experiments to
           manufacture fragmentation. *)
@@ -64,6 +75,13 @@ val label_cache : t -> Label_cache.t
     consulted by every {!Page} access made on the volume's behalf.
     {!quarantine} evicts eagerly; everything else relies on the drive's
     generation counters. *)
+
+val bio : t -> Bio.t
+(** The volume's track buffer cache: one per handle, consulted and
+    primed by {!Page} reads and writes made on the volume's behalf.
+    {!flush} writes its delayed values back before the descriptor;
+    {!quarantine} evicts eagerly. Readers that must see true pack state
+    (audit digests, raw transfers) flush it first. *)
 
 val geometry : t -> Geometry.t
 val clock : t -> Alto_machine.Sim_clock.t

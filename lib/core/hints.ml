@@ -155,7 +155,10 @@ let read_page fs ~directory req =
               | Some hit -> finish fs hit
               | None -> (
                   (* Rung 5: scavenge, then retry the directory rungs on
-                     the rebuilt volume. *)
+                     the rebuilt volume. The scavenger reads the raw
+                     pack, so the volume must be settled first — any
+                     delayed track-buffer writes pushed to the platter. *)
+                  ignore (Bio.flush (Fs.bio fs) : Bio.flush_report);
                   let t0 = Sim_clock.now_us clock in
                   match Scavenger.scavenge (Fs.drive fs) with
                   | Error reason ->

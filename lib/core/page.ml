@@ -86,26 +86,73 @@ let cached_check pattern cached =
   in
   scan 0
 
-let read ?cache drive fn =
+let read ?cache ?bio drive fn =
   Prof.span (Drive.clock drive) "page.read" @@ fun () ->
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
   let value = Array.make Sector.value_words Word.zero in
-  match
-    Reliable.run drive fn.addr
-      { Drive.op_none with label = Some Drive.Check; value = Some Drive.Read }
-      ~label:label_buf ~value ()
-  with
-  | Error e -> hint_failed e
-  | Ok () -> (
-      note cache fn.addr label_buf;
-      match decode_checked_label label_buf with
-      | Ok label -> Ok (label, value)
-      | Error e -> Error e)
+  (* Serve from a buffered track sector: replay the check against the
+     buffered label image (platter truth while the generation is live),
+     copy the value out of core. Mismatch verdicts are reproduced
+     exactly — a stale hint is refused whether the track is buffered or
+     not. *)
+  let serve cached_label cached_value =
+    match cached_check label_buf cached_label with
+    | Error e -> hint_failed e
+    | Ok () -> (
+        Array.blit cached_value 0 value 0 Sector.value_words;
+        note cache fn.addr label_buf;
+        Prof.note "page.bio_hit";
+        match decode_checked_label label_buf with
+        | Ok label -> Ok (label, value)
+        | Error e -> Error e)
+  in
+  let direct () =
+    match
+      Reliable.run drive fn.addr
+        { Drive.op_none with label = Some Drive.Check; value = Some Drive.Read }
+        ~label:label_buf ~value ()
+    with
+    | Error e -> hint_failed e
+    | Ok () -> (
+        note cache fn.addr label_buf;
+        (match bio with
+        | Some b -> Bio.install b fn.addr ~label:label_buf ~value
+        | None -> ());
+        match decode_checked_label label_buf with
+        | Ok label -> Ok (label, value)
+        | Error e -> Error e)
+  in
+  match bio with
+  | None -> direct ()
+  | Some b -> (
+      match Bio.lookup b fn.addr with
+      | Some (l, v) -> serve l v
+      | None -> (
+          Bio.fill b fn.addr;
+          match Bio.peek b fn.addr with
+          | Some (l, v) -> serve l v
+          | None ->
+              (* The fill could not read this sector (or the cache is
+                 disabled): the direct path reports the true error and
+                 climbs the usual ladder. *)
+              direct ()))
 
-let read_label ?cache drive fn =
+(* A second source of cached label images: a buffered track sector
+   knows its label too. Never fills — a label-only access costs one
+   operation, a track fill costs twelve. *)
+let bio_label bio addr =
+  Option.bind bio (fun b ->
+      Option.map (fun (label, _) -> label) (Bio.lookup b addr))
+
+let read_label ?cache ?bio drive fn =
   Prof.span (Drive.clock drive) "page.read_label" @@ fun () ->
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
-  match Option.bind cache (fun c -> Label_cache.lookup c fn.addr) with
+  let cached =
+    match Option.bind cache (fun c -> Label_cache.lookup c fn.addr) with
+    | Some _ as hit -> hit
+    | None -> bio_label bio fn.addr
+  in
+  match cached with
   | Some cached -> (
       (* A label-only access answered from core: the one disk operation
          this function exists to issue is skipped entirely. *)
@@ -129,21 +176,55 @@ let check_value_size value =
   if Array.length value <> Sector.value_words then
     invalid_arg "Page: value must be 256 words"
 
-let write ?(check = true) ?cache drive fn value =
+let write ?(check = true) ?cache ?bio drive fn value =
   Prof.span (Drive.clock drive) "page.write" @@ fun () ->
   check_value_size value;
-  if check then
+  if check then begin
     let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
-    match
-      Reliable.run drive fn.addr
-        { Drive.op_none with label = Some Drive.Check; value = Some Drive.Write }
-        ~label:label_buf ~value ()
-    with
-    | Error e -> hint_failed e
-    | Ok () ->
-        note cache fn.addr label_buf;
-        decode_checked_label label_buf
-  else
+    (* Delayed write-back: when the sector's track is buffered and
+       generation-live, the buffered label image is platter truth, so
+       the name check can replay against it and the value can sit in
+       the buffer until the next coalesced flush — no disk operation at
+       all. A check refusal here is a real refusal: the platter's label
+       does not carry the asserted name. *)
+    let absorbed =
+      match bio with
+      | None -> None
+      | Some b -> (
+          match Bio.lookup b fn.addr with
+          | None -> None
+          | Some (cached_label, _) -> (
+              match cached_check label_buf cached_label with
+              | Error e -> Some (hint_failed e)
+              | Ok () ->
+                  if Bio.absorb b fn.addr value then begin
+                    note cache fn.addr label_buf;
+                    Prof.note "page.bio_hit";
+                    Some (decode_checked_label label_buf)
+                  end
+                  else None))
+    in
+    match absorbed with
+    | Some result -> result
+    | None -> (
+        match
+          Reliable.run drive fn.addr
+            { Drive.op_none with label = Some Drive.Check; value = Some Drive.Write }
+            ~label:label_buf ~value ()
+        with
+        | Error e -> hint_failed e
+        | Ok () ->
+            note cache fn.addr label_buf;
+            (match bio with
+            | Some b -> Bio.install b fn.addr ~label:label_buf ~value
+            | None -> ());
+            decode_checked_label label_buf)
+  end
+  else begin
+    (* The unchecked write bypasses the name discipline the buffer
+       relies on; whatever the buffer believed about this sector —
+       a delayed write included — is superseded. *)
+    (match bio with Some b -> Bio.invalidate b fn.addr | None -> ());
     match
       Reliable.run drive fn.addr
         { Drive.op_none with value = Some Drive.Write }
@@ -155,13 +236,19 @@ let write ?(check = true) ?cache drive fn value =
         Ok
           (Label.make ~fid:fn.abs.fid ~page:fn.abs.page ~length:0
              ~next:Disk_address.nil ~prev:Disk_address.nil)
+  end
 
-let rewrite_label ?cache drive fn ~new_label ~value =
+let rewrite_label ?cache ?bio drive fn ~new_label ~value =
   Prof.span (Drive.clock drive) "page.rewrite_label" @@ fun () ->
   check_value_size value;
   let label_buf = Label.check_name fn.abs.fid ~page:fn.abs.page in
   let checked =
-    match Option.bind cache (fun c -> Label_cache.lookup c fn.addr) with
+    let cached =
+      match Option.bind cache (fun c -> Label_cache.lookup c fn.addr) with
+      | Some _ as hit -> hit
+      | None -> bio_label bio fn.addr
+    in
+    match cached with
     | Some cached ->
         Prof.note "page.cache_hit";
         cached_check label_buf cached
@@ -185,6 +272,11 @@ let rewrite_label ?cache drive fn ~new_label ~value =
           (* The write is its own verification; the generation captured
              now postdates the write's bump, so the entry is live. *)
           note cache fn.addr new_words;
+          (* The label write killed the buffered generation; re-install
+             the fresh image (and supersede any delayed value write). *)
+          (match bio with
+          | Some b -> Bio.install b fn.addr ~label:new_words ~value
+          | None -> ());
           Ok ())
 
 let read_raw drive addr =

@@ -192,6 +192,12 @@ let relocate t tally ~src ~(lab : Label.t) ~value =
       Drive.bump_label_generation drive dst;
       Label_cache.invalidate cache src;
       Label_cache.invalidate cache dst;
+      (* The track buffer cache holds whole-sector images under the same
+         generation discipline; shed both ends eagerly too (a delayed
+         write to the old address must not be flushed over the retired
+         sector, and the fresh page must be re-read, not remembered). *)
+      Bio.invalidate (Fs.bio t.fs) src;
+      Bio.invalidate (Fs.bio t.fs) dst;
       tally.c_relocated <- tally.c_relocated + 1;
       tally.c_changed <- true;
       Obs.incr m_relocations;

@@ -376,6 +376,23 @@ let run t addr op ?header ?label ?value () =
 let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats
 let current_cylinder t = t.current_cylinder
+
+(* Rotational position sensing: the controller watches the sector marks
+   pass under the heads, so a scheduler can know — before committing to
+   a seek — which sector slot will be the first one catchable once the
+   heads settle on [cylinder]. Mirrors [charge_motion]'s arithmetic
+   exactly: a sector is catchable iff its slot boundary is at or after
+   the arrival angle. *)
+let catch_slot t ~cylinder =
+  let seek_us =
+    Geometry.seek_time_us t.geometry ~from_cylinder:t.current_cylinder
+      ~to_cylinder:cylinder
+  in
+  let rotation = t.geometry.Geometry.rotation_us in
+  let sector_time = Geometry.sector_time_us t.geometry in
+  let arrival = (Sim_clock.now_us t.clock + seek_us) mod rotation in
+  (arrival + sector_time - 1) / sector_time mod t.geometry.Geometry.sectors_per_track
+
 let label_generation t addr = t.label_gen.(check_address t addr)
 
 let bump_label_generation t addr =
@@ -392,7 +409,10 @@ let poke t addr part words =
   if Array.length words <> Array.length target then
     invalid_arg "Drive.poke: wrong part size"
   else begin
-    if part = Sector.Label then t.label_gen.(index) <- t.label_gen.(index) + 1;
+    (* Any out-of-band mutation of the platter — whichever part — is
+       staleness evidence: every in-core copy of the sector must die,
+       or a cache would keep serving bits the "physics" changed. *)
+    t.label_gen.(index) <- t.label_gen.(index) + 1;
     Array.blit words 0 target 0 (Array.length target)
   end
 
@@ -407,6 +427,9 @@ let is_bad t addr =
 
 let set_value_unreadable t addr flag =
   let index = check_address t addr in
+  (* The surface just died (or healed) under whatever is cached. *)
+  if flag <> t.value_unreadable.(index) then
+    t.label_gen.(index) <- t.label_gen.(index) + 1;
   t.value_unreadable.(index) <- flag
 
 let is_value_unreadable t addr =

@@ -101,6 +101,15 @@ val current_cylinder : t -> int
 (** Where the heads are right now — the anchor from which {!Sched}
     starts its elevator pass. *)
 
+val catch_slot : t -> cylinder:int -> int
+(** Rotational position sensing. The sector slot (0 ..
+    [sectors_per_track - 1]) that will be the first one catchable after
+    seeking from the current cylinder to [cylinder]: the controller
+    watches sector marks pass under the heads, so a scheduler can order
+    a cylinder's requests to start where the surface will actually be
+    instead of parking up to a full revolution waiting for slot 0.
+    Purely observational — charges no time and moves nothing. *)
+
 val label_generation : t -> Disk_address.t -> int
 (** A per-sector counter that advances whenever the sector's label may
     have changed underneath a cached copy: any label write (in-band
@@ -179,7 +188,10 @@ val peek : t -> Disk_address.t -> Sector.t
 (** A copy of the sector's current contents. *)
 
 val poke : t -> Disk_address.t -> Sector.part -> Word.t array -> unit
-(** Overwrite one part directly. *)
+(** Overwrite one part directly. Counts as out-of-band staleness
+    evidence whatever the part: the sector's label generation is bumped
+    so every in-core copy (cached label, buffered track sector) dies
+    rather than mask what the "physics" changed. *)
 
 val set_bad : t -> Disk_address.t -> bool -> unit
 (** Mark or unmark a sector as permanently bad. *)
@@ -191,6 +203,8 @@ val set_value_unreadable : t -> Disk_address.t -> bool -> unit
     checking the value part fails with {!Bad_sector}, but the label (and
     writes, which have no read-back) still work — the failure mode
     behind §3.5's "permanently bad pages are marked in the label with a
-    special value so that they will never be used again". *)
+    special value so that they will never be used again". Toggling the
+    flag bumps the sector's label generation — the surface died (or
+    healed) under whatever was cached. *)
 
 val is_value_unreadable : t -> Disk_address.t -> bool

@@ -31,7 +31,13 @@ type outcome = { result : (unit, Drive.error) result; retries : int }
    (Sorting by slot across heads instead would park a whole revolution
    at every duplicate slot on a dense cylinder.) The submission sequence
    number is the final key, so duplicate addresses complete in arrival
-   order even when they came from different callers. *)
+   order even when they came from different callers.
+
+   This static order fixes which cylinder comes when; [sweep] then
+   rotates each cylinder's sector order to start at the slot the heads
+   will actually catch ([Drive.catch_slot]), which the static sort
+   cannot know because it depends on when the sweep reaches that
+   cylinder. *)
 let schedule geometry ~start keyed =
   let cylinders = geometry.Geometry.cylinders in
   let n = Array.length keyed in
@@ -115,26 +121,56 @@ let sweep t =
       in
       if batches > 1 then Obs.add m_merged (batches - 1);
       Prof.span (Drive.clock t.drive) "disk.sched.sweep" (fun () ->
+          let geometry = Drive.geometry t.drive in
+          let spt = geometry.Geometry.sectors_per_track in
           let order =
-            schedule (Drive.geometry t.drive)
+            schedule geometry
               ~start:(Drive.current_cylinder t.drive)
               (Array.map (fun w -> (w.w_req.addr, w.w_seq)) waiters)
           in
-          let previous_run = ref (-1) in
-          Array.iter
-            (fun (run, _, _, _, i) ->
-              if run <> !previous_run then begin
-                previous_run := run;
-                Obs.incr m_cylinder_runs
-              end;
-              let w = waiters.(i) in
-              let r = w.w_req in
-              let result, retries =
-                Reliable.run_counted ?policy:w.w_policy t.drive r.addr r.op
-                  ?header:r.header ?label:r.label ?value:r.value ()
-              in
-              w.w_notify w.w_index { result; retries })
-            order);
+          let serve i =
+            let w = waiters.(i) in
+            let r = w.w_req in
+            let result, retries =
+              Reliable.run_counted ?policy:w.w_policy t.drive r.addr r.op
+                ?header:r.header ?label:r.label ?value:r.value ()
+            in
+            w.w_notify w.w_index { result; retries }
+          in
+          (* Execute one cylinder run at a time. Just before committing
+             to each cylinder we know exactly where the surface will be
+             when the heads settle ([Drive.catch_slot]), so each track's
+             requests are rotated to start at the first catchable slot
+             and wrap — a full track costs one revolution from wherever
+             the head lands, instead of parking for slot 0. The head
+             order and the seq tiebreak are untouched, so duplicate
+             addresses still complete in arrival order. *)
+          let total = Array.length order in
+          let pos = ref 0 in
+          while !pos < total do
+            let run, _, _, _, first = order.(!pos) in
+            let stop = ref !pos in
+            while
+              !stop < total
+              && (let r, _, _, _, _ = order.(!stop) in r = run)
+            do
+              incr stop
+            done;
+            Obs.incr m_cylinder_runs;
+            let cylinder, _, _ =
+              Disk_address.chs geometry waiters.(first).w_req.addr
+            in
+            let catch = Drive.catch_slot t.drive ~cylinder in
+            let slice = Array.sub order !pos (!stop - !pos) in
+            Array.sort
+              (fun (_, h1, s1, q1, _) (_, h2, s2, q2, _) ->
+                compare
+                  (h1, (s1 - catch + spt) mod spt, q1)
+                  (h2, (s2 - catch + spt) mod spt, q2))
+              slice;
+            Array.iter (fun (_, _, _, _, i) -> serve i) slice;
+            pos := !stop
+          done);
       n
 
 (* {2 The one-shot compatibility path}

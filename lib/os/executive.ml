@@ -153,6 +153,9 @@ let cmd_rename system old_name new_name =
               | Error err -> say system "rename: %a" Directory.pp_error err)))
 
 let cmd_scavenge system =
+  (* The scavenger reads the raw pack; push delayed track-buffer writes
+     to the platter first so the rebuild sees every acknowledged page. *)
+  ignore (Alto_fs.Bio.flush (Fs.bio (System.fs system)));
   match Scavenger.scavenge (System.drive system) with
   | Error msg -> say system "scavenge failed: %s" msg
   | Ok (fs, report) ->
@@ -292,8 +295,9 @@ let cmd_trace system n =
         else say system "%8dus %s %s" e.Obs.ts_us e.Obs.name fields)
       tail
 
-(* Show the disk fast path at a glance: the verified-label cache and the
-   elevator scheduler, plus how many labels the volume currently holds. *)
+(* Show the disk fast path at a glance: the verified-label cache, the
+   track buffer cache and the elevator scheduler, plus what the volume
+   currently holds in core. *)
 let cmd_cache system =
   let module Obs = Alto_obs.Obs in
   let value name =
@@ -307,6 +311,14 @@ let cmd_cache system =
       "fs.label_cache.hits";
       "fs.label_cache.misses";
       "fs.label_cache.invalidations";
+      "fs.bio.hits";
+      "fs.bio.misses";
+      "fs.bio.fills";
+      "fs.bio.absorbed";
+      "fs.bio.flushes";
+      "fs.bio.flushed_sectors";
+      "fs.bio.evictions";
+      "fs.bio.write_conflicts";
       "disk.sched.batches";
       "disk.sched.requests";
       "disk.sched.cylinder_runs";
@@ -314,7 +326,25 @@ let cmd_cache system =
       "disk.sched.merged_batches";
     ];
   say system "%-30s %d" "cached labels"
-    (Alto_fs.Label_cache.length (Fs.label_cache (System.fs system)))
+    (Alto_fs.Label_cache.length (Fs.label_cache (System.fs system)));
+  let bio = Fs.bio (System.fs system) in
+  say system "%-30s %d" "buffered tracks" (Alto_fs.Bio.cached_tracks bio);
+  say system "%-30s %d" "buffered sectors" (Alto_fs.Bio.cached_sectors bio);
+  say system "%-30s %d" "dirty sectors" (Alto_fs.Bio.dirty_sectors bio)
+
+(* Flush the track buffer cache's delayed writes on demand and show what
+   the delay bought: how many sectors went out, coalesced into how many
+   track sweeps, and whether the platter refused any as stale. *)
+let cmd_sync system =
+  let report = Alto_fs.Bio.flush (Fs.bio (System.fs system)) in
+  if report.Alto_fs.Bio.sectors = 0 then say system "sync: nothing dirty"
+  else begin
+    say system "sync: %d sectors coalesced into %d track sweeps"
+      report.Alto_fs.Bio.sectors report.Alto_fs.Bio.tracks;
+    if report.Alto_fs.Bio.conflicts > 0 then
+      say system "sync: %d delayed writes dropped (sectors re-labelled underneath)"
+        report.Alto_fs.Bio.conflicts
+  end
 
 (* The volume's self-healing at a glance: whether the pack would mount
    clean, where the patrol sweep stands and what it has moved to safety,
@@ -525,6 +555,9 @@ let execute system line =
       `Continue
   | [ "cache" ] ->
       cmd_cache system;
+      `Continue
+  | [ "sync" ] ->
+      cmd_sync system;
       `Continue
   | [ "health" ] ->
       cmd_health system;

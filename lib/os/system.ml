@@ -242,6 +242,12 @@ let service_disk_transfer t cpu ~write =
   if da >= Drive.sector_count t.drive then fail t cpu "Disk: address beyond disk"
   else begin
     let addr = Disk_address.of_index da in
+    (* The raw transfer bypasses every cache: a read must see any
+       delayed write the track buffers hold for the sector, and a raw
+       value write (no label, so no generation bump) leaves a buffered
+       copy stale. Flush-through before, shed the sector after. *)
+    ignore (Alto_fs.Bio.flush (Fs.bio t.fs));
+    (if write then Alto_fs.Bio.invalidate (Fs.bio t.fs) addr);
     let value =
       if write then Memory.read_block t.memory ~pos:buffer ~len:Sector.value_words
       else Array.make Sector.value_words Word.zero

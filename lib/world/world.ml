@@ -131,8 +131,12 @@ let in_load cpu file ~message =
       Memory.write_block memory ~pos:message_area message;
       Cpu.set_ac cpu 1 (Word.of_int message_area);
       (* The revived world inherits the machine, not the old world's
-         in-core state: drop every verified label, as a real inload drops
-         the whole address space. *)
+         in-core state: flush the old world's delayed writes (they were
+         acknowledged; the swap must not lose them), then drop every
+         buffered track and verified label, as a real inload drops the
+         whole address space. *)
+      ignore (Alto_fs.Bio.flush (Fs.bio (File.fs file)));
+      Alto_fs.Bio.clear (Fs.bio (File.fs file));
       Alto_fs.Label_cache.clear (Fs.label_cache (File.fs file));
       Ok ()
     end

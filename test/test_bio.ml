@@ -1,0 +1,297 @@
+(* The track buffer cache (bio): whole-track fills, absorbed delayed
+   writes, generation-policed coherence, and the two properties the
+   design hangs on — a crash with dirty buffers loses at most recent
+   page contents (never structure, never a settled page), and a
+   workload replayed with the cache disabled leaves a byte-identical
+   pack. *)
+
+module Word = Alto_machine.Word
+module Drive = Alto_disk.Drive
+module Geometry = Alto_disk.Geometry
+module Sector = Alto_disk.Sector
+module Disk_address = Alto_disk.Disk_address
+module Obs = Alto_obs.Obs
+module Fs = Alto_fs.Fs
+module Bio = Alto_fs.Bio
+module Label_cache = Alto_fs.Label_cache
+module File = Alto_fs.File
+module Directory = Alto_fs.Directory
+module Scavenger = Alto_fs.Scavenger
+
+let small_geometry = { Geometry.diablo_31 with Geometry.model = "bio"; cylinders = 25 }
+
+let counter name =
+  match Obs.find name with Some (Obs.Counter n) -> n | _ -> 0
+
+let ok pp = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "unexpected error: %a" pp e
+
+(* A raw drive with a standalone bio on top — no file system, so the
+   tests can watch single sectors. *)
+let raw_bio ?tracks () =
+  let drive = Drive.create ~pack_id:9 small_geometry in
+  let bio = Bio.create ?tracks ~label_cache:(Label_cache.create drive) drive in
+  (drive, bio)
+
+let addr i = Disk_address.of_index i
+
+let distinct_label tag =
+  Array.init Sector.label_words (fun k -> Word.of_int (tag + k))
+
+let distinct_value tag = Array.make Sector.value_words (Word.of_int tag)
+
+(* {2 Fills and hits} *)
+
+let test_fill_serves_whole_track () =
+  let drive, bio = raw_bio () in
+  let spt = (Drive.geometry drive).Geometry.sectors_per_track in
+  (* Stamp the track so served values are recognizable. *)
+  for s = 0 to spt - 1 do
+    Drive.poke drive (addr s) Sector.Value (distinct_value (100 + s))
+  done;
+  let hits0 = counter "fs.bio.hits" and misses0 = counter "fs.bio.misses" in
+  (match Bio.lookup bio (addr 0) with
+  | Some _ -> Alcotest.fail "cold cache should miss"
+  | None -> Bio.fill bio (addr 0));
+  (* Every sector of the track is now a memory hit with the true bytes. *)
+  for s = 0 to spt - 1 do
+    match Bio.lookup bio (addr s) with
+    | None -> Alcotest.failf "sector %d not served after the track fill" s
+    | Some (_, value) ->
+        Alcotest.(check int)
+          (Printf.sprintf "sector %d value" s)
+          (100 + s) (Word.to_int value.(0))
+  done;
+  Alcotest.(check int) "one miss for the whole track" 1
+    (counter "fs.bio.misses" - misses0);
+  Alcotest.(check int) "twelve hits after one fill" spt
+    (counter "fs.bio.hits" - hits0);
+  Alcotest.(check int) "one resident track" 1 (Bio.cached_tracks bio)
+
+let test_disabled_cache_is_inert () =
+  let _drive, bio = raw_bio ~tracks:0 () in
+  Alcotest.(check bool) "disabled" false (Bio.enabled bio);
+  Bio.fill bio (addr 0);
+  Alcotest.(check (option reject)) "nothing buffered"
+    None
+    (Option.map (fun _ -> ()) (Bio.peek bio (addr 0)));
+  Alcotest.(check bool) "absorb refuses" false
+    (Bio.absorb bio (addr 0) (distinct_value 7))
+
+(* {2 Delayed writes} *)
+
+let test_absorb_and_coalesced_flush () =
+  let drive, bio = raw_bio () in
+  let spt = (Drive.geometry drive).Geometry.sectors_per_track in
+  for s = 0 to (2 * spt) - 1 do
+    Drive.poke drive (addr s) Sector.Label (distinct_label 0x1000);
+    Drive.poke drive (addr s) Sector.Value (distinct_value 1)
+  done;
+  Bio.fill bio (addr 0);
+  Bio.fill bio (addr spt);
+  (* Absorb three writes on the first track, one on the second. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "absorb %d" s)
+        true
+        (Bio.absorb bio (addr s) (distinct_value (200 + s))))
+    [ 0; 3; 7; spt ];
+  Alcotest.(check int) "four dirty sectors" 4 (Bio.dirty_sectors bio);
+  (* Nothing has reached the platter yet — the writes are delayed. *)
+  let before = Drive.peek drive (addr 3) in
+  Alcotest.(check int) "platter still v1" 1
+    (Word.to_int (Sector.part_of before Sector.Value).(0));
+  let report = Bio.flush bio in
+  Alcotest.(check int) "flush wrote four sectors" 4 report.Bio.sectors;
+  Alcotest.(check int) "coalesced into two track sweeps" 2 report.Bio.tracks;
+  Alcotest.(check int) "no conflicts" 0 report.Bio.conflicts;
+  Alcotest.(check int) "clean after flush" 0 (Bio.dirty_sectors bio);
+  List.iter
+    (fun s ->
+      let sec = Drive.peek drive (addr s) in
+      Alcotest.(check int)
+        (Printf.sprintf "platter sector %d updated" s)
+        (200 + s)
+        (Word.to_int (Sector.part_of sec Sector.Value).(0)))
+    [ 0; 3; 7; spt ]
+
+let test_generation_kills_buffered_sector () =
+  let drive, bio = raw_bio () in
+  Drive.poke drive (addr 5) Sector.Value (distinct_value 42);
+  Bio.fill bio (addr 0);
+  (match Bio.peek bio (addr 5) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "sector 5 should be buffered");
+  (* Out-of-band mutation bumps the label generation; the buffered copy
+     must die rather than mask it. *)
+  Drive.poke drive (addr 5) Sector.Value (distinct_value 43);
+  (match Bio.lookup bio (addr 5) with
+  | Some _ -> Alcotest.fail "stale sector served after an out-of-band poke"
+  | None -> ());
+  (* Unpoked neighbours on the same track stay served. *)
+  match Bio.lookup bio (addr 4) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "neighbour sector wrongly invalidated"
+
+let test_conflicted_delayed_write_is_dropped () =
+  let drive, bio = raw_bio () in
+  Drive.poke drive (addr 2) Sector.Label (distinct_label 0x2000);
+  Bio.fill bio (addr 0);
+  Alcotest.(check bool) "absorbed" true (Bio.absorb bio (addr 2) (distinct_value 9));
+  (* Someone re-labels the sector underneath the delayed write. *)
+  Drive.poke drive (addr 2) Sector.Label (distinct_label 0x3000);
+  Drive.poke drive (addr 2) Sector.Value (distinct_value 77);
+  let report = Bio.flush bio in
+  Alcotest.(check int) "the stale write was dropped" 1 report.Bio.conflicts;
+  let sec = Drive.peek drive (addr 2) in
+  Alcotest.(check int) "the platter won" 77
+    (Word.to_int (Sector.part_of sec Sector.Value).(0))
+
+let test_eviction_flushes_dirty_track () =
+  let drive, bio = raw_bio ~tracks:2 () in
+  let spt = (Drive.geometry drive).Geometry.sectors_per_track in
+  Bio.fill bio (addr 0);
+  Alcotest.(check bool) "dirty on track 0" true
+    (Bio.absorb bio (addr 1) (distinct_value 55));
+  (* Touch two more tracks; the LRU (dirty) track must be flushed, not
+     dropped. *)
+  Bio.fill bio (addr spt);
+  Bio.fill bio (addr (2 * spt));
+  Alcotest.(check int) "capacity respected" 2 (Bio.cached_tracks bio);
+  let sec = Drive.peek drive (addr 1) in
+  Alcotest.(check int) "evicted dirty sector reached the platter" 55
+    (Word.to_int (Sector.part_of sec Sector.Value).(0))
+
+(* {2 Crash with dirty buffers}
+
+   Settled pages are committed: a crash that loses every delayed write
+   must still present them intact, and the pack must scavenge and
+   remount cleanly. *)
+
+let page_string tag len = String.make len (Char.chr (65 + tag))
+
+let test_crash_loses_at_most_delayed_values () =
+  let drive = Drive.create ~pack_id:9 small_geometry in
+  let fs = Fs.format drive in
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  let file = ok File.pp_error (File.create fs ~name:"Settled.dat") in
+  let len = 4 * Sector.bytes_per_page in
+  ok File.pp_error (File.write_bytes file ~pos:0 (page_string 0 len));
+  ok File.pp_error (File.flush_leader file);
+  ok Directory.pp_error (Directory.add root ~name:"Settled.dat" (File.leader_name file));
+  (* Commit version 1: everything on the platter. *)
+  (match Fs.flush fs with Ok () -> () | Error _ -> Alcotest.fail "fs flush");
+  (* Version 2 is absorbed into the track buffers and never flushed —
+     the machine dies with the buffers dirty. The overwrite goes in
+     misaligned chunks: read-modify-write traffic, the path the cache
+     absorbs (aligned full pages write through the batcher). *)
+  let v2 = page_string 1 len in
+  let chunk = 500 in
+  let rec overwrite pos =
+    if pos < len then begin
+      let n = min chunk (len - pos) in
+      ok File.pp_error (File.write_bytes file ~pos (String.sub v2 pos n));
+      overwrite (pos + n)
+    end
+  in
+  overwrite 0;
+  Alcotest.(check bool) "the crash really has dirty buffers" true
+    (Bio.dirty_sectors (Fs.bio fs) > 0);
+  (* All in-core state is lost; recovery starts from the drive. *)
+  let fs' =
+    match Scavenger.scavenge drive with
+    | Ok (fs', _) -> fs'
+    | Error msg -> Alcotest.failf "scavenge after crash: %s" msg
+  in
+  let root' = ok Directory.pp_error (Directory.open_root fs') in
+  (match Directory.lookup root' "Settled.dat" with
+  | Ok (Some e) ->
+      let f = ok File.pp_error (File.open_leader fs' e.Directory.entry_file) in
+      let got =
+        Bytes.to_string (ok File.pp_error (File.read_bytes f ~pos:0 ~len))
+      in
+      let v1 = page_string 0 len and v2 = page_string 1 len in
+      let pages = len / Sector.bytes_per_page in
+      for p = 0 to pages - 1 do
+        let slice = String.sub got (p * Sector.bytes_per_page) Sector.bytes_per_page in
+        let matches v =
+          String.equal slice (String.sub v (p * Sector.bytes_per_page) Sector.bytes_per_page)
+        in
+        if not (matches v1 || matches v2) then
+          Alcotest.failf "page %d holds torn or alien bytes after the crash" p
+      done
+  | Ok None -> Alcotest.fail "committed file lost by the crash"
+  | Error e -> Alcotest.failf "directory unreadable: %a" Directory.pp_error e);
+  match Fs.mount drive with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "remount after crash: %s" msg
+
+(* {2 Cache transparency}
+
+   The same deterministic workload, cached and uncached, must leave the
+   two packs byte-identical — the cache may reorder and coalesce disk
+   traffic but never change what ends up on the platter. (File creation
+   happens inside the first simulated second on both packs, so leader
+   timestamps agree; after that the runs' clocks diverge freely.) *)
+
+let transparency_workload ~cached =
+  let drive = Drive.create ~pack_id:9 small_geometry in
+  let fs = Fs.format drive in
+  if not cached then Bio.set_tracks (Fs.bio fs) 0;
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  let files =
+    List.init 2 (fun i ->
+        let name = Printf.sprintf "T%d.dat" i in
+        let f = ok File.pp_error (File.create fs ~name) in
+        ok Directory.pp_error (Directory.add root ~name (File.leader_name f));
+        f)
+  in
+  (* Grow, overwrite misaligned, truncate — plenty of read-modify-write
+     traffic for the cache to absorb. *)
+  List.iteri
+    (fun i f ->
+      let len = (6 + i) * Sector.bytes_per_page in
+      ok File.pp_error (File.write_bytes f ~pos:0 (page_string i len));
+      ok File.pp_error
+        (File.write_bytes f ~pos:300 (page_string (i + 3) (2 * Sector.bytes_per_page)));
+      ok File.pp_error (File.truncate f ~len:(len - 700)))
+    files;
+  (match Fs.flush fs with Ok () -> () | Error _ -> Alcotest.fail "fs flush");
+  ignore (Bio.flush (Fs.bio fs) : Bio.flush_report);
+  drive
+
+let image drive =
+  List.init (Drive.sector_count drive) (fun s ->
+      let sec = Drive.peek drive (addr s) in
+      ( Array.to_list (Sector.part_of sec Sector.Header),
+        Array.to_list (Sector.part_of sec Sector.Label),
+        Array.to_list (Sector.part_of sec Sector.Value) ))
+
+let test_cached_and_uncached_packs_identical () =
+  let cached = image (transparency_workload ~cached:true) in
+  let uncached = image (transparency_workload ~cached:false) in
+  List.iteri
+    (fun s (c, u) ->
+      if c <> u then Alcotest.failf "sector %d differs between the two packs" s)
+    (List.combine cached uncached)
+
+let () =
+  Alcotest.run "alto bio"
+    [
+      ( "track buffers",
+        [
+          ("a fill serves the whole track", `Quick, test_fill_serves_whole_track);
+          ("a disabled cache is inert", `Quick, test_disabled_cache_is_inert);
+          ("absorbed writes flush coalesced", `Quick, test_absorb_and_coalesced_flush);
+          ("generation bump kills the buffer", `Quick, test_generation_kills_buffered_sector);
+          ("conflicted delayed write dropped", `Quick, test_conflicted_delayed_write_is_dropped);
+          ("eviction flushes a dirty track", `Quick, test_eviction_flushes_dirty_track);
+        ] );
+      ( "crash and transparency",
+        [
+          ("crash loses at most delayed values", `Quick, test_crash_loses_at_most_delayed_values);
+          ("cached and uncached packs identical", `Quick, test_cached_and_uncached_packs_identical);
+        ] );
+    ]

@@ -201,12 +201,16 @@ let prop_file_matches_model =
          | Ok f -> matches f
          | Error _ -> false)
       &&
-      match Scavenger.scavenge drive with
-      | Error _ -> false
-      | Ok (fs', _) -> (
-          match File.open_leader fs' (File.leader_name file) with
-          | Ok f -> matches f
-          | Error _ -> false))
+      (* Quiesce before the raw rebuild: the scavenger reads the
+         platter, so delayed track-buffer writes must go out first —
+         the same discipline the Executive's scavenge command follows. *)
+      (ignore (Alto_fs.Bio.flush (Fs.bio fs));
+       match Scavenger.scavenge drive with
+       | Error _ -> false
+       | Ok (fs', _) -> (
+           match File.open_leader fs' (File.leader_name file) with
+           | Ok f -> matches f
+           | Error _ -> false)))
 
 (* {2 two drives} *)
 

@@ -39,6 +39,12 @@ let scavenge_ok drive =
   | Ok x -> x
   | Error msg -> Alcotest.failf "scavenge: %s" msg
 
+(* Quiesce a live handle: push its delayed track-buffer writes to the
+   platter, the way the Executive does before any raw-pack work. The
+   damage these tests inject is to a pack at rest — not to one with
+   acknowledged writes still in core (that case is test_bio's). *)
+let settle fs = ignore (Alto_fs.Bio.flush (Fs.bio fs))
+
 let payload n seed =
   String.init n (fun i -> Char.chr (32 + ((i * 13) + seed) mod 95))
 
@@ -48,6 +54,7 @@ let make_file fs root name n seed =
   file_ok "write" (File.write_bytes file ~pos:0 (payload n seed));
   file_ok "flush" (File.flush_leader file);
   dir_ok "add" (Directory.add root ~name (File.leader_name file));
+  settle fs;
   file
 
 let reopen_by_name fs name =
@@ -106,6 +113,7 @@ let test_orphan_adopted_under_leader_name () =
   ignore (make_file fs root "Precious.txt" 800 4);
   (* Lose the directory entry — the only catalogue record. *)
   Alcotest.(check bool) "removed" true (dir_ok "remove" (Directory.remove root "Precious.txt"));
+  settle fs;
   let fs', report = scavenge_ok drive in
   Alcotest.(check int) "one orphan adopted" 1 report.Scavenger.orphans_adopted;
   check_content fs' "Precious.txt" 800 4
@@ -118,6 +126,7 @@ let test_scrambled_directory_loses_names_not_files () =
   let file = file_ok "create" (File.create fs ~name:"Doc.txt") in
   file_ok "write" (File.write_bytes file ~pos:0 (payload 900 5));
   dir_ok "add" (Directory.add sub ~name:"Doc.txt" (File.leader_name file));
+  settle fs;
   (* Scramble the subdirectory's data page: its entries are garbage now. *)
   let rng = Random.State.make [| 2 |] in
   let page1 = file_ok "page" (File.page_name sub 1) in
@@ -135,6 +144,7 @@ let test_dangling_entry_removed () =
   let file = make_file fs root "Brief.txt" 300 6 in
   (* Delete the file but "forget" the directory entry. *)
   file_ok "delete" (File.delete file);
+  settle fs;
   let fs', report = scavenge_ok drive in
   Alcotest.(check int) "dangling entry dropped" 1 report.Scavenger.entries_removed;
   let root' = dir_ok "root" (Directory.open_root fs') in
@@ -148,6 +158,7 @@ let test_stale_entry_address_fixed () =
   (* Point the entry's hint somewhere absurd. *)
   Alcotest.(check bool) "poisoned" true
     (dir_ok "update" (Directory.update_address root "Move.txt" (Disk_address.of_index 400)));
+  settle fs;
   let fs', report = scavenge_ok drive in
   Alcotest.(check int) "address fixed" 1 report.Scavenger.entries_fixed;
   check_content fs' "Move.txt" 600 7
