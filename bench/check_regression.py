@@ -15,7 +15,7 @@ failing run shows the whole picture instead of the first casualty.
 Usage: check_regression.py BASELINE.json FRESH.json
 
 When a change legitimately moves a metric past its gate, regenerate the
-baseline (dune exec bench/main.exe -- e1 e4 e6 e14 e15 e16 e17 e18 e19 e20 --json BENCH_PR8.json)
+baseline (dune exec bench/main.exe -- e1 e4 e6 e14 e15 e16 e17 e18 e19 e20 e21 --json BENCH_PR9.json)
 and commit it alongside the change, with the movement called out in the
 PR description.
 """
@@ -88,6 +88,11 @@ EXACT = [
     # serve exactly the same hits every run — one hit more or fewer
     # means a coherence or fill decision changed behind our back.
     "fs.bio.hits",
+    # E21 enumerates a fixed grid of crash points (5 workloads x 15
+    # points x 3 tear variants); the number that actually fire is a
+    # property of the build, so any drift means the workloads or the
+    # crash countdown changed behind our back.
+    "e21.crash_points",
 ]
 
 # Absolute ceilings, gated on the fresh value alone: E18 computes its
@@ -98,6 +103,10 @@ ABS_MAX = {
     # A repair page E19 could not install is data loss, not a perf
     # question: no baseline drift may excuse a single one.
     "e19.pages_lost": 0,
+    # E21's verdict proper: a crash point after which the offline
+    # checker still sees a broken promise, or a committed file fails to
+    # read back old-or-new, is a recovery bug — never headroom.
+    "e21.invariant_violations": 0,
 }
 
 
@@ -199,6 +208,7 @@ def main():
         ("disk.retries", "the fault model never fired"),
         ("server.naks", "admission control never refused a request"),
         ("repl.repairs", "the replica audit never repaired a slice"),
+        ("e21.torn_points", "no torn-sector crash variant ever fired"),
     ]:
         if not counter(fm, name):
             failures.append(name)

@@ -130,7 +130,26 @@ let compact fs =
       ~prev:(link (fid, pn - 1))
   in
 
-  (* Permute by swapping pages into place, one in-memory buffer deep. *)
+  (* Permute by swapping pages into place, one in-memory buffer deep.
+
+     A parked page must never exist {e only} in that buffer: a crash
+     between overwriting its sector and writing it back would lose the
+     page outright. One free sector — outside every planned target —
+     stages each parked page on the platter first, so at every instant
+     every page has a complete on-disk copy (possibly two; the scavenger
+     disambiguates identical twins for free). Only a completely full
+     pack has no spare, and then the in-memory window returns. *)
+  let staging =
+    let s = ref (n - 1) in
+    while
+      !s > reserved_top
+      && not (occupant.(!s) = None && incoming.(!s) = None && not bad.(!s))
+    do
+      decr s
+    done;
+    if !s > reserved_top then Some !s else None
+  in
+  let staging_used = ref false in
   let moves = ref 0 and links_rewritten = ref 0 in
   let move_to id label dst =
     let src = Hashtbl.find cur id in
@@ -171,6 +190,14 @@ let compact fs =
             | Some (_, l) -> l
             | None -> assert false
           in
+          (match (parked, staging) with
+          | Some (qid, qlabel, qvalue), Some s ->
+              if
+                write_sector drive s
+                  ~label:(Label.to_words (final_label qid qlabel))
+                  ~value:qvalue
+              then staging_used := true
+          | _, _ -> ());
           if move_to id label t then
             match parked with
             | None -> ()
@@ -187,6 +214,13 @@ let compact fs =
                 end
         end
   done;
+  (* Retire the staging sector's last stale copy. *)
+  (match staging with
+  | Some s when !staging_used ->
+      ignore
+        (write_sector drive s ~label:(Label.free_words ())
+           ~value:(Label.free_value ()))
+  | Some _ | None -> ());
 
   (* Straggler links: unmoved pages whose stored links no longer match
      the final layout. One elevator batch re-reads every candidate; a

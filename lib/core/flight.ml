@@ -35,7 +35,8 @@ let disable () =
   armed := false;
   (match !sink with Some id -> Obs.remove_sink id | None -> ());
   sink := None;
-  Queue.clear ring
+  Queue.clear ring;
+  last_adopted := None
 
 let is_enabled () = !armed
 
@@ -74,6 +75,40 @@ let render ~reason fs =
          ("events", Json.List events);
        ])
 
+(* FNV-1a over the payload bytes, version-stable. *)
+let fnv64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+(* The sealed record is length-prefixed and checksummed:
+   ["altos.flight/1 <bytes> <fnv64hex>\n<json>"]. The seal is itself a
+   burst of delayed-then-flushed writes, so a crash mid-seal can leave
+   the file holding any page-level mix of the old record and the new —
+   adoption must be able to refuse the mix, not parse it. *)
+let seal_header payload =
+  Printf.sprintf "%s %d %016Lx\n" magic (String.length payload) (fnv64 payload)
+
+let validate_sealed content =
+  let nl = String.index_opt content '\n' in
+  match nl with
+  | None -> None
+  | Some nl -> (
+      let header = String.sub content 0 nl in
+      let payload = String.sub content (nl + 1) (String.length content - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ m; len; sum ]
+        when m = magic
+             && int_of_string_opt len = Some (String.length payload)
+             && (try Scanf.sscanf sum "%Lx%!" (fun s -> s) = fnv64 payload
+                 with Scanf.Scan_failure _ | Failure _ | End_of_file -> false) ->
+          Some payload
+      | _ -> None)
+
 let find_file fs =
   match Directory.open_root fs with
   | Error _ -> None
@@ -100,7 +135,8 @@ let create_file fs =
    its own black box failing to write. *)
 let flush ~reason fs =
   if !armed then begin
-    let content = render ~reason fs in
+    let payload = render ~reason fs in
+    let content = seal_header payload ^ payload in
     match (match find_file fs with Some f -> Some f | None -> create_file fs) with
     | None -> ()
     | Some file -> (
@@ -132,20 +168,21 @@ let adopt fs =
       else
         match File.read_bytes file ~pos:0 ~len with
         | Error _ -> None
-        | Ok bytes ->
+        | Ok bytes -> (
             let content = Bytes.to_string bytes in
-            (* Only a real record counts: an empty or foreign file is
-               ignored, exactly like a pack with no recorder at all. *)
-            if String.length content >= String.length magic + 2
-               && String.sub content 0 2 = "{\""
-            then begin
-              last_adopted := Some content;
-              Obs.incr m_adoptions;
-              Obs.event ~clock:(Fs.clock fs)
-                ~fields:[ ("bytes", Obs.I (String.length content)) ]
-                "fs.flight.adopt";
-              Some content
-            end
-            else None)
+            (* Only a whole record counts: the header's length and
+               checksum must cover exactly the bytes that follow, so a
+               record torn by a crash mid-seal — truncated, or a
+               page-level mix of two seals — reads as "no flight
+               record", never as garbage handed to a consumer. *)
+            match validate_sealed content with
+            | None -> None
+            | Some payload ->
+                last_adopted := Some payload;
+                Obs.incr m_adoptions;
+                Obs.event ~clock:(Fs.clock fs)
+                  ~fields:[ ("bytes", Obs.I (String.length payload)) ]
+                  "fs.flight.adopt";
+                Some payload))
 
 let adopted () = !last_adopted

@@ -3,10 +3,11 @@
     A bounded {!Obs} sink keeps the newest trace events in core; at each
     consistency point ([quit], OutLoad, scavenge completion) the
     recorder seals them — together with a full metrics snapshot — into
-    a catalogued [FlightRecorder.log] file on the pack, as one JSON
-    object:
+    a catalogued [FlightRecorder.log] file on the pack: a one-line
+    header followed by one JSON object:
 
     {v
+    altos.flight/1 <payload bytes> <fnv64 of payload, hex>
     { "magic": "altos.flight/1", "sealed_at_us": …, "reason": "quit",
       "metrics": { … }, "events": [ {"seq": …, "ts_us": …, …}, … ] }
     v}
@@ -16,6 +17,12 @@
     can read the machine's last recorded moments even though the crash
     itself wrote nothing. A pack without the file mounts exactly as
     before — adoption simply finds nothing.
+
+    The seal is itself a burst of delayed-then-flushed writes, so a
+    crash {e during} a seal can leave the file holding any page-level
+    mix of the old record and the new. The header's length and checksum
+    must cover exactly the bytes that follow; a torn seal therefore
+    reads as "no flight record", never as garbage handed to a consumer.
 
     The recorder is machine-wide and starts disarmed; {!enable} is
     called when the full machine boots. Library-level users of [Fs]
@@ -31,7 +38,9 @@ val enable : unit -> unit
     {!flush} to write. *)
 
 val disable : unit -> unit
-(** Disarm, remove the sink, and drop the buffered events. *)
+(** Disarm, remove the sink, drop the buffered events, and forget any
+    adopted record — the clean slate the crash harness resets each
+    simulated incarnation to. *)
 
 val is_enabled : unit -> bool
 
@@ -46,9 +55,11 @@ val flush : reason:string -> Fs.t -> unit
     {!Fs.mark_clean} — the write dirties the volume. *)
 
 val adopt : Fs.t -> string option
-(** Read the record left by the previous incarnation, if any, and
-    remember it for {!adopted}. Called at boot, before recovery runs.
-    Returns [None] on packs without a (well-formed) record. *)
+(** Read the record left by the previous incarnation, validate its seal,
+    and remember the JSON payload for {!adopted}. Called at boot, before
+    recovery runs. Returns [None] on packs without a record and on
+    records whose header, length or checksum fail — a seal torn by the
+    crash is indistinguishable from no record at all. *)
 
 val adopted : unit -> string option
 (** The record adopted at boot, if any — what [blackbox] prints. *)

@@ -130,7 +130,12 @@ let salvage_value drive addr =
 
 (* Point one neighbour's link hint at the page's new home. The labels at
    both ends of the move are already correct, so a failed fix-up merely
-   leaves a stale hint for the §3.6 ladder to survive — never damage. *)
+   leaves a stale hint for the §3.6 ladder to survive — never damage.
+   A {e torn} fix-up is another matter: the rewrite overwrites a healthy
+   page's only copy in place, and a crash mid-write would turn a hint
+   refresh into data loss. So a complete patched twin is staged on a
+   free sector first; on success it is freed again, and after a tear the
+   scavenger's duplicate rescue adopts it. *)
 let fix_neighbour t tally ~fid ~page ~addr ~patch =
   if Disk_address.is_nil addr || page < 0 then ()
   else
@@ -138,12 +143,21 @@ let fix_neighbour t tally ~fid ~page ~addr ~patch =
     let fn = Page.full_name fid ~page ~addr in
     match Page.read ~cache drive fn with
     | Error _ -> ()
-    | Ok (lab, value) -> (
-        match Page.rewrite_label ~cache drive fn ~new_label:(patch lab) ~value with
+    | Ok (lab, value) ->
+        let patched = patch lab in
+        let staged =
+          match Fs.allocate_page t.fs ~label:(fun _ -> patched) ~value with
+          | Ok a -> Some a
+          | Error _ -> None
+        in
+        (match Page.rewrite_label ~cache drive fn ~new_label:patched ~value with
         | Ok () ->
             tally.c_links <- tally.c_links + 1;
             Obs.incr m_links_repaired
-        | Error _ -> ())
+        | Error _ -> ());
+        (match staged with
+        | None -> ()
+        | Some a -> ignore (Fs.free_page t.fs (Page.full_name fid ~page ~addr:a)))
 
 (* A relocated leader page: every root entry naming the file gets its
    address hint refreshed, and the descriptor's root pointer too when

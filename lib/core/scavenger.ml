@@ -22,6 +22,8 @@ let m_entries_fixed = Obs.counter "scavenger.entries_fixed"
 let m_entries_removed = Obs.counter "scavenger.entries_removed"
 let m_roots_rebuilt = Obs.counter "scavenger.roots_rebuilt"
 let m_marginal_relocated = Obs.counter "scavenger.marginal_relocated"
+let m_duplicates_rescued = Obs.counter "scavenger.duplicates_rescued"
+let m_leaders_rebuilt = Obs.counter "scavenger.leaders_rebuilt"
 
 (* The span histogram "scavenger.duration_us" is owned by the
    [Obs.time] wrapper in {!scavenge}. *)
@@ -43,6 +45,8 @@ type report = {
   relocated_pages : int;
   marginal_relocated : int;
   pages_marked_bad : int;
+  duplicates_rescued : int;
+  leaders_rebuilt : int;
   root_rebuilt : bool;
   duration_us : int;
 }
@@ -53,7 +57,7 @@ let pp_report fmt r =
      files %d (dirs %d), orphans adopted %d@,\
      links repaired %d, labels reclaimed %d, bad sectors %d@,\
      entries fixed %d, removed %d; incomplete files %d, pages lost %d@,\
-     duplicates %d, relocated %d%s%s%s@]"
+     duplicates %d, relocated %d%s%s%s%s%s@]"
     r.sectors_scanned Sim_clock.pp_duration r.duration_us r.files_found
     r.directories_found r.orphans_adopted r.links_repaired r.labels_reclaimed
     r.bad_sectors r.entries_fixed r.entries_removed r.incomplete_files
@@ -64,6 +68,12 @@ let pp_report fmt r =
     (if r.pages_marked_bad > 0 then
        Printf.sprintf ", %d pages marked bad" r.pages_marked_bad
      else "")
+    (if r.duplicates_rescued > 0 then
+       Printf.sprintf ", %d pages rescued from twins" r.duplicates_rescued
+     else "")
+    (if r.leaders_rebuilt > 0 then
+       Printf.sprintf ", %d leaders rebuilt" r.leaders_rebuilt
+     else "")
     (if r.root_rebuilt then ", root rebuilt" else "")
 
 
@@ -73,6 +83,8 @@ type file_pages = (int, int * Label.t) Hashtbl.t
 type state = {
   drive : Drive.t;
   mutable duplicate_pages : int;
+  mutable duplicates_rescued : int;
+  mutable leaders_rebuilt : int;
   mutable pages_lost : int;
   mutable incomplete_files : int;
   mutable links_repaired : int;
@@ -150,6 +162,8 @@ let scavenge_run ~verify_values ~suspect_retries drive =
     {
       drive;
       duplicate_pages = 0;
+      duplicates_rescued = 0;
+      leaders_rebuilt = 0;
       pages_lost = 0;
       incomplete_files = 0;
       links_repaired = 0;
@@ -162,8 +176,13 @@ let scavenge_run ~verify_values ~suspect_retries drive =
     }
   in
 
-  (* 1. Group live pages by file id; detect duplicate absolute names. *)
+  (* 1. Group live pages by file id; detect duplicate absolute names.
+     The first claimant wins, but the losers are kept aside: a crash
+     mid-move (compaction, relocation) leaves two sectors claiming one
+     page, and if the chosen copy turns out torn the twin may still
+     hold the data. *)
   let files : (File_id.t, file_pages) Hashtbl.t = Hashtbl.create 64 in
+  let spares : (File_id.t * int, (int * Label.t) list) Hashtbl.t = Hashtbl.create 8 in
   for i = 0 to n - 1 do
     match sweep.Sweep.classes.(i) with
     | Sweep.Live label ->
@@ -180,7 +199,11 @@ let scavenge_run ~verify_values ~suspect_retries drive =
                 p
           in
           match Hashtbl.find_opt pages label.Label.page with
-          | Some _ -> st.duplicate_pages <- st.duplicate_pages + 1
+          | Some _ ->
+              st.duplicate_pages <- st.duplicate_pages + 1;
+              let key = (fid, label.Label.page) in
+              let prior = Option.value ~default:[] (Hashtbl.find_opt spares key) in
+              Hashtbl.replace spares key ((i, label) :: prior)
           | None -> Hashtbl.add pages label.Label.page (i, label)
         end
     | Sweep.Free_sector | Sweep.Marked_bad | Sweep.Bad_media | Sweep.Garbage _ -> ()
@@ -205,15 +228,15 @@ let scavenge_run ~verify_values ~suspect_retries drive =
     let probe = Array.make Alto_disk.Sector.value_words Word.zero in
     let live =
       Hashtbl.fold
-        (fun _fid (pages : file_pages) acc ->
-          Hashtbl.fold (fun pn (i, _) acc -> (i, pn, pages) :: acc) pages acc)
+        (fun fid (pages : file_pages) acc ->
+          Hashtbl.fold (fun pn (i, _) acc -> (i, pn, fid, pages) :: acc) pages acc)
         files []
     in
     let live = Array.of_list live in
-    Array.sort (fun (a, _, _) (b, _, _) -> compare a b) live;
+    Array.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) live;
     let requests =
       Array.map
-        (fun (i, _, _) ->
+        (fun (i, _, _, _) ->
           Sched.request ~value:probe (Disk_address.of_index i)
             { Drive.op_none with Drive.value = Some Drive.Read })
         live
@@ -223,13 +246,12 @@ let scavenge_run ~verify_values ~suspect_retries drive =
     in
     Array.iteri
       (fun j outcome ->
-        let i, pn, pages = live.(j) in
+        let i, pn, fid, pages = live.(j) in
         match outcome.Sched.result with
         | Ok () ->
             if outcome.Sched.retries >= suspect_retries then
               Hashtbl.replace suspects i ()
         | Error (Drive.Bad_sector | Drive.Check_mismatch _ | Drive.Transient _) ->
-            Hashtbl.remove pages pn;
             (* Write the marker; the data surface accepts writes blind. *)
             (match
                Reliable.run st.drive (Disk_address.of_index i)
@@ -241,16 +263,102 @@ let scavenge_run ~verify_values ~suspect_retries drive =
              with
             | Ok () | Error _ -> ());
             Hashtbl.replace quarantined i ();
-            st.pages_lost <- st.pages_lost + 1)
+            (* Before declaring the page lost, try its twins: a crash
+               between a move's copy and its retire leaves a readable
+               duplicate, and the torn copy must not take the data down
+               with it. *)
+            let rec rescue = function
+              | [] ->
+                  Hashtbl.remove pages pn;
+                  st.pages_lost <- st.pages_lost + 1
+              | (si, slabel) :: rest -> (
+                  match
+                    Reliable.run ~policy:Reliable.salvage_policy st.drive
+                      (Disk_address.of_index si)
+                      { Drive.op_none with
+                        Drive.label = Some Drive.Check;
+                        value = Some Drive.Read
+                      }
+                      ~label:(Label.check_name fid ~page:pn)
+                      ~value:probe ()
+                  with
+                  | Ok () ->
+                      Hashtbl.replace pages pn (si, slabel);
+                      st.duplicates_rescued <- st.duplicates_rescued + 1
+                  | Error _ -> rescue rest)
+            in
+            rescue (Option.value ~default:[] (Hashtbl.find_opt spares (fid, pn))))
       outcomes);
 
   (* 2. Per-file contiguity: keep the longest prefix 0..k; everything
-     beyond a gap (or a whole headless file) is lost. *)
+     beyond a gap is lost. A headless file — its leader sector torn by a
+     crash or decayed — still has every data page on the platter, each
+     label naming its (file, page): §3.2 keeps "all the properties of
+     the file other than its length and its data" in the leader, so a
+     fresh leader on a free sector is the only thing reconstruction
+     needs to write. The file keeps its directory name if catalogued
+     (entries bind the file id, not the leader sector) and gets a
+     Scavenged name otherwise. *)
+  let spare_free = ref (n - 1) in
+  let take_free_sector () =
+    while
+      !spare_free >= 0
+      &&
+      match sweep.Sweep.classes.(!spare_free) with
+      | Sweep.Free_sector -> false
+      | Sweep.Live _ | Sweep.Marked_bad | Sweep.Bad_media | Sweep.Garbage _ -> true
+    do
+      decr spare_free
+    done;
+    if !spare_free < 0 then None
+    else begin
+      let i = !spare_free in
+      decr spare_free;
+      Some i
+    end
+  in
+  let rebuild_leader fid (pages : file_pages) =
+    match Hashtbl.find_opt pages 1 with
+    | None -> false
+    | Some (p1_i, _) -> (
+        let rec last k = if Hashtbl.mem pages (k + 1) then last (k + 1) else k in
+        let k = last 1 in
+        let last_i, _ = Hashtbl.find pages k in
+        let leader =
+          Leader.make
+            ~name:
+              (Printf.sprintf "Scavenged.%d!%d" fid.File_id.serial fid.File_id.version)
+            ~last_page:k
+            ~last_addr:(Disk_address.of_index last_i)
+            ~maybe_consecutive:false ()
+        in
+        let label =
+          Label.make ~fid ~page:0 ~length:Sector.bytes_per_page
+            ~next:(Disk_address.of_index p1_i) ~prev:Disk_address.nil
+        in
+        match take_free_sector () with
+        | None -> false
+        | Some dst -> (
+            match
+              Reliable.run st.drive (Disk_address.of_index dst)
+                { Drive.op_none with
+                  Drive.label = Some Drive.Write;
+                  value = Some Drive.Write
+                }
+                ~label:(Label.to_words label)
+                ~value:(Leader.to_value leader) ()
+            with
+            | Ok () ->
+                Hashtbl.replace pages 0 (dst, label);
+                st.leaders_rebuilt <- st.leaders_rebuilt + 1;
+                true
+            | Error _ -> false))
+  in
   let final : (File_id.t, (int * Label.t) array) Hashtbl.t = Hashtbl.create 64 in
   Hashtbl.iter
     (fun fid (pages : file_pages) ->
       if Hashtbl.length pages = 0 then ()
-      else if not (Hashtbl.mem pages 0) then begin
+      else if not (Hashtbl.mem pages 0 || rebuild_leader fid pages) then begin
         st.incomplete_files <- st.incomplete_files + 1;
         st.pages_lost <- st.pages_lost + Hashtbl.length pages
       end
@@ -635,6 +743,8 @@ let scavenge_run ~verify_values ~suspect_retries drive =
               relocated_pages = st.relocated_pages;
               marginal_relocated = st.marginal_relocated;
               pages_marked_bad = Hashtbl.length quarantined;
+              duplicates_rescued = st.duplicates_rescued;
+              leaders_rebuilt = st.leaders_rebuilt;
               root_rebuilt = !root_rebuilt;
               duration_us = Sim_clock.now_us clock - started;
             }
@@ -653,6 +763,8 @@ let record_report r =
   Obs.add m_pages_quarantined r.pages_marked_bad;
   Obs.add m_relocated_pages r.relocated_pages;
   Obs.add m_marginal_relocated r.marginal_relocated;
+  Obs.add m_duplicates_rescued r.duplicates_rescued;
+  Obs.add m_leaders_rebuilt r.leaders_rebuilt;
   Obs.add m_entries_fixed r.entries_fixed;
   Obs.add m_entries_removed r.entries_removed;
   if r.root_rebuilt then Obs.incr m_roots_rebuilt

@@ -58,6 +58,14 @@ type report = {
       (** Live-looking pages whose data surface would not read back
           during value verification; their labels now carry the
           bad-page marker. *)
+  duplicates_rescued : int;
+      (** Pages whose chosen copy would not read back but whose twin —
+          left by a crash between a move's copy and its retire — did.
+          The twin takes over; the torn copy is quarantined. *)
+  leaders_rebuilt : int;
+      (** Headless files given a fresh, synthesized leader page: a torn
+          leader write costs the file its dates and leader name, never
+          its data. *)
   root_rebuilt : bool;  (** No root directory survived; a new one was made. *)
   duration_us : int;
 }

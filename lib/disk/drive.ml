@@ -79,6 +79,14 @@ let zero_stats =
 
 exception Power_failure
 
+type tear = Torn_label | Torn_value
+
+(* The crash-point countdown: [cp_left] more operations that write are
+   allowed to complete; the next one kills the machine. Without a tear
+   the fatal operation never starts (the power died between sectors);
+   with one it stops partway through a part's transfer. *)
+type crash_point = { mutable cp_left : int; cp_tear : tear option }
+
 (* SplitMix64, so the soft-error stream is identical on every OCaml
    version (the stdlib's [Random] algorithm changed between 4.x and 5.x,
    and the CI regression gate compares retry counts across both). *)
@@ -116,6 +124,13 @@ type t = {
   mutable current_cylinder : int;
   mutable stats : stats;
   mutable power_budget : int option;
+  mutable crash_point : crash_point option;
+  mutable write_ops : int;
+  (* Torn parts: a crash stopped a write partway through this part, so
+     the controller's checksum no longer covers it — reads and checks
+     fail hard until a full rewrite of the part restores it. One bit
+     per part, indexed by sector. *)
+  torn : int array;
   value_unreadable : bool array;
   mutable soft_rng : prng;
   mutable soft_rate : float;
@@ -150,6 +165,9 @@ let create ?clock ~pack_id geometry =
       current_cylinder = 0;
       stats = zero_stats;
       power_budget = None;
+      crash_point = None;
+      write_ops = 0;
+      torn = Array.make n 0;
       value_unreadable = Array.make n false;
       soft_rng = prng_of_seed pack_id;
       soft_rate = 0.;
@@ -279,6 +297,106 @@ let set_power_budget t budget =
     invalid_arg "Drive.set_power_budget: negative budget"
   else t.power_budget <- budget
 
+(* {2 The crash-point model} *)
+
+let part_bit = function Sector.Header -> 1 | Sector.Label -> 2 | Sector.Value -> 4
+
+let set_crash_point t ?tear ~after_writes () =
+  if after_writes < 0 then invalid_arg "Drive.set_crash_point: negative countdown"
+  else t.crash_point <- Some { cp_left = after_writes; cp_tear = tear }
+
+let clear_crash_point t = t.crash_point <- None
+let crash_pending t = t.crash_point <> None
+let write_ops t = t.write_ops
+
+let is_torn t addr = t.torn.(check_address t addr) <> 0
+
+let clear_torn t addr = t.torn.(check_address t addr) <- 0
+
+(* The fatal operation of a torn crash: power dies while the heads are
+   writing. Actions before the first write (the label check guarding a
+   data write) still ran — an aborted check means nothing was written —
+   then each written part is transferred in order until the torn one,
+   which stops partway through: a prefix of the caller's words reaches
+   the platter and the part's checksum is left invalid, so every later
+   read of it fails hard until a full rewrite. Either way the machine
+   is dead when this returns, so it never returns: {!Power_failure}. *)
+let crash_torn t index op ?header ?label ?value tear =
+  charge_motion t index;
+  t.stats <- { t.stats with operations = t.stats.operations + 1 };
+  Obs.incr m_operations;
+  if not t.bad.(index) then begin
+    let sector = t.sectors.(index) in
+    let parts =
+      [
+        (Sector.Header, op.header, header);
+        (Sector.Label, op.label, label);
+        (Sector.Value, op.value, value);
+      ]
+    in
+    let written =
+      List.filter_map
+        (fun (part, action, buf) ->
+          match action with Some Write -> Some (part, Option.get buf) | _ -> None)
+        parts
+    in
+    (* Which written part stops halfway: the first for [Torn_label], the
+       last for [Torn_value] — for a label+value write these are exactly
+       the two sub-sector failure modes §3.3's atomicity assumption
+       hides: label torn with the value untouched, or label committed
+       with the value half-transferred. *)
+    let target =
+      match (tear, written) with
+      | _, [] -> None
+      | Torn_label, (part, _) :: _ -> Some part
+      | Torn_value, ws -> Some (fst (List.nth ws (List.length ws - 1)))
+    in
+    let pre_writes_ok =
+      List.for_all
+        (fun (part, action, buf) ->
+          match action with
+          | Some ((Read | Check) as a) ->
+              perform t part a (Sector.part_of sector part) (Option.get buf) = Ok ()
+          | Some Write | None -> true)
+        parts
+    in
+    if pre_writes_ok then
+      List.iter
+        (fun (part, buf) ->
+          let disk_words = Sector.part_of sector part in
+          if part = Sector.Label then t.label_gen.(index) <- t.label_gen.(index) + 1;
+          if target = Some part then begin
+            let n = Array.length disk_words in
+            let cut =
+              1
+              + Int64.to_int
+                  (Int64.rem
+                     (Int64.shift_right_logical (prng_next t.soft_rng) 1)
+                     (Int64.of_int (max 1 (n - 1))))
+            in
+            Array.blit buf 0 disk_words 0 cut;
+            t.torn.(index) <- t.torn.(index) lor part_bit part;
+            t.label_gen.(index) <- t.label_gen.(index) + 1;
+            Obs.event ~clock:t.clock
+              ~fields:
+                [
+                  ("pack", Obs.I t.pack_id);
+                  ("addr", Obs.I index);
+                  ("part", Obs.S (Format.asprintf "%a" Sector.pp_part part));
+                  ("words", Obs.I cut);
+                ]
+              "disk.torn_write";
+            raise Power_failure
+          end
+          else Array.blit buf 0 disk_words 0 (Array.length disk_words))
+        written
+  end;
+  raise Power_failure
+
+let has_write_action op =
+  let w = function Some Write -> true | Some Read | Some Check | None -> false in
+  w op.header || w op.label || w op.value
+
 (* One soft-error draw per part access that reads the surface. Returns
    true when this access fails transiently; a marginal sector's failure
    also feeds its degradation. *)
@@ -332,6 +450,17 @@ let run t addr op ?header ?label ?value () =
   validate_buffer Sector.Header op.header header;
   validate_buffer Sector.Label op.label label;
   validate_buffer Sector.Value op.value value;
+  if has_write_action op then begin
+    t.write_ops <- t.write_ops + 1;
+    match t.crash_point with
+    | Some cp when cp.cp_left = 0 -> (
+        t.crash_point <- None;
+        match cp.cp_tear with
+        | None -> raise Power_failure
+        | Some tear -> crash_torn t index op ?header ?label ?value tear)
+    | Some cp -> cp.cp_left <- cp.cp_left - 1
+    | None -> ()
+  end;
   charge_motion t index;
   t.stats <- { t.stats with operations = t.stats.operations + 1 };
   Obs.incr m_operations;
@@ -345,7 +474,15 @@ let run t addr op ?header ?label ?value () =
       match action with
       | None -> k ()
       | Some action ->
-          if
+          if t.torn.(index) land part_bit part <> 0 && (action = Read || action = Check)
+          then begin
+            (* A torn part: the crash left its checksum invalid, so the
+               controller rejects the transfer without moving data. A
+               full rewrite of the part (below) heals it. *)
+            Obs.incr m_bad_sector_errors;
+            Error Bad_sector
+          end
+          else if
             part = Sector.Value
             && t.value_unreadable.(index)
             && (action = Read || action = Check)
@@ -363,6 +500,8 @@ let run t addr op ?header ?label ?value () =
             Error (Transient part)
           else (
             let buf = Option.get buf in
+            if action = Write && t.torn.(index) land part_bit part <> 0 then
+              t.torn.(index) <- t.torn.(index) land lnot (part_bit part);
             if part = Sector.Label && action = Write then
               t.label_gen.(index) <- t.label_gen.(index) + 1;
             match perform t part action (Sector.part_of sector part) buf with
@@ -413,6 +552,7 @@ let poke t addr part words =
        staleness evidence: every in-core copy of the sector must die,
        or a cache would keep serving bits the "physics" changed. *)
     t.label_gen.(index) <- t.label_gen.(index) + 1;
+    t.torn.(index) <- t.torn.(index) land lnot (part_bit part);
     Array.blit words 0 target 0 (Array.length target)
   end
 

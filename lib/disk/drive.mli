@@ -177,6 +177,57 @@ val set_power_budget : t -> int option -> unit
     removes the limit. Out-of-band access ({!peek}/{!poke}) is not
     limited — the microscope works even on a dead machine. *)
 
+(** {2 The crash-point model}
+
+    {!set_power_budget} counts every operation, reads included, and
+    assumes each completed sector is atomic. The crash point is the
+    sharper instrument the crash-injection harness enumerates with: it
+    counts only operations that {e write}, and can stop the fatal write
+    partway through one part — the torn sector a real power failure can
+    leave, which §3.3's label discipline never promises against at the
+    sub-sector level. The controller models a per-part checksum: a torn
+    part reads back as {!Bad_sector} until a full rewrite of that part
+    restores it, so recovery can always {e detect} the tear even though
+    the data is gone. *)
+
+type tear =
+  | Torn_label
+      (** The fatal operation's {e first} written part stops halfway:
+          for a label+value write, the label is torn and the value never
+          started. *)
+  | Torn_value
+      (** The fatal operation's {e last} written part stops halfway:
+          for a label+value write, the label is committed and the value
+          is half-transferred. *)
+
+val set_crash_point : t -> ?tear:tear -> after_writes:int -> unit -> unit
+(** Arm the countdown: [after_writes] more writing operations complete
+    normally and the one after kills the machine with {!Power_failure}.
+    Without [tear] the fatal operation never starts (the cut fell
+    between sectors); with it, the operation's pre-write actions (the
+    guarding label check) still run and then the chosen part is left
+    torn — a prefix of the words transferred (seeded, version-stable
+    cut point) and the part unreadable. Raises [Invalid_argument] on a
+    negative countdown. *)
+
+val clear_crash_point : t -> unit
+
+val crash_pending : t -> bool
+(** An armed crash point that has not fired yet — how the harness tells
+    a workload that outran its enumerated points from one that died. *)
+
+val write_ops : t -> int
+(** Total operations with at least one write action since the drive was
+    created — the coordinate system crash points are enumerated in. *)
+
+val is_torn : t -> Disk_address.t -> bool
+(** Some part of this sector was left mid-transfer by a torn crash and
+    has not been rewritten since. *)
+
+val clear_torn : t -> Disk_address.t -> unit
+(** Out-of-band repair of the torn state (tests only); production paths
+    heal a torn part by rewriting it. *)
+
 (** {2 Out-of-band access}
 
     These bypass the controller and the clock. They exist for tests,

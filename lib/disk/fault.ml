@@ -28,6 +28,10 @@ let clear_soft_errors drive = Drive.set_soft_errors drive ~seed:0 ~rate:0.
 let make_marginal ?(rate = 0.5) ?(growth = 1.25) ?(degrade_after = 16) drive addr =
   Drive.set_marginal drive addr ~rate ~growth ~degrade_after
 
+let crash_after_writes ?tear drive n = Drive.set_crash_point drive ?tear ~after_writes:n ()
+
+let cancel_crash drive = Drive.clear_crash_point drive
+
 let decay rng drive ~fraction =
   if fraction < 0. || fraction > 1. then invalid_arg "Fault.decay: fraction out of [0,1]"
   else begin

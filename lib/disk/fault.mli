@@ -46,6 +46,16 @@ val make_marginal :
     {!make_value_unreadable}), so the scavenger can still identify the
     page while its data decays. *)
 
+val crash_after_writes : ?tear:Drive.tear -> Drive.t -> int -> unit
+(** Arm {!Drive.set_crash_point}: [n] more writing operations complete,
+    then the machine dies with {!Drive.Power_failure} — cleanly between
+    sectors by default, or mid-transfer with [?tear], leaving the fatal
+    sector torn and detectably unreadable. The crash-injection harness
+    sweeps [n] across whole workloads. *)
+
+val cancel_crash : Drive.t -> unit
+(** Disarm a pending crash point (recovery runs on mains power). *)
+
 val decay :
   Random.State.t -> Drive.t -> fraction:float -> Disk_address.t list
 (** [decay rng drive ~fraction] corrupts the labels of roughly [fraction]

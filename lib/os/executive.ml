@@ -162,6 +162,15 @@ let cmd_scavenge system =
       System.set_fs system fs;
       say system "%a" Scavenger.pp_report report
 
+(* The offline checker run against the live pack: flush the delayed
+   writes so the platter is current, then read everything back and print
+   the damage census. Read-only — the cure for a bad verdict is
+   [scavenge], and the checker says so. *)
+let cmd_fsck system =
+  ignore (Alto_fs.Bio.flush (Fs.bio (System.fs system)));
+  let report = Alto_fs.Fsck.check (System.drive system) in
+  say system "%a" Alto_fs.Fsck.pp_report report
+
 let cmd_compact system =
   match Compactor.compact (System.fs system) with
   | Error msg -> say system "compact failed: %s" msg
@@ -529,6 +538,9 @@ let execute system line =
       `Continue
   | [ "rename"; old_name; new_name ] ->
       cmd_rename system old_name new_name;
+      `Continue
+  | [ "fsck" ] ->
+      cmd_fsck system;
       `Continue
   | [ "scavenge" ] ->
       cmd_scavenge system;

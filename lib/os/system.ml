@@ -12,6 +12,7 @@ module File = Alto_fs.File
 module Directory = Alto_fs.Directory
 module Patrol = Alto_fs.Patrol
 module Bad_sectors = Alto_fs.Bad_sectors
+module Scavenger = Alto_fs.Scavenger
 module Flight = Alto_fs.Flight
 module Zone = Alto_zones.Zone
 module Stream = Alto_streams.Stream
@@ -115,8 +116,16 @@ let counter_junta t =
 
 let boot ?(geometry = Geometry.diablo_31) ?drive ?(finish_recovery_lap = true) () =
   let drive = match drive with Some d -> d | None -> Drive.create ~pack_id:1 geometry in
+  (* An unmountable pack is wreckage, not a blank: scavenge rebuilds the
+     descriptor from the labels (§3.6's last rung) before boot is allowed
+     to reach for the formatter and wipe whatever the labels still say. *)
   let fs =
-    match Fs.mount drive with Ok fs -> fs | Error _ -> Fs.format drive
+    match Fs.mount drive with
+    | Ok fs -> fs
+    | Error _ -> (
+        match Scavenger.scavenge drive with
+        | Ok (fs, _report) -> fs
+        | Error _ -> Fs.format drive)
   in
   (* The full machine arms the black box; raw library users never see
      the file appear on its own. *)

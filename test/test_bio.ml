@@ -262,6 +262,70 @@ let transparency_workload ~cached =
   ignore (Bio.flush (Fs.bio fs) : Bio.flush_report);
   drive
 
+(* The crash-ordering promise: the descriptor's dirty flag reaches the
+   platter {e before} the first delayed write is acknowledged, so a
+   crash with dirty buffers always boots into the bounded recovery
+   scan — never into a volume that claims to be clean while delayed
+   writes rot in lost core. *)
+let test_dirty_flag_on_platter_before_delayed_ack () =
+  let drive = Drive.create ~pack_id:9 small_geometry in
+  let fs = Fs.format drive in
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  let file = ok File.pp_error (File.create fs ~name:"Flag.dat") in
+  ok File.pp_error (File.write_bytes file ~pos:0 (page_string 0 Sector.bytes_per_page));
+  ok Directory.pp_error (Directory.add root ~name:"Flag.dat" (File.leader_name file));
+  (match Fs.flush fs with Ok () -> () | Error _ -> Alcotest.fail "flush");
+  (match Fs.mark_clean fs with Ok () -> () | Error _ -> Alcotest.fail "mark_clean");
+  (match Fs.flush fs with Ok () -> () | Error _ -> Alcotest.fail "flush2");
+  (* One overwrite, acknowledged but delayed — nothing else. The machine
+     now dies: the buffers are gone, only the platter answers. *)
+  ok File.pp_error (File.write_bytes file ~pos:0 (page_string 1 Sector.bytes_per_page));
+  Alcotest.(check bool) "the write really is delayed" true
+    (Bio.dirty_sectors (Fs.bio fs) > 0);
+  let fs' =
+    match Fs.mount drive with
+    | Ok fs' -> fs'
+    | Error msg -> Alcotest.failf "platter unmountable: %s" msg
+  in
+  Alcotest.(check bool) "platter already announces the dirty volume" true
+    (Fs.dirty fs')
+
+(* The same promise must survive a remount: each mount wires its own
+   [on_dirty] hook to its own track buffers (a world swap or recovery
+   boot swaps the whole [Fs] handle underneath the machine). *)
+let test_dirty_flag_rearms_after_remount () =
+  let drive = Drive.create ~pack_id:9 small_geometry in
+  let fs = Fs.format drive in
+  let root = ok Directory.pp_error (Directory.open_root fs) in
+  let file = ok File.pp_error (File.create fs ~name:"Flag.dat") in
+  ok File.pp_error (File.write_bytes file ~pos:0 (page_string 0 Sector.bytes_per_page));
+  ok Directory.pp_error (Directory.add root ~name:"Flag.dat" (File.leader_name file));
+  (match Fs.flush fs with Ok () -> () | Error _ -> Alcotest.fail "flush");
+  (match Fs.mark_clean fs with Ok () -> () | Error _ -> Alcotest.fail "mark_clean");
+  (match Fs.flush fs with Ok () -> () | Error _ -> Alcotest.fail "flush2");
+  (* The first incarnation is abandoned wholesale; a second mounts. *)
+  let fs2 =
+    match Fs.mount drive with
+    | Ok fs2 -> fs2
+    | Error msg -> Alcotest.failf "remount: %s" msg
+  in
+  Alcotest.(check bool) "clean at the consistency point" false (Fs.dirty fs2);
+  let root2 = ok Directory.pp_error (Directory.open_root fs2) in
+  let file2 =
+    match Directory.lookup root2 "Flag.dat" with
+    | Ok (Some e) -> ok File.pp_error (File.open_leader fs2 e.Directory.entry_file)
+    | Ok None | Error _ -> Alcotest.fail "Flag.dat lost across remount"
+  in
+  ok File.pp_error (File.write_bytes file2 ~pos:0 (page_string 2 Sector.bytes_per_page));
+  Alcotest.(check bool) "the write really is delayed" true
+    (Bio.dirty_sectors (Fs.bio fs2) > 0);
+  let fs3 =
+    match Fs.mount drive with
+    | Ok fs3 -> fs3
+    | Error msg -> Alcotest.failf "third mount: %s" msg
+  in
+  Alcotest.(check bool) "remounted handle still announces first" true (Fs.dirty fs3)
+
 let image drive =
   List.init (Drive.sector_count drive) (fun s ->
       let sec = Drive.peek drive (addr s) in
@@ -292,6 +356,8 @@ let () =
       ( "crash and transparency",
         [
           ("crash loses at most delayed values", `Quick, test_crash_loses_at_most_delayed_values);
+          ("dirty flag beats the delayed ack", `Quick, test_dirty_flag_on_platter_before_delayed_ack);
+          ("dirty flag re-arms after remount", `Quick, test_dirty_flag_rearms_after_remount);
           ("cached and uncached packs identical", `Quick, test_cached_and_uncached_packs_identical);
         ] );
     ]

@@ -8,13 +8,19 @@ module Word = Alto_machine.Word
 module Drive = Alto_disk.Drive
 module Geometry = Alto_disk.Geometry
 module Sector = Alto_disk.Sector
+module Disk_address = Alto_disk.Disk_address
+module Fault = Alto_disk.Fault
+module Reliable = Alto_disk.Reliable
 module Fs = Alto_fs.Fs
 module File = Alto_fs.File
 module Page = Alto_fs.Page
 module Directory = Alto_fs.Directory
 module Scavenger = Alto_fs.Scavenger
+module Flight = Alto_fs.Flight
 module Checkpoint = Alto_world.Checkpoint
 module World = Alto_world.World
+module System = Alto_os.System
+module Crash_harness = Alto_os.Crash_harness
 
 let small_geometry = { Geometry.diablo_31 with Geometry.model = "crash"; cylinders = 25 }
 
@@ -223,6 +229,160 @@ let test_crash_during_world_swap () =
                   ()))
       | Ok None | Error _ -> Alcotest.fail "state file lost entirely")
 
+(* {2 The crash point and the torn sector} *)
+
+(* A small committed volume plus one file with a delayed overwrite
+   pending in the track buffers — the flush sweep is the write the
+   crash-point tests aim at. *)
+let committed_with_pending_overwrite () =
+  let drive, fs, _root, files = build () in
+  (match Fs.flush fs with Ok () -> () | Error _ -> failwith "flush");
+  (match Fs.mark_clean fs with Ok () -> () | Error _ -> failwith "clean");
+  (match Fs.flush fs with Ok () -> () | Error _ -> failwith "flush2");
+  let _, _, f0 = List.hd files in
+  (match File.write_bytes f0 ~pos:0 (pattern ~seed:0 ~version:2 800) with
+  | Ok () -> ()
+  | Error _ -> failwith "overwrite");
+  (drive, fs)
+
+let torn_sectors drive =
+  List.filter
+    (fun i -> Drive.is_torn drive (Disk_address.of_index i))
+    (List.init (Drive.sector_count drive) Fun.id)
+
+let test_clean_crash_point_tears_nothing () =
+  let drive, fs = committed_with_pending_overwrite () in
+  Fault.crash_after_writes drive 0;
+  Alcotest.(check bool) "armed" true (Drive.crash_pending drive);
+  (match Fs.flush fs with
+  | Ok () | Error _ -> Alcotest.fail "expected a power failure"
+  | exception Drive.Power_failure -> ());
+  Alcotest.(check bool) "fired" false (Drive.crash_pending drive);
+  Alcotest.(check (list int)) "no sector torn" [] (torn_sectors drive)
+
+let test_cancelled_crash_point_never_fires () =
+  let drive, fs = committed_with_pending_overwrite () in
+  Fault.crash_after_writes ~tear:Drive.Torn_value drive 3;
+  Fault.cancel_crash drive;
+  (match Fs.flush fs with Ok () -> () | Error _ -> Alcotest.fail "flush");
+  Alcotest.(check (list int)) "no sector torn" [] (torn_sectors drive)
+
+let test_torn_sector_fails_until_rewritten () =
+  let drive, fs = committed_with_pending_overwrite () in
+  Fault.crash_after_writes ~tear:Drive.Torn_value drive 0;
+  (match Fs.flush fs with
+  | Ok () | Error _ -> Alcotest.fail "expected a power failure"
+  | exception Drive.Power_failure -> ());
+  Fault.cancel_crash drive;
+  let addr =
+    match torn_sectors drive with
+    | [ i ] -> Disk_address.of_index i
+    | l -> Alcotest.failf "expected one torn sector, found %d" (List.length l)
+  in
+  (* The torn part is detectably unreadable... *)
+  let buf = Array.make Sector.value_words Word.zero in
+  (match
+     Reliable.run ~policy:Reliable.salvage_policy drive addr
+       { Drive.op_none with value = Some Drive.Read }
+       ~value:buf ()
+   with
+  | Ok () -> Alcotest.fail "a torn value must not read back"
+  | Error _ -> ());
+  (* ...and a full rewrite of the part heals it, as production paths do. *)
+  (match
+     Reliable.run drive addr
+       { Drive.op_none with value = Some Drive.Write }
+       ~value:(Array.make Sector.value_words (Word.of_int 0x5A5A))
+       ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "healing rewrite failed: %a" Drive.pp_error e);
+  Alcotest.(check bool) "torn state cleared" false (Drive.is_torn drive addr);
+  match
+    Reliable.run ~policy:Reliable.salvage_policy drive addr
+      { Drive.op_none with value = Some Drive.Read }
+      ~value:buf ()
+  with
+  | Ok () -> Alcotest.(check int) "fresh words" 0x5A5A (Word.to_int buf.(0))
+  | Error e -> Alcotest.failf "healed sector unreadable: %a" Drive.pp_error e
+
+(* {2 The flight recorder's own seal} *)
+
+let test_damaged_flight_seal_reads_as_absent () =
+  let drive = Drive.create ~pack_id:6 small_geometry in
+  let fs = Fs.format drive in
+  Flight.enable ();
+  Flight.flush ~reason:"test" fs;
+  (match Flight.adopt fs with
+  | Some _ -> ()
+  | None -> Alcotest.fail "an intact seal must adopt");
+  let root =
+    match Directory.open_root fs with Ok r -> r | Error _ -> failwith "root"
+  in
+  let log =
+    match Directory.lookup root Flight.file_name with
+    | Ok (Some e) -> (
+        match File.open_leader fs e.Directory.entry_file with
+        | Ok f -> f
+        | Error _ -> failwith "open log")
+    | Ok None | Error _ -> failwith "no flight record file"
+  in
+  (* One byte garbled mid-payload: the checksum must reject the seal. *)
+  let len = File.byte_length log in
+  (match File.write_bytes log ~pos:(len - 10) "X" with
+  | Ok () -> ()
+  | Error _ -> failwith "garble");
+  (match Flight.adopt fs with
+  | None -> ()
+  | Some _ -> Alcotest.fail "a garbled seal must read as absent");
+  (* A truncated record — the torn tail a crash mid-seal leaves — must
+     fail the header's length check, not hand garbage to a consumer. *)
+  (match File.truncate log ~len:(len - 7) with
+  | Ok () -> ()
+  | Error _ -> failwith "truncate");
+  (match Flight.adopt fs with
+  | None -> ()
+  | Some _ -> Alcotest.fail "a truncated seal must read as absent");
+  Flight.disable ()
+
+(* {2 Boot meets an unmountable pack} *)
+
+let test_boot_scavenges_before_formatting () =
+  let drive, fs, _root, _files = build () in
+  (match Fs.flush fs with Ok () -> () | Error _ -> failwith "flush");
+  (* Garble the descriptor's leader label: the pack no longer mounts,
+     but every file is still on the platter — boot must reach for the
+     scavenger, not the formatter. *)
+  Fault.corrupt_part
+    (Random.State.make [| 7 |])
+    drive Fs.descriptor_leader_address Sector.Label;
+  (match Fs.mount drive with
+  | Ok _ -> Alcotest.fail "mount should fail on a garbled descriptor"
+  | Error _ -> ());
+  let sys = System.boot ~drive () in
+  let fs' = System.fs sys in
+  let root' =
+    match Directory.open_root fs' with Ok r -> r | Error _ -> failwith "root"
+  in
+  (match Directory.lookup root' "C00.dat" with
+  | Ok (Some e) -> (
+      match File.open_leader fs' e.Directory.entry_file with
+      | Ok f -> Alcotest.(check int) "C00.dat intact" 800 (File.byte_length f)
+      | Error err -> Alcotest.failf "C00.dat unopenable: %a" File.pp_error err)
+  | Ok None -> Alcotest.fail "C00.dat lost: boot formatted instead of scavenging"
+  | Error e -> Alcotest.failf "root entries: %a" Directory.pp_error e);
+  Flight.disable ()
+
+(* {2 The harness, in miniature} *)
+
+let test_harness_small_sweep () =
+  let t = Crash_harness.run ~points_per_workload:3 () in
+  List.iter print_endline t.Crash_harness.violation_log;
+  Alcotest.(check int) "no invariant violations" 0 t.Crash_harness.violations;
+  Alcotest.(check int) "45 trials" 45 t.Crash_harness.trials;
+  Alcotest.(check bool) "crash points fired" true (t.Crash_harness.crash_points > 0);
+  Alcotest.(check bool) "torn variants fired" true (t.Crash_harness.torn_points > 0)
+
 let () =
   Alcotest.run "alto crash consistency"
     [
@@ -233,5 +393,14 @@ let () =
           ("baseline without crash", `Quick, test_no_crash_baseline);
           ("mid world swap", `Quick, test_crash_during_world_swap);
           QCheck_alcotest.to_alcotest ~verbose:false prop_crash_anywhere;
+        ] );
+      ( "crash points and torn sectors",
+        [
+          ("a clean crash point tears nothing", `Quick, test_clean_crash_point_tears_nothing);
+          ("a cancelled crash point never fires", `Quick, test_cancelled_crash_point_never_fires);
+          ("a torn sector fails until rewritten", `Quick, test_torn_sector_fails_until_rewritten);
+          ("a damaged flight seal reads as absent", `Quick, test_damaged_flight_seal_reads_as_absent);
+          ("boot scavenges before formatting", `Quick, test_boot_scavenges_before_formatting);
+          ("the harness in miniature", `Quick, test_harness_small_sweep);
         ] );
     ]

@@ -552,9 +552,11 @@ let test_executive_scavenge_command () =
 let test_executive_trace_command () =
   let system = boot () in
   (* [scavenge] is guaranteed to leave events in the trace ring; [put]
-     exercises the disk counters too. *)
+     exercises the disk counters too. The window must be generous: the
+     patrol slice that runs between commands may refresh a link hint,
+     which stages a twin page and so adds a few disk events of its own. *)
   feed_commands system
-    [ "put T.txt traced"; "scavenge"; "trace 5"; "trace zero"; "quit" ];
+    [ "put T.txt traced"; "scavenge"; "trace 12"; "trace zero"; "quit" ];
   ignore (Executive.run system);
   let contains needle = contains_sub (screen system) needle in
   Alcotest.(check bool) "events shown with timestamps" true (contains "us ");
