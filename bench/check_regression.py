@@ -15,7 +15,7 @@ failing run shows the whole picture instead of the first casualty.
 Usage: check_regression.py BASELINE.json FRESH.json
 
 When a change legitimately moves a metric past its gate, regenerate the
-baseline (dune exec bench/main.exe -- e1 e4 e6 e14 e15 e16 e17 e18 e19 e20 e21 --json BENCH_PR9.json)
+baseline (dune exec bench/main.exe -- e1 e4 e6 e14 e15 e16 e17 e18 e19 e20 e21 e22 --json BENCH_PR10.json)
 and commit it alongside the change, with the movement called out in the
 PR description.
 """
@@ -93,6 +93,12 @@ EXACT = [
     # property of the build, so any drift means the workloads or the
     # crash countdown changed behind our back.
     "e21.crash_points",
+    # The tracer mints spans from deterministic sequence counters, so
+    # the whole run opens exactly the same spans every time — one span
+    # more or fewer means a request's causal path changed behind our
+    # back (a lost propagation, a double-billed duplicate, a trace
+    # minted where none was before).
+    "trace.spans",
 ]
 
 # Absolute ceilings, gated on the fresh value alone: E18 computes its
@@ -107,6 +113,14 @@ ABS_MAX = {
     # checker still sees a broken promise, or a committed file fails to
     # read back old-or-new, is a recovery bug — never headroom.
     "e21.invariant_violations": 0,
+    # E22's accounting identity: per-request disk attribution plus the
+    # untraced bucket must balance the drive's own motion counters.
+    # The implementation targets exactly 0%; 1% is the most drift any
+    # future rounding could justify.
+    "e22.attribution_drift_pct": 1,
+    # No workload in the smoke run times a client out, so an abandoned
+    # trace means a reply path quietly stopped closing conversations.
+    "server.traces_abandoned": 0,
 }
 
 
@@ -209,6 +223,7 @@ def main():
         ("server.naks", "admission control never refused a request"),
         ("repl.repairs", "the replica audit never repaired a slice"),
         ("e21.torn_points", "no torn-sector crash variant ever fired"),
+        ("trace.completed", "no request trace ever completed"),
     ]:
         if not counter(fm, name):
             failures.append(name)

@@ -6,6 +6,9 @@
      dune exec bench/main.exe -- micro        -- host-time micro-benchmarks only
      dune exec bench/main.exe -- --json F     -- additionally dump results and
                                                 the metric registry to F
+     dune exec bench/main.exe -- --trace F    -- additionally dump the run's
+                                                request traces as Chrome
+                                                trace_event JSON to F
 
    E1..E13 print simulated Alto time (the claims are about the paper's
    hardware); "micro" reports wall-clock cost of this implementation's
@@ -253,17 +256,36 @@ let write_json file selected =
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Json.to_channel oc doc);
       Printf.printf "\nwrote %s (%d metrics)\n" file (List.length (Obs.snapshot ()))
 
-let rec parse_args (selected, json) = function
-  | [] -> (List.rev selected, json)
-  | "--json" :: file :: rest -> parse_args (selected, Some file) rest
+(* The causal view of the run: every retained request trace as Chrome
+   trace_event JSON, loadable in about://tracing or Perfetto. Traces
+   are minted from deterministic counters against the simulated clock,
+   so a fixed selection produces this file byte-identically — CI diffs
+   it like any other artifact. *)
+let write_trace file =
+  let doc = Alto_obs.Trace.chrome_json () in
+  match open_out file with
+  | exception Sys_error reason ->
+      Printf.eprintf "cannot write %s: %s\n" file reason;
+      exit 1
+  | oc ->
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Json.to_channel oc doc);
+      Printf.printf "wrote %s\n" file
+
+let rec parse_args (selected, json, trace) = function
+  | [] -> (List.rev selected, json, trace)
+  | "--json" :: file :: rest -> parse_args (selected, Some file, trace) rest
   | [ "--json" ] ->
       prerr_endline "--json requires a file name";
       exit 1
-  | name :: rest -> parse_args (name :: selected, json) rest
+  | "--trace" :: file :: rest -> parse_args (selected, json, Some file) rest
+  | [ "--trace" ] ->
+      prerr_endline "--trace requires a file name";
+      exit 1
+  | name :: rest -> parse_args (name :: selected, json, trace) rest
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let named, json_file = parse_args ([], None) args in
+  let named, json_file, trace_file = parse_args ([], None, None) args in
   let known = List.map fst Experiments.all in
   let selected = if named = [] then known @ [ "micro" ] else named in
   List.iter
@@ -285,4 +307,5 @@ let () =
             exit 1
           end)
     selected;
-  match json_file with None -> () | Some file -> write_json file selected
+  (match json_file with None -> () | Some file -> write_json file selected);
+  match trace_file with None -> () | Some file -> write_trace file

@@ -1,5 +1,6 @@
 module Sim_clock = Alto_machine.Sim_clock
 module Obs = Alto_obs.Obs
+module Trace = Alto_obs.Trace
 module Json = Alto_obs.Json
 
 let file_name = "FlightRecorder.log"
@@ -73,6 +74,10 @@ let render ~reason fs =
          ("reason", Json.String reason);
          ("metrics", Obs.metrics_json ());
          ("events", Json.List events);
+         (* The requests in flight (and the last few closed) at the
+            moment of sealing: a crash shows {e which conversations}
+            were cut short, not just which events preceded it. *)
+         ("requests", Trace.flight_json ());
        ])
 
 (* FNV-1a over the payload bytes, version-stable. *)

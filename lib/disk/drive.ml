@@ -2,6 +2,7 @@ module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
 module Obs = Alto_obs.Obs
 module Prof = Alto_obs.Prof
+module Trace = Alto_obs.Trace
 
 (* Process-wide metrics, aggregated across every drive; per-drive
    figures stay in [stats]. *)
@@ -236,7 +237,11 @@ let charge_motion t index =
         ]
       "disk.seek"
   end;
+  (* The request tracer keeps the same books as the span profiler:
+     identical amounts at identical sites, so the two accountings can
+     be balanced against each other and against [disk.*]. *)
   Prof.charge_seek seek_us;
+  Trace.charge_seek seek_us;
   t.current_cylinder <- cylinder;
   let rotation = t.geometry.Geometry.rotation_us in
   let sector_time = Geometry.sector_time_us t.geometry in
@@ -248,10 +253,12 @@ let charge_motion t index =
     { t.stats with rotational_wait_us = t.stats.rotational_wait_us + wait };
   Obs.add m_rotational_wait_us wait;
   Prof.charge_rotation wait;
+  Trace.charge_rotation wait;
   Sim_clock.advance_us t.clock sector_time;
   t.stats <- { t.stats with transfer_us = t.stats.transfer_us + sector_time };
   Obs.add m_transfer_us sector_time;
   Prof.charge_transfer sector_time;
+  Trace.charge_transfer sector_time;
   Obs.observe m_op_us (seek_us + wait + sector_time)
 
 (* Perform one part's action; [Error _] aborts the rest of the sector. *)
@@ -618,6 +625,7 @@ let restore t =
     Obs.observe m_seek_distance t.current_cylinder
   end;
   Prof.charge_seek seek_us;
+  Trace.charge_seek seek_us;
   t.current_cylinder <- 0;
   Obs.incr m_restores;
   Obs.event ~clock:t.clock ~fields:[ ("pack", Obs.I t.pack_id) ] "disk.restore"

@@ -1,6 +1,7 @@
 module Word = Alto_machine.Word
 module Obs = Alto_obs.Obs
 module Prof = Alto_obs.Prof
+module Trace = Alto_obs.Trace
 
 (* Process-wide scheduler metrics; per-batch figures are visible to
    callers through [Drive.stats] deltas. *)
@@ -9,6 +10,7 @@ let m_requests = Obs.counter "disk.sched.requests"
 let m_cylinder_runs = Obs.counter "disk.sched.cylinder_runs"
 let m_sweeps = Obs.counter "disk.sched.sweeps"
 let m_merged = Obs.counter "disk.sched.merged_batches"
+let m_prorated = Obs.counter "disk.sched.prorated_seek_us"
 
 type request = {
   addr : Disk_address.t;
@@ -66,6 +68,7 @@ type waiter = {
   w_policy : Reliable.policy option;
   w_index : int;  (* position within the submitting batch *)
   w_notify : int -> outcome -> unit;
+  w_ctx : Trace.context option;  (* the request this sector is for *)
 }
 
 type t = {
@@ -79,11 +82,17 @@ let create drive = { drive; pending = []; next_seq = 0; next_batch = 0 }
 let drive t = t.drive
 let queued t = List.length t.pending
 
-let submit_batch ?policy t requests ~on_done =
+let submit_batch ?policy ?ctx t requests ~on_done =
   let n = Array.length requests in
   if n > 0 then begin
     Obs.incr m_batches;
     Obs.add m_requests n;
+    (* A batch submitted without an explicit context inherits whichever
+       request the machine is working for right now — so the synchronous
+       callers (File's auto-batch inside a conversation's step, the Bio
+       fills it triggers) bill the conversation without knowing about
+       tracing at all. *)
+    let ctx = match ctx with Some _ as c -> c | None -> Trace.current () in
     let batch = t.next_batch in
     t.next_batch <- batch + 1;
     Array.iteri
@@ -98,6 +107,7 @@ let submit_batch ?policy t requests ~on_done =
             w_policy = policy;
             w_index = i;
             w_notify = on_done;
+            w_ctx = ctx;
           }
           :: t.pending)
       requests
@@ -130,12 +140,17 @@ let sweep t =
           in
           let serve i =
             let w = waiters.(i) in
-            let r = w.w_req in
-            let result, retries =
-              Reliable.run_counted ?policy:w.w_policy t.drive r.addr r.op
-                ?header:r.header ?label:r.label ?value:r.value ()
-            in
-            w.w_notify w.w_index { result; retries }
+            (* The first serve after a park closes that trace's wait
+               window; the drive's motion charges for this sector then
+               flow to the trace the request belongs to. *)
+            (match w.w_ctx with Some c -> Trace.served c | None -> ());
+            Trace.with_current w.w_ctx (fun () ->
+                let r = w.w_req in
+                let result, retries =
+                  Reliable.run_counted ?policy:w.w_policy t.drive r.addr r.op
+                    ?header:r.header ?label:r.label ?value:r.value ()
+                in
+                w.w_notify w.w_index { result; retries })
           in
           (* Execute one cylinder run at a time. Just before committing
              to each cylinder we know exactly where the surface will be
@@ -161,6 +176,20 @@ let sweep t =
               Disk_address.chs geometry waiters.(first).w_req.addr
             in
             let catch = Drive.catch_slot t.drive ~cylinder in
+            (* The run's entry seek is shared motion: the heads travel
+               here once for every request on this cylinder. The drive
+               will charge the whole move to whichever request is served
+               first, so predict it with the drive's own arithmetic and
+               pro-rate it evenly across the run after serving — per
+               request ⌊S/k⌋, the remainder to the earliest-served — so
+               per-request totals still sum exactly to the drive's
+               counters. Seeks a retry ladder adds mid-run (restore and
+               return) stay on the request that needed them. *)
+            let entry_seek =
+              Geometry.seek_time_us geometry
+                ~from_cylinder:(Drive.current_cylinder t.drive)
+                ~to_cylinder:cylinder
+            in
             let slice = Array.sub order !pos (!stop - !pos) in
             Array.sort
               (fun (_, h1, s1, q1, _) (_, h2, s2, q2, _) ->
@@ -169,6 +198,22 @@ let sweep t =
                   (h2, (s2 - catch + spt) mod spt, q2))
               slice;
             Array.iter (fun (_, _, _, _, i) -> serve i) slice;
+            let k = Array.length slice in
+            if entry_seek > 0 && k > 1 then begin
+              let payer =
+                let _, _, _, _, i = slice.(0) in
+                waiters.(i).w_ctx
+              in
+              let share = entry_seek / k and rem = entry_seek mod k in
+              Array.iteri
+                (fun j (_, _, _, _, i) ->
+                  if j > 0 then begin
+                    let amount = share + if j < rem then 1 else 0 in
+                    Trace.rebill_seek ~from_:payer ~to_:waiters.(i).w_ctx amount;
+                    Obs.add m_prorated amount
+                  end)
+                slice
+            end;
             pos := !stop
           done);
       n

@@ -29,6 +29,7 @@
     path. *)
 
 module Word = Alto_machine.Word
+module Trace = Alto_obs.Trace
 
 type request
 
@@ -60,6 +61,7 @@ val drive : t -> Drive.t
 
 val submit_batch :
   ?policy:Reliable.policy ->
+  ?ctx:Trace.context ->
   t ->
   request array ->
   on_done:(int -> outcome -> unit) ->
@@ -67,7 +69,16 @@ val submit_batch :
 (** Enqueue a batch. Nothing touches the disk until a {!sweep};
     [on_done i outcome] fires during some later sweep, once per request,
     with [i] the request's index {e within this batch}. An empty batch
-    is a no-op. *)
+    is a no-op.
+
+    [ctx] is the request trace this batch's disk time belongs to;
+    omitted, the batch inherits {!Trace.current} at submission — so
+    synchronous callers running inside a traced conversation bill it
+    without knowing about tracing. Each waiter is served under its
+    context, and each cylinder run's shared entry seek is pro-rated
+    evenly across the run's requests (⌊S/k⌋ each, remainder to the
+    earliest-served; counted in [disk.sched.prorated_seek_us]), so
+    per-request totals sum exactly to the drive's motion counters. *)
 
 val queued : t -> int
 (** Requests submitted and not yet swept. *)

@@ -1,6 +1,7 @@
 module Word = Alto_machine.Word
 module Sim_clock = Alto_machine.Sim_clock
 module Obs = Alto_obs.Obs
+module Trace = Alto_obs.Trace
 
 let m_dropped = Obs.counter "net.dropped"
 let m_duped = Obs.counter "net.duped"
@@ -30,7 +31,11 @@ type faults = {
   f_delay_us : int;
 }
 
-type packet = { src : string; payload : Word.t array }
+(* [trace] is the sending request's context, stamped automatically by
+   [send] — the envelope field every protocol above inherits without
+   changing its payload format. (0, 0) is "no context". A fault's
+   duplicate carries the same pair, like a real retransmitted frame. *)
+type packet = { src : string; payload : Word.t array; trace : int * int }
 
 type station = {
   name : string;
@@ -98,6 +103,7 @@ let attach net ~name =
   station
 
 let station_name s = s.name
+let station_clock s = s.net.clock
 
 let now net = match net.clock with Some c -> Sim_clock.now_us c | None -> 0
 
@@ -136,7 +142,7 @@ let send s ~to_ payload =
         (match net.clock with
         | Some clock -> Sim_clock.advance_us clock net.latency_us
         | None -> ());
-        let pkt = { src = s.name; payload = Array.copy payload } in
+        let pkt = { src = s.name; payload = Array.copy payload; trace = Trace.wire () } in
         (match net.faults with
         | None -> Queue.push pkt dst.queue
         | Some f ->
@@ -201,12 +207,14 @@ let send_file s ~to_ ~name data =
   in
   send s ~to_ [| Word.of_int kind_trailer |]
 
-let receive_file s =
+let receive_file_traced s =
   promote s;
-  (* Peek: only consume if a complete file heads the queue. *)
+  (* Peek: only consume if a complete file heads the queue. The header
+     packet's envelope context speaks for the whole transfer. *)
   let items = List.of_seq (Queue.to_seq s.queue) in
   let parse = function
-    | { payload; _ } :: rest when Array.length payload >= 2 && Word.to_int payload.(0) = kind_header ->
+    | { payload; trace; _ } :: rest
+      when Array.length payload >= 2 && Word.to_int payload.(0) = kind_header ->
         let name_len = Word.to_int payload.(1) in
         let name =
           Word.string_of_words (Array.sub payload 2 (Array.length payload - 2)) ~len:name_len
@@ -221,7 +229,7 @@ let receive_file s =
               data (consumed + 1) rest
           | { payload; _ } :: _
             when Array.length payload >= 1 && Word.to_int payload.(0) = kind_trailer ->
-              Some (name, Buffer.contents buffer, consumed + 2)
+              Some (name, Buffer.contents buffer, consumed + 2, trace)
           | _ -> None
         in
         data 0 rest
@@ -229,8 +237,13 @@ let receive_file s =
   in
   match parse items with
   | None -> None
-  | Some (name, contents, packets) ->
+  | Some (name, contents, packets, trace) ->
       for _ = 1 to packets do
         ignore (Queue.pop s.queue)
       done;
-      Some (name, contents)
+      Some (name, contents, trace)
+
+let receive_file s =
+  match receive_file_traced s with
+  | None -> None
+  | Some (name, contents, _) -> Some (name, contents)

@@ -24,7 +24,12 @@ module Sim_clock = Alto_machine.Sim_clock
 type t
 type station
 
-type packet = { src : string; payload : Word.t array }
+type packet = { src : string; payload : Word.t array; trace : int * int }
+(** [trace] is the sending request's {!Alto_obs.Trace} context as an id
+    pair ([(0, 0)] = none), stamped automatically by {!send} from the
+    current context — propagation every protocol above inherits without
+    touching its payload format. A duplicated or delayed packet carries
+    the same pair. *)
 
 type error = Unknown_station of string | Payload_too_long
 
@@ -65,6 +70,10 @@ val attach : t -> name:string -> station
 
 val station_name : station -> string
 
+val station_clock : station -> Sim_clock.t option
+(** The network's simulated clock, when it has one — what a client
+    mints request traces against. *)
+
 val send : station -> to_:string -> Word.t array -> (unit, error) result
 val receive : station -> packet option
 val pending : station -> int
@@ -82,3 +91,7 @@ val receive_file : station -> (string * string) option
     arrived; non-file packets ahead of it are delivered by {!receive}
     first (mixing conventions on one station is the caller's problem,
     as the paper would cheerfully note). *)
+
+val receive_file_traced : station -> (string * string * (int * int)) option
+(** Like {!receive_file}, also returning the header packet's envelope
+    trace context — how a file reply finds the request it answers. *)

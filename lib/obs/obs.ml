@@ -251,6 +251,13 @@ let find name =
   | Some (R_counter c) -> Some (Counter c.c_value)
   | Some (R_histogram h) -> Some (Histogram (summary h))
 
+(* Layers above this one (the request tracer) keep global state keyed to
+   the registry's lifetime but cannot be called from here without a
+   dependency cycle; they register a hook instead. Hooks run after the
+   registry is zeroed, so a hook may re-register metrics. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let on_reset f = reset_hooks := f :: !reset_hooks
+
 let reset () =
   Hashtbl.iter
     (fun _ r ->
@@ -265,7 +272,8 @@ let reset () =
     registry;
   clear_trace ();
   tr.next_seq <- 0;
-  Prof.reset ()
+  Prof.reset ();
+  List.iter (fun f -> f ()) !reset_hooks
 
 let summary_json s =
   Json.Obj

@@ -137,7 +137,14 @@ val reset : unit -> unit
     the trace, reset the event sequence to 0 and reset the {!Prof} span
     tree. Registrations and sinks survive: a sink added before [reset]
     keeps firing on events recorded after it, and is only ever removed
-    by {!remove_sink} or by raising. *)
+    by {!remove_sink} or by raising. Finally runs every {!on_reset}
+    hook. *)
+
+val on_reset : (unit -> unit) -> unit
+(** Register a hook run at the end of every {!reset}. Layers above this
+    one (the request tracer) keep state tied to the registry's lifetime
+    but cannot be reset from here without a dependency cycle; the hook
+    is how they ride along. Hooks are permanent, like registrations. *)
 
 val metrics_json : unit -> Json.t
 (** The snapshot as one JSON object keyed by metric name:

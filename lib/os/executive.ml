@@ -445,6 +445,38 @@ let cmd_top system n =
       hists
   end
 
+(* The machine's conversations, not its operations: every request trace
+   still open plus the last few closed, each with its queue wait, its
+   service time and where the service went on the platter. This is the
+   causal view the event trace and the profile tree can't give — a
+   request's whole life across admission, parking and sweeps. *)
+let cmd_requests system n =
+  let module Trace = Alto_obs.Trace in
+  let infos = Trace.infos () in
+  let open_, closed = List.partition (fun i -> i.Trace.status = "open") infos in
+  let drop = List.length closed - n in
+  let closed = List.filteri (fun i _ -> i >= drop) closed in
+  if open_ = [] && closed = [] then say system "requests: none recorded"
+  else begin
+    let line (i : Trace.info) =
+      say system
+        "#%-4d %-10s %-24s %-9s wait %8dus service %8dus  disk seek %d rot %d xfer %d"
+        i.Trace.id i.Trace.origin i.Trace.name i.Trace.status i.Trace.wait_us
+        i.Trace.service_us i.Trace.seek_us i.Trace.rotation_us i.Trace.transfer_us;
+      List.iter
+        (fun (m, ts) -> say system "      %8dus %s" ts m)
+        i.Trace.marks
+    in
+    if open_ <> [] then begin
+      say system "open (%d):" (List.length open_);
+      List.iter line open_
+    end;
+    if closed <> [] then begin
+      say system "recently closed (last %d):" (List.length closed);
+      List.iter line closed
+    end
+  end
+
 (* Dump the flight record adopted at boot: what the previous incarnation
    sealed on its way down. *)
 let cmd_blackbox system =
@@ -606,6 +638,17 @@ let execute system line =
           `Continue
       | Some _ | None ->
           say system "top: expected a positive histogram count";
+          `Continue)
+  | [ "requests" ] ->
+      cmd_requests system 10;
+      `Continue
+  | [ "requests"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+          cmd_requests system n;
+          `Continue
+      | Some _ | None ->
+          say system "requests: expected a positive trace count";
           `Continue)
   | [ "blackbox" ] ->
       cmd_blackbox system;

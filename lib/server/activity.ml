@@ -1,6 +1,7 @@
 module Sim_clock = Alto_machine.Sim_clock
 module Sched = Alto_disk.Sched
 module Obs = Alto_obs.Obs
+module Trace = Alto_obs.Trace
 
 let m_spawned = Obs.counter "server.activities.spawned"
 let m_steps = Obs.counter "server.activities.steps"
@@ -14,7 +15,14 @@ type step =
     }
   | Finished
 
-type activity = { act_id : int; act_name : string }
+type activity = {
+  act_id : int;
+  act_name : string;
+  (* The request trace this conversation works for. Saved and restored
+     around every step, so switching activities switches the current
+     context the way a context switch swaps machine registers. *)
+  mutable act_ctx : Trace.context option;
+}
 
 type t = {
   clock : Sim_clock.t;
@@ -47,10 +55,11 @@ let max_active t = t.max_active
 let disk_queue t = t.queue
 let idle t = t.live = 0
 
-let spawn t ~name body =
+let spawn ?ctx t ~name body =
   if t.live >= t.max_active then false
   else begin
-    let act = { act_id = t.next_id; act_name = name } in
+    let ctx = match ctx with Some _ as c -> c | None -> Trace.current () in
+    let act = { act_id = t.next_id; act_name = name; act_ctx = ctx } in
     t.next_id <- t.next_id + 1;
     t.live <- t.live + 1;
     Obs.incr m_spawned;
@@ -69,9 +78,10 @@ let park t act requests resume =
   if n = 0 then Queue.push (act, fun () -> resume [||]) t.runnable
   else begin
     t.blocked <- t.blocked + 1;
+    (match act.act_ctx with Some c -> Trace.parked c | None -> ());
     let outcomes = Array.make n { Sched.result = Ok (); retries = 0 } in
     let remaining = ref n in
-    Sched.submit_batch t.queue requests ~on_done:(fun i outcome ->
+    Sched.submit_batch ?ctx:act.act_ctx t.queue requests ~on_done:(fun i outcome ->
         outcomes.(i) <- outcome;
         decr remaining;
         if !remaining = 0 then begin
@@ -91,7 +101,20 @@ let round t =
     | Some (act, run) -> (
         Obs.incr m_steps;
         Sim_clock.advance_us t.clock t.step_us;
-        match run () with
+        let prior = Trace.current () in
+        Trace.set_current act.act_ctx;
+        let next =
+          match run () with
+          | next -> next
+          | exception exn ->
+              Trace.set_current prior;
+              raise exn
+        in
+        (* The body may have moved within (or out of) its trace; the
+           activity keeps whatever was current when it switched away. *)
+        act.act_ctx <- Trace.current ();
+        Trace.set_current prior;
+        match next with
         | Yield k -> Queue.push (act, k) t.runnable
         | Await_disk { requests; resume } -> park t act requests resume
         | Finished -> t.live <- t.live - 1)

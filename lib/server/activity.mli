@@ -20,6 +20,7 @@
 
 module Sim_clock = Alto_machine.Sim_clock
 module Sched = Alto_disk.Sched
+module Trace = Alto_obs.Trace
 
 type step =
   | Yield of (unit -> step)
@@ -40,9 +41,13 @@ val create : ?step_us:int -> ?max_active:int -> queue:Sched.t -> Sim_clock.t -> 
     activity step; [max_active] (default 16) bounds the table. Raises
     [Invalid_argument] on a non-positive bound or negative step cost. *)
 
-val spawn : t -> name:string -> (unit -> step) -> bool
+val spawn : ?ctx:Trace.context -> t -> name:string -> (unit -> step) -> bool
 (** Enter a new activity, [false] when the table is full. [name] labels
-    the [server.activity.spawn] trace event. *)
+    the [server.activity.spawn] trace event. [ctx] is the request trace
+    the activity works for (default: {!Trace.current} at spawn); the
+    scheduler installs it as the current context around every step —
+    saved and restored at each [Yield]/[Await_disk] switch like machine
+    registers — and its disk batches park and bill against it. *)
 
 val round : t -> int
 (** One scheduling round: each activity runnable at the start of the

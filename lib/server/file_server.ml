@@ -7,6 +7,7 @@ module Directory = Alto_fs.Directory
 module Sched = Alto_disk.Sched
 module Obs = Alto_obs.Obs
 module Prof = Alto_obs.Prof
+module Trace = Alto_obs.Trace
 
 (* Request opcodes (packet word 0). *)
 let op_get = 10
@@ -23,6 +24,7 @@ let listing_name = ";listing"
 (* Process-wide server metrics — the counters the CI gate watches. *)
 let m_reqs = Obs.counter "server.reqs"
 let m_client_timeouts = Obs.counter "server.client_timeouts"
+let m_traces_abandoned = Obs.counter "server.traces_abandoned"
 let m_naks = Obs.counter "server.naks"
 let m_errors = Obs.counter "server.errors"
 let m_send_errors = Obs.counter "server.send_errors"
@@ -273,39 +275,48 @@ let list_body t ~src ~t0 () =
 let admit_one t =
   match Net.receive t.station with
   | None -> false
-  | Some { Net.src; payload } ->
+  | Some { Net.src; payload; trace } ->
       let t0 = Sim_clock.now_us t.clock in
-      (if Array.length payload = 0 then send_error t ~to_:src "empty request"
-       else
-         let op = Word.to_int payload.(0) in
-         if op = op_get then
-           match packet_string payload ~at:1 with
-           | Some name ->
-               if
-                 not
-                   (Activity.spawn t.acts ~name:("get " ^ name)
-                      (get_body t ~src ~t0 name))
-               then send_nak t ~to_:src
-           | None -> send_error t ~to_:src "malformed GET"
-         else if op = op_put then
-           match packet_string payload ~at:1 with
-           | Some name -> (
-               match Net.receive_file t.station with
-               | None -> send_error t ~to_:src "PUT without a following file transfer"
-               | Some (sent_name, contents) ->
-                   if not (String.equal sent_name name) then
-                     send_error t ~to_:src "PUT name does not match the transferred file"
-                   else if
-                     not
-                       (Activity.spawn t.acts ~name:("put " ^ name)
-                          (put_body t ~src ~t0 name contents))
-                   then send_nak t ~to_:src)
-           | None -> send_error t ~to_:src "malformed PUT"
-         else if op = op_list then begin
-           if not (Activity.spawn t.acts ~name:"list" (list_body t ~src ~t0)) then
-             send_nak t ~to_:src
-         end
-         else send_error t ~to_:src (Printf.sprintf "unknown request %d" op));
+      let ctx = Trace.of_wire trace in
+      let admitted () = match ctx with Some c -> Trace.mark c "admitted" | None -> () in
+      (* The whole admission runs under the request's context: the
+         spawned activity inherits it (and carries it through every
+         switch), and every reply — ACK, NAK, error, the file transfer
+         itself — goes out with the context in its envelope, which is
+         how the client finds the trace its reply answers. *)
+      Trace.with_current ctx (fun () ->
+          if Array.length payload = 0 then send_error t ~to_:src "empty request"
+          else
+            let op = Word.to_int payload.(0) in
+            if op = op_get then
+              match packet_string payload ~at:1 with
+              | Some name ->
+                  if
+                    Activity.spawn t.acts ~name:("get " ^ name)
+                      (get_body t ~src ~t0 name)
+                  then admitted ()
+                  else send_nak t ~to_:src
+              | None -> send_error t ~to_:src "malformed GET"
+            else if op = op_put then
+              match packet_string payload ~at:1 with
+              | Some name -> (
+                  match Net.receive_file t.station with
+                  | None -> send_error t ~to_:src "PUT without a following file transfer"
+                  | Some (sent_name, contents) ->
+                      if not (String.equal sent_name name) then
+                        send_error t ~to_:src "PUT name does not match the transferred file"
+                      else if
+                        Activity.spawn t.acts ~name:("put " ^ name)
+                          (put_body t ~src ~t0 name contents)
+                      then admitted ()
+                      else send_nak t ~to_:src)
+              | None -> send_error t ~to_:src "malformed PUT"
+            else if op = op_list then begin
+              if Activity.spawn t.acts ~name:"list" (list_body t ~src ~t0) then
+                admitted ()
+              else send_nak t ~to_:src
+            end
+            else send_error t ~to_:src (Printf.sprintf "unknown request %d" op));
       true
 
 (* {2 Driving the server} *)
@@ -360,38 +371,85 @@ module Client = struct
 
   let net r = Result.map_error (fun e -> Net_error e) r
 
+  (* Each send mints the request's trace (when the wire has a clock to
+     mint against) and runs under it, so the request packets carry the
+     context to the server in their envelopes. A send the network
+     refuses closes the trace on the spot — nobody will ever reply to
+     it. *)
+  let traced_send station ~op f =
+    let ctx =
+      match Net.station_clock station with
+      | Some clock ->
+          Some (Trace.start ~clock ~origin:(Net.station_name station) ~name:op)
+      | None -> None
+    in
+    match Trace.with_current ctx f with
+    | Ok () as ok -> ok
+    | Error _ as err ->
+        (match ctx with Some c -> Trace.finish c ~status:"error" | None -> ());
+        err
+
   let send_get station ~server ~name =
-    net (Net.send station ~to_:server (string_packet op_get name))
+    traced_send station ~op:("get " ^ name) (fun () ->
+        net (Net.send station ~to_:server (string_packet op_get name)))
 
   let send_put station ~server ~name contents =
-    let ( let* ) = Result.bind in
-    let* () = net (Net.send station ~to_:server (string_packet op_put name)) in
-    net (Net.send_file station ~to_:server ~name contents)
+    traced_send station ~op:("put " ^ name) (fun () ->
+        let ( let* ) = Result.bind in
+        let* () = net (Net.send station ~to_:server (string_packet op_put name)) in
+        net (Net.send_file station ~to_:server ~name contents))
 
   let send_list station ~server =
-    net (Net.send station ~to_:server [| Word.of_int op_list |])
+    traced_send station ~op:"list" (fun () ->
+        net (Net.send station ~to_:server [| Word.of_int op_list |]))
 
   (* A reply is either a file transfer or a single status packet; [None]
      until one has fully arrived. Status packets and file framing use
      disjoint opcode spaces, so peeking is unambiguous. *)
+  (* The reply's envelope context names the trace it answers, so the
+     close lands on the right request no matter how late or duplicated
+     the reply is — [Trace.finish] on an already-closed trace is a
+     no-op, which is exactly the don't-double-count semantics a lying
+     wire needs. *)
+  let close_trace trace ~status =
+    match Trace.of_wire trace with
+    | Some c -> Trace.finish c ~status
+    | None -> ()
+
   let poll_reply station =
-    match Net.receive_file station with
-    | Some (name, contents) -> Some (Ok (File (name, contents)))
+    match Net.receive_file_traced station with
+    | Some (name, contents, trace) ->
+        close_trace trace ~status:"replied";
+        Some (Ok (File (name, contents)))
     | None -> (
         match Net.receive station with
         | None -> None
-        | Some { Net.payload; _ } ->
+        | Some { Net.payload; trace; _ } ->
             Some
-              (if Array.length payload = 0 then Error (Protocol "empty reply")
+              (if Array.length payload = 0 then begin
+                 close_trace trace ~status:"error";
+                 Error (Protocol "empty reply")
+               end
                else
                  let op = Word.to_int payload.(0) in
-                 if op = op_ack then Ok Ack
-                 else if op = op_nak then Error Busy
-                 else if op = op_error then
+                 if op = op_ack then begin
+                   close_trace trace ~status:"replied";
+                   Ok Ack
+                 end
+                 else if op = op_nak then begin
+                   close_trace trace ~status:"nak";
+                   Error Busy
+                 end
+                 else if op = op_error then begin
+                   close_trace trace ~status:"error";
                    match packet_string payload ~at:1 with
                    | Some msg -> Error (Remote msg)
                    | None -> Error (Protocol "malformed error packet")
-                 else Error (Protocol (Printf.sprintf "unexpected reply %d" op))))
+                 end
+                 else begin
+                   close_trace trace ~status:"error";
+                   Error (Protocol (Printf.sprintf "unexpected reply %d" op))
+                 end))
 
   let default_max_polls = 1_000
 
@@ -406,6 +464,14 @@ module Client = struct
       | None ->
           if n <= 0 then begin
             Obs.incr m_client_timeouts;
+            (* The conversation is over even though no reply named the
+               trace: close this station's open request so an abandoned
+               conversation cannot leak an open context. *)
+            (match Trace.find_active ~origin:(Net.station_name station) with
+            | Some c ->
+                Obs.incr m_traces_abandoned;
+                Trace.finish c ~status:"abandoned"
+            | None -> ());
             Error Timeout
           end
           else begin

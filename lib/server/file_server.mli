@@ -76,7 +76,9 @@ module Client : sig
     | Busy  (** The server NAKed: its activity table was full. *)
     | Timeout
         (** The bounded poll ran dry: no reply after [max_polls] pumps.
-            Counted in [server.client_timeouts]. *)
+            Counted in [server.client_timeouts]; the station's open
+            request trace is closed as abandoned (counted in
+            [server.traces_abandoned]) rather than leaked. *)
     | Protocol of string
     | Net_error of Net.error
 

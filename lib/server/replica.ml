@@ -7,6 +7,7 @@ module Sector = Alto_disk.Sector
 module Drive = Alto_disk.Drive
 module Obs = Alto_obs.Obs
 module Prof = Alto_obs.Prof
+module Trace = Alto_obs.Trace
 
 (* Packet opcodes (word 0). Disjoint from the file-server request/reply
    space (10..12, 20..22) and the file-transfer framing (1..3), so a
@@ -109,6 +110,10 @@ type node = {
   mutable ties : int;
   mutable last_vote : string;
   mutable needs_remount : bool;
+  (* The request trace of the audit slice in flight: minted when the
+     digests go out, finished when the cursor advances past the slice —
+     however many resends, votes and repair rounds that took. *)
+  mutable audit_ctx : Trace.context option;
 }
 
 and fleet = {
@@ -150,6 +155,7 @@ let join fleet ~name ?(on_new_fs = fun _ -> ()) fs =
       ties = 0;
       last_vote = "never voted";
       needs_remount = false;
+      audit_ctx = None;
     }
   in
   fleet.nodes <- fleet.nodes @ [ node ];
@@ -183,24 +189,40 @@ let send t ~to_ payload =
    disk work is real — a digest request reads a whole slice — which is
    exactly the audit's cost model. *)
 
-let serve_digest t ~src p =
-  let seq = seq_of p 1 and start = Word.to_int p.(3) and k = Word.to_int p.(4) in
-  let n = Drive.sector_count (Fs.drive t.fs) in
-  if k >= 1 && k <= 32 && start < n then begin
-    let d =
-      Obs.time t.fleet.clock "repl.digest_us" (fun () ->
-          Audit.digest t.fs ~start ~k)
-    in
-    send t ~to_:src
-      (Array.concat
-         [ [| word16 op_digest_resp |]; seq_words seq;
-           [| word16 start; word16 k |]; digest_words d ])
-  end
+(* The requester's context arrives in the packet envelope; responder
+   work joins the audit's trace as a child span. The dedup key is the
+   logical request — kind, sequence number, responder — so the first
+   arrival bills the trace, while a duplicated or already-served resent
+   copy does its (identical) work untraced: the wire can lie all it
+   wants without double-billing anyone. *)
+let with_remote t ~wire ~kind ~seq f =
+  match Trace.of_wire wire with
+  | Some ctx ->
+      Trace.remote ctx
+        ~key:(Printf.sprintf "%s:%d:%s" kind seq t.name)
+        ~name:(Printf.sprintf "%s@%s" kind t.name)
+        f
+  | None -> f ()
 
-let serve_pages t ~src p =
+let serve_digest t ~src ~wire p =
   let seq = seq_of p 1 and start = Word.to_int p.(3) and k = Word.to_int p.(4) in
   let n = Drive.sector_count (Fs.drive t.fs) in
-  if k >= 1 && k <= 32 && start < n then begin
+  if k >= 1 && k <= 32 && start < n then
+    with_remote t ~wire ~kind:"repl.digest" ~seq (fun () ->
+        let d =
+          Obs.time t.fleet.clock "repl.digest_us" (fun () ->
+              Audit.digest t.fs ~start ~k)
+        in
+        send t ~to_:src
+          (Array.concat
+             [ [| word16 op_digest_resp |]; seq_words seq;
+               [| word16 start; word16 k |]; digest_words d ]))
+
+let serve_pages t ~src ~wire p =
+  let seq = seq_of p 1 and start = Word.to_int p.(3) and k = Word.to_int p.(4) in
+  let n = Drive.sector_count (Fs.drive t.fs) in
+  if k >= 1 && k <= 32 && start < n then
+    with_remote t ~wire ~kind:"repl.pages" ~seq (fun () ->
     let slice = Audit.read_slice t.fs ~start ~k in
     let mask = ref 0 in
     for j = 0 to k - 1 do
@@ -226,24 +248,28 @@ let serve_pages t ~src p =
       (Array.concat
          [ [| word16 op_pages_done |]; seq_words seq;
            [| word16 start; word16 k;
-              word16 !mask; word16 (!mask lsr 16) |] ])
-  end
+              word16 !mask; word16 (!mask lsr 16) |] ]))
 
 (* {2 The requester side} *)
 
+(* Both request kinds — first sends and timeout resends alike — go out
+   under the audit's context, so their envelopes carry it to the
+   responders. *)
 let send_digest_reqs t ad targets =
-  let p =
-    Array.concat
-      [ [| word16 op_digest_req |]; seq_words ad.ad_seq;
-        [| word16 ad.ad_start; word16 ad.ad_k |] ]
-  in
-  List.iter (fun peer -> send t ~to_:peer.name p) targets
+  Trace.with_current t.audit_ctx (fun () ->
+      let p =
+        Array.concat
+          [ [| word16 op_digest_req |]; seq_words ad.ad_seq;
+            [| word16 ad.ad_start; word16 ad.ad_k |] ]
+      in
+      List.iter (fun peer -> send t ~to_:peer.name p) targets)
 
 let send_pages_req t ap =
-  send t ~to_:ap.ap_from
-    (Array.concat
-       [ [| word16 op_pages_req |]; seq_words ap.ap_seq;
-         [| word16 ap.ap_start; word16 ap.ap_k |] ])
+  Trace.with_current t.audit_ctx (fun () ->
+      send t ~to_:ap.ap_from
+        (Array.concat
+           [ [| word16 op_pages_req |]; seq_words ap.ap_seq;
+             [| word16 ap.ap_start; word16 ap.ap_k |] ]))
 
 let remount t =
   match Fs.mount (Fs.drive t.fs) with
@@ -262,6 +288,8 @@ let remount t =
 
 let advance t k =
   let n = Drive.sector_count (Fs.drive t.fs) in
+  (match t.audit_ctx with Some c -> Trace.finish c ~status:"done" | None -> ());
+  t.audit_ctx <- None;
   t.cursor <- t.cursor + k;
   t.phase <- Idle;
   if t.cursor >= n then begin
@@ -284,9 +312,15 @@ let start_audit t =
       t.last_vote <- "solo (no peers)";
       advance t k
   | ps ->
+      let ctx =
+        Trace.start ~clock:t.fleet.clock ~origin:t.name
+          ~name:(Printf.sprintf "audit %d+%d" t.cursor k)
+      in
+      t.audit_ctx <- Some ctx;
       let local =
-        Obs.time t.fleet.clock "repl.digest_us" (fun () ->
-            Audit.digest t.fs ~start:t.cursor ~k)
+        Trace.with_current (Some ctx) (fun () ->
+            Obs.time t.fleet.clock "repl.digest_us" (fun () ->
+                Audit.digest t.fs ~start:t.cursor ~k))
       in
       t.seq <- t.seq + 1;
       let ad =
@@ -320,9 +354,11 @@ let vote t ad =
     List.find_opt (fun (_, d) -> count d >= q) votes
     |> Option.map (fun (_, d) -> d)
   in
+  let mark m = match t.audit_ctx with Some c -> Trace.mark c m | None -> () in
   match winner with
   | Some d when Int64.equal d ad.ad_local ->
       Obs.incr m_agreements;
+      mark "agree";
       t.last_vote <-
         Printf.sprintf "agree %d/%d on slice %d+%d" (count d) total ad.ad_start
           ad.ad_k;
@@ -331,6 +367,7 @@ let vote t ad =
       (* The crowd outvoted us: stream the slice from the first peer
          that answered with the winning digest. *)
       Obs.incr m_divergent;
+      mark "divergent";
       let from =
         match List.find_opt (fun (_, d') -> Int64.equal d d') (List.rev ad.ad_votes) with
         | Some (peer, _) -> peer
@@ -362,6 +399,7 @@ let vote t ad =
       t.phase <- Await_pages ap
   | None ->
       Obs.incr m_inconclusive;
+      mark "no-quorum";
       t.ties <- t.ties + 1;
       t.last_vote <-
         Printf.sprintf "no quorum on slice %d+%d (%d voters)" ad.ad_start ad.ad_k
@@ -383,6 +421,7 @@ let apply_repair t ap =
   let mask = Option.get ap.ap_mask in
   let t0 = now t in
   let reserved_top = Audit.reserved_top t.fs in
+  Trace.with_current t.audit_ctx (fun () ->
   Prof.span t.fleet.clock "repl.apply" (fun () ->
       for j = 0 to ap.ap_k - 1 do
         let index = ap.ap_start + j in
@@ -405,19 +444,25 @@ let apply_repair t ap =
           t.pages_lost <- t.pages_lost + 1;
           Obs.incr m_repair_failures
         end
-      done);
+      done));
   (* Settle the argument: the repaired slice must now digest to the
      winning value, or the slice stays divergent for the next lap. *)
-  let d = Audit.digest t.fs ~start:ap.ap_start ~k:ap.ap_k in
+  let d =
+    Trace.with_current t.audit_ctx (fun () ->
+        Audit.digest t.fs ~start:ap.ap_start ~k:ap.ap_k)
+  in
+  let mark m = match t.audit_ctx with Some c -> Trace.mark c m | None -> () in
   if Int64.equal d ap.ap_want then begin
     t.slices_repaired <- t.slices_repaired + 1;
     Obs.incr m_repairs;
+    mark "repaired";
     Obs.observe h_repair_us (now t - t0);
     t.last_vote <-
       Printf.sprintf "repaired slice %d+%d from %s" ap.ap_start ap.ap_k ap.ap_from
   end
   else begin
     Obs.incr m_repair_failures;
+    mark "repair-failed";
     t.last_vote <-
       Printf.sprintf "repair of slice %d+%d from %s did not converge" ap.ap_start
         ap.ap_k ap.ap_from
@@ -444,6 +489,11 @@ let on_digest_resp t ~src p =
          && Word.to_int p.(4) = ad.ad_k
          && not (List.mem_assoc src ad.ad_votes) ->
       ad.ad_votes <- (src, digest_of p 5) :: ad.ad_votes;
+      (* One mark per accepted vote: a duplicated response falls to the
+         mem_assoc guard above, so the timeline cannot double-count. *)
+      (match t.audit_ctx with
+      | Some c -> Trace.mark c ("digest:" ^ src)
+      | None -> ());
       Obs.observe h_rtt_us (now t - ad.ad_sent_at)
   | _ -> () (* stale, duplicate, or foreign: ignored *)
 
@@ -477,12 +527,12 @@ let on_pages_done t p =
       ap.ap_mask <- Some (Word.to_int p.(5) lor (Word.to_int p.(6) lsl 16))
   | _ -> ()
 
-let handle t { Net.src; payload = p } =
+let handle t { Net.src; payload = p; trace = wire } =
   if Array.length p >= 1 then begin
     let op = Word.to_int p.(0) in
-    if op = op_digest_req && Array.length p >= 5 then serve_digest t ~src p
+    if op = op_digest_req && Array.length p >= 5 then serve_digest t ~src ~wire p
     else if op = op_digest_resp && Array.length p >= 9 then on_digest_resp t ~src p
-    else if op = op_pages_req && Array.length p >= 5 then serve_pages t ~src p
+    else if op = op_pages_req && Array.length p >= 5 then serve_pages t ~src ~wire p
     else if op = op_page && Array.length p >= 6 then on_page t p
     else if op = op_pages_done && Array.length p >= 7 then on_pages_done t p
     (* anything else: not ours, dropped on the floor *)
@@ -520,6 +570,9 @@ let check_pages_deadline t ap =
       (* The winner went quiet; the slice stays divergent and the next
          lap holds a fresh vote (possibly electing a different peer). *)
       Obs.incr m_repair_failures;
+      (match t.audit_ctx with
+      | Some c -> Trace.mark c "repair-timeout"
+      | None -> ());
       t.last_vote <-
         Printf.sprintf "repair of slice %d+%d from %s timed out" ap.ap_start
           ap.ap_k ap.ap_from;
@@ -594,6 +647,9 @@ let rejoin t =
   t.fs <- fs;
   t.on_new_fs fs;
   t.cursor <- 0;
+  (* Whatever audit was in flight died with the pack. *)
+  (match t.audit_ctx with Some c -> Trace.finish c ~status:"abandoned" | None -> ());
+  t.audit_ctx <- None;
   t.phase <- Idle;
   t.needs_remount <- false;
   Obs.incr m_rejoins;

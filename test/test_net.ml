@@ -177,6 +177,96 @@ let test_fault_determinism () =
   let r1 = run () and r2 = run () in
   Alcotest.(check bool) "identical replay" true (r1 = r2)
 
+(* {2 The trace envelope}
+
+   Every packet carries the sender's request-trace context; drops, dups
+   and delays may lose or repeat a packet but never re-stamp it — a
+   delayed reply must land in the span that asked for it. *)
+
+module Trace = Alto_obs.Trace
+module Obs = Alto_obs.Obs
+
+let test_trace_stamped () =
+  Obs.reset ();
+  let clock = Sim_clock.create () in
+  let net = Net.create ~clock () in
+  let a = Net.attach net ~name:"a" in
+  let b = Net.attach net ~name:"b" in
+  ignore (Net.send a ~to_:"b" (words "bare"));
+  (match Net.receive b with
+  | Some p -> Alcotest.(check bool) "no context, null pair" true (p.Net.trace = (0, 0))
+  | None -> Alcotest.fail "packet lost");
+  let ctx = Trace.start ~clock ~origin:"a" ~name:"op" in
+  Trace.with_current (Some ctx) (fun () -> ignore (Net.send a ~to_:"b" (words "traced")));
+  (match Net.receive b with
+  | Some p ->
+      Alcotest.(check bool) "stamped with the sender's context" true
+        (Trace.of_wire p.Net.trace = Some ctx)
+  | None -> Alcotest.fail "packet lost");
+  Alcotest.(check bool) "clock exposed for trace minting" true
+    (Net.station_clock a = Some clock)
+
+(* 100 packets, each sent under its own trace, through a net that drops,
+   duplicates and delays: every packet that arrives — early, late or
+   twice — still carries exactly the context it was sent under. *)
+let test_faults_never_restamp () =
+  Obs.reset ();
+  let clock = Sim_clock.create () in
+  let net = Net.create ~clock () in
+  let a = Net.attach net ~name:"a" in
+  let b = Net.attach net ~name:"b" in
+  Net.set_faults net ~drop:0.1 ~dup:0.15 ~delay:0.3 ~delay_us:20_000 ~seed:17 ();
+  let expected = Hashtbl.create 64 in
+  for i = 1 to 100 do
+    let ctx = Trace.start ~clock ~origin:"a" ~name:(Printf.sprintf "op %d" i) in
+    Hashtbl.replace expected i ctx;
+    Trace.with_current (Some ctx) (fun () ->
+        ignore (Net.send a ~to_:"b" [| Word.of_int i |]))
+  done;
+  let check_packet (p : Net.packet) =
+    let i = Word.to_int p.Net.payload.(0) in
+    match (Trace.of_wire p.Net.trace, Hashtbl.find_opt expected i) with
+    | Some got, Some want ->
+        Alcotest.(check bool)
+          (Printf.sprintf "packet %d kept its birth context" i)
+          true (got = want)
+    | _ -> Alcotest.failf "packet %d lost its trace envelope" i
+  in
+  let rec drain n =
+    match Net.receive b with
+    | Some p ->
+        check_packet p;
+        drain (n + 1)
+    | None -> n
+  in
+  let early = drain 0 in
+  (* Release the held packets: the late arrivals land in their original
+     spans too. *)
+  Sim_clock.advance_us clock 30_000;
+  let late = drain 0 in
+  Alcotest.(check bool) "some arrived late" true (late > 0);
+  let dropped, duped, _ = Net.fault_census net in
+  Alcotest.(check bool) "some duplicated" true (duped > 0);
+  Alcotest.(check int) "conservation with envelopes intact"
+    (100 - dropped + duped) (early + late)
+
+let test_file_transfer_traced () =
+  Obs.reset ();
+  let clock = Sim_clock.create () in
+  let net = Net.create ~clock () in
+  let a = Net.attach net ~name:"srv" in
+  let b = Net.attach net ~name:"cli" in
+  let ctx = Trace.start ~clock ~origin:"cli" ~name:"get R." in
+  Trace.with_current (Some ctx) (fun () ->
+      ignore (Net.send_file a ~to_:"cli" ~name:"R." "reply body"));
+  match Net.receive_file_traced b with
+  | Some (name, contents, wire) ->
+      Alcotest.(check string) "name" "R." name;
+      Alcotest.(check string) "contents" "reply body" contents;
+      Alcotest.(check bool) "the reply names the asking request" true
+        (Trace.of_wire wire = Some ctx)
+  | None -> Alcotest.fail "file not reassembled"
+
 let () =
   Alcotest.run "alto_net"
     [
@@ -201,5 +291,11 @@ let () =
           ("drop and dup counted", `Quick, test_drop_and_dup_counted);
           ("delay reorders", `Quick, test_delay_reorders);
           ("seeded determinism", `Quick, test_fault_determinism);
+        ] );
+      ( "trace envelope",
+        [
+          ("stamped from the current context", `Quick, test_trace_stamped);
+          ("faults never re-stamp", `Quick, test_faults_never_restamp);
+          ("file replies carry the asking trace", `Quick, test_file_transfer_traced);
         ] );
     ]

@@ -252,6 +252,55 @@ let test_determinism_under_faults () =
   let _, _, _, _, _, _, lost, _ = st.(2) in
   Alcotest.(check int) "zero lost under faults" 0 lost
 
+(* {2 Tracing over the replica wire: duplicates must not double-bill}
+
+   A dup-heavy net resends digest and page requests; each resend does
+   real disk work on the responder, but the asking audit's trace must
+   absorb each (kind, seq, responder) exactly once — extra copies run
+   unbilled, counted in [trace.remote_dups], and the global attribution
+   books still balance against the drive's motion counters. *)
+
+module Trace = Alto_obs.Trace
+
+let test_dups_billed_once () =
+  Obs.reset ();
+  let _, net, drives, fleet, nodes = mk_world () in
+  (* Duplication only: every packet that exists arrives, many twice, so
+     remote dedup is exercised without timeout noise. *)
+  Net.set_faults net ~dup:0.4 ~seed:23 ();
+  Drive.poke drives.(2) (addr 40) Sector.Value
+    (Array.make Sector.value_words (Word.of_int 0xBEEF));
+  run_to_laps fleet nodes ~laps:2;
+  let _, duped, _ = Net.fault_census net in
+  Alcotest.(check bool) "the wire duplicated requests" true (duped > 0);
+  Alcotest.(check bool) "duplicates ran unbilled" true
+    (counter "trace.remote_dups" > 0);
+  Alcotest.(check bool) "the divergence was still repaired" true
+    (Replica.slices_repaired nodes.(2) > 0);
+  check_images_equal "after dup-heavy repair" drives;
+  (* No audit heard the same peer's digest twice. *)
+  List.iter
+    (fun (i : Trace.info) ->
+      Array.iter
+        (fun peer ->
+          let key = "digest:" ^ peer in
+          let heard =
+            List.length (List.filter (fun (m, _) -> String.equal m key) i.Trace.marks)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "trace %d heard %s at most once" i.Trace.id peer)
+            true (heard <= 1))
+        node_names)
+    (Trace.infos ());
+  (* And the books balance to the microsecond: a double bill would push
+     attributed past what the drives actually moved. *)
+  let a_s, a_r, a_x = Trace.attributed () in
+  let u_s, u_r, u_x = Trace.untraced () in
+  Alcotest.(check int) "attribution balances the motion counters"
+    (counter "disk.seek_us" + counter "disk.rotational_wait_us"
+    + counter "disk.transfer_us")
+    (a_s + a_r + a_x + u_s + u_r + u_x)
+
 (* {2 The executive peers command and OS wiring} *)
 
 let test_peers_command () =
@@ -288,6 +337,7 @@ let () =
           ("2-vs-1 divergence repair", `Quick, test_divergence_repair);
           ("rejoin after pack loss", `Quick, test_rejoin_after_pack_loss);
           ("determinism under faults", `Quick, test_determinism_under_faults);
+          ("duplicates billed once", `Quick, test_dups_billed_once);
           ("peers command", `Quick, test_peers_command);
         ] );
     ]

@@ -334,6 +334,62 @@ let test_send_failures_counted () =
   in
   Alcotest.(check string) "subsequent service intact" (body 1 800) got
 
+(* {2 Timeout closes the request trace}
+
+   A client whose bounded poll runs dry must not leak an open trace: the
+   await path closes the station's active trace as abandoned and counts
+   it, so `requests` and the flight record show a finished conversation
+   with a verdict, not a zombie. *)
+
+module Trace = Alto_obs.Trace
+
+let test_timeout_abandons_trace () =
+  Alto_obs.Obs.reset ();
+  let fs, net, station = nak_setup () in
+  (* The server exists but is never pumped: the fetch can only time out. *)
+  let srv = File_server.create fs station in
+  let client = Net.attach net ~name:"patient" in
+  (match
+     File_server.Client.fetch ~max_polls:5 client ~server:"fs" ~name:"A.dat"
+       ~pump:(fun () -> ())
+   with
+  | Error File_server.Client.Timeout -> ()
+  | Ok _ -> Alcotest.fail "an unpumped server cannot have answered"
+  | Error e -> Alcotest.failf "expected Timeout, got %a" File_server.Client.pp_error e);
+  Alcotest.(check int) "abandonment counted" 1 (counter "server.traces_abandoned");
+  Alcotest.(check int) "timeout counted" 1 (counter "server.client_timeouts");
+  Alcotest.(check bool) "no open trace left behind" true
+    (Trace.find_active ~origin:"patient" = None);
+  (match Trace.infos () with
+  | [ i ] ->
+      Alcotest.(check string) "closed as abandoned" "abandoned" i.Trace.status;
+      Alcotest.(check string) "it was the fetch" "get A.dat" i.Trace.name
+  | infos -> Alcotest.failf "expected exactly one trace, got %d" (List.length infos));
+  (* The request is still pending on the server; serving it now sends a
+     reply stamped with the abandoned trace — consuming it must not
+     resurrect or double-count the closed conversation. *)
+  while File_server.tick srv > 0 do
+    ()
+  done;
+  (match File_server.Client.poll_reply client with
+  | Some (Ok (File_server.Client.File (_, contents))) ->
+      Alcotest.(check string) "late reply still correct" (body 1 800) contents
+  | _ -> Alcotest.fail "the late reply never surfaced");
+  Alcotest.(check int) "late reply resurrects nothing" 0 (Trace.active_count ());
+  Alcotest.(check int) "abandoned, not completed" 0 (counter "trace.completed");
+  (* A later request on the same station gets a fresh trace and a clean
+     completion. *)
+  let got =
+    client_ok "fetch after timeout"
+      (File_server.Client.fetch client ~server:"fs" ~name:"A.dat"
+         ~pump:(fun () -> ignore (File_server.tick srv : int)))
+  in
+  Alcotest.(check string) "service intact" (body 1 800) got;
+  Alcotest.(check int) "the fresh conversation completed" 1
+    (counter "trace.completed");
+  Alcotest.(check int) "still exactly one abandonment" 1
+    (counter "server.traces_abandoned")
+
 (* {2 OS wiring: the ServerTick service and the executive's serve command} *)
 
 module System = Alto_os.System
@@ -385,6 +441,8 @@ let () =
       ("admission", [ ("naks when table full", `Quick, test_naks_when_table_full) ]);
       ( "send errors",
         [ ("undeliverable replies counted", `Quick, test_send_failures_counted) ] );
+      ( "timeouts",
+        [ ("timeout abandons the trace", `Quick, test_timeout_abandons_trace) ] );
       ( "os wiring",
         [ ("serve command pumps the server", `Quick, test_serve_command_pumps_server) ] );
     ]
